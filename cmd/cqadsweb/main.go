@@ -1,0 +1,31 @@
+// Command cqadsweb serves the HTML question-answering interface of
+// Sec. 4.5 over the synthetic eight-domain database.
+//
+// Usage:
+//
+//	cqadsweb [-addr :8080] [-seed N] [-ads N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/cqads"
+	"repro/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	seed := flag.Int64("seed", 42, "deterministic environment seed")
+	ads := flag.Int("ads", 500, "ads per domain")
+	flag.Parse()
+
+	sys, err := cqads.Open(cqads.Options{Seed: *seed, AdsPerDomain: *ads})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CQAds web UI listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, webui.NewServer(sys)))
+}

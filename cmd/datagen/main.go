@@ -1,0 +1,108 @@
+// Command datagen dumps the synthetic corpora: generated ads (CSV per
+// domain), sample generated questions with their ground truth, or the
+// simulated query log. It exists so the datasets behind the
+// experiments can be inspected and reused outside the harness.
+//
+// Usage:
+//
+//	datagen -what ads|questions|qlog [-domain cars] [-n 100] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adsgen"
+	"repro/internal/qlog"
+	"repro/internal/questions"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	what := flag.String("what", "ads", "what to dump: ads, questions, qlog")
+	domain := flag.String("domain", "cars", "ads domain")
+	n := flag.Int("n", 100, "how many records/questions/sessions")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+
+	s := schema.ByName(*domain)
+	switch *what {
+	case "ads":
+		dumpAds(s, *n, *seed)
+	case "questions":
+		dumpQuestions(s, *n, *seed)
+	case "qlog":
+		dumpQlog(s, *domain, *n, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown -what %q\n", *what)
+		os.Exit(1)
+	}
+}
+
+func dumpAds(s *schema.Schema, n int, seed int64) {
+	g := adsgen.NewGenerator(seed)
+	cols := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		cols[i] = a.Name
+	}
+	fmt.Println(strings.Join(cols, ","))
+	for _, ad := range g.Generate(s, n) {
+		row := make([]string, len(cols))
+		for i, c := range cols {
+			row[i] = ad[c].String()
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+func dumpQuestions(s *schema.Schema, n int, seed int64) {
+	db := sqldb.NewDB()
+	g := adsgen.NewGenerator(seed)
+	tbl, err := g.Populate(db, s, 500)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	qg := questions.NewGenerator(tbl, seed+1)
+	for _, q := range qg.Generate(n, questions.DefaultOptions()) {
+		flags := make([]string, 0, 4)
+		if q.Misspelled {
+			flags = append(flags, "misspelled")
+		}
+		if q.SpaceDropped {
+			flags = append(flags, "space-dropped")
+		}
+		if q.Shorthand {
+			flags = append(flags, "shorthand")
+		}
+		if q.Unanchored {
+			flags = append(flags, "unanchored")
+		}
+		if q.IsBoolean {
+			flags = append(flags, "boolean")
+		}
+		truth := make([]string, 0, len(q.Conds))
+		for i := range q.Conds {
+			truth = append(truth, q.Conds[i].String())
+		}
+		fmt.Printf("%q\ttruth: %s\tflags: %s\n",
+			q.Text, strings.Join(truth, " AND "), strings.Join(flags, ","))
+	}
+}
+
+func dumpQlog(s *schema.Schema, domain string, n int, seed int64) {
+	sim := qlog.NewSimulator(s, seed)
+	log := sim.Simulate(domain, n)
+	for _, sess := range log.Sessions {
+		for _, ev := range sess.Events {
+			fmt.Printf("%s\t%7.1fs\t%s", sess.UserID, ev.At, ev.Query)
+			for _, c := range ev.Clicks {
+				fmt.Printf("\tclick(%s rank=%d dwell=%.0fs)", c.Value, c.Rank, c.Dwell)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-seed N] [-ads N] [-chart] [-report FILE]
+//	            [-exp all|fig2|exact|fig4|table2|fig5|fig5-domains|fig6|shorthand
+//	             |ablate-jbbsm|ablate-depth|ablate-cutoff|ablate-repair
+//	             |ext-strict|ext-dedup|ext-schemagen]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "deterministic seed for data, logs and judges")
+	ads := flag.Int("ads", 500, "ads per domain (the paper's domain-table seed size)")
+	exp := flag.String("exp", "all", "experiment to run (comma-separated), or 'all'")
+	chartOut := flag.Bool("chart", false, "render figures as terminal bar charts")
+	report := flag.String("report", "", "write a full markdown report to this file and exit")
+	flag.Parse()
+
+	env, err := experiments.NewEnv(*seed, *ads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := env.WriteReport(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		return
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		wanted[strings.TrimSpace(e)] = true
+	}
+	all := wanted["all"]
+	type charter interface{ Chart() string }
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if !all && !wanted[name] {
+			return
+		}
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if c, ok := res.(charter); ok && *chartOut {
+			fmt.Println(c.Chart())
+			return
+		}
+		fmt.Println(res.String())
+	}
+
+	run("fig2", func() (fmt.Stringer, error) { return env.Fig2Classification() })
+	run("exact", func() (fmt.Stringer, error) { return env.ExactMatch() })
+	run("fig4", func() (fmt.Stringer, error) { return env.Fig4Boolean() })
+	run("table2", func() (fmt.Stringer, error) { return env.Table2PartialAnswers() })
+	run("fig5", func() (fmt.Stringer, error) { return env.Fig5Ranking() })
+	run("fig5-domains", func() (fmt.Stringer, error) { return env.Fig5PerDomain() })
+	run("fig6", func() (fmt.Stringer, error) { return env.Fig6Latency(0) })
+	run("shorthand", func() (fmt.Stringer, error) { return env.ShorthandDetection() })
+	run("ablate-jbbsm", func() (fmt.Stringer, error) { return env.AblateJBBSM() })
+	run("ablate-depth", func() (fmt.Stringer, error) { return env.AblateDepth() })
+	run("ablate-cutoff", func() (fmt.Stringer, error) { return env.AblateCutoff() })
+	run("ablate-repair", func() (fmt.Stringer, error) { return env.AblateRepair() })
+	run("ext-strict", func() (fmt.Stringer, error) { return env.StrictBoolean() })
+	run("ext-dedup", func() (fmt.Stringer, error) { return env.DedupImpact() })
+	run("ext-schemagen", func() (fmt.Stringer, error) { return env.SchemaGen() })
+}

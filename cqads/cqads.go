@@ -1,0 +1,140 @@
+// Package cqads is the public facade of the CQAds reproduction: a
+// closed-domain question-answering system over advertisement databases
+// that returns exact answers when they exist and ranked
+// partially-matched answers when they do not (Qumsiyeh, Pera, Ng,
+// PVLDB 5(3), 2011).
+//
+// The quickest start uses the bundled synthetic environment:
+//
+//	sys, err := cqads.Open(cqads.Options{Seed: 42, AdsPerDomain: 500})
+//	res, err := sys.Ask("cheapest 2 door red honda civic")
+//
+// Applications with their own data build a database per domain schema
+// and wire similarity matrices explicitly via New.
+package cqads
+
+import (
+	"repro/internal/adsgen"
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/qlog"
+	"repro/internal/questions"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+	"repro/internal/text"
+	"repro/internal/wsmatrix"
+)
+
+// Re-exported core types: the system, its configuration and results.
+type (
+	// System is a running CQAds instance.
+	System = core.System
+	// Config wires a System from explicit substrates.
+	Config = core.Config
+	// Result is the outcome of asking one question.
+	Result = core.Result
+	// Answer is one retrieved ad.
+	Answer = core.Answer
+)
+
+// Schema types for callers defining their own ads domains.
+type (
+	// Schema describes one ads domain relation.
+	Schema = schema.Schema
+	// Attribute is one column with its Type I/II/III class.
+	Attribute = schema.Attribute
+	// Superlative maps a superlative keyword to its attribute.
+	Superlative = schema.Superlative
+)
+
+// Attribute type classes (Sec. 4.1.1 of the paper).
+const (
+	TypeI   = schema.TypeI
+	TypeII  = schema.TypeII
+	TypeIII = schema.TypeIII
+)
+
+// DefaultMaxAnswers is the paper's 30-answer cutoff.
+const DefaultMaxAnswers = core.DefaultMaxAnswers
+
+// New builds a System from an explicit configuration (see core.Config).
+func New(cfg Config) (*System, error) { return core.New(cfg) }
+
+// Options configures Open's bundled environment.
+type Options struct {
+	// Seed drives every synthetic component deterministically.
+	Seed int64
+	// AdsPerDomain is the table size per domain (default 500, the
+	// paper's seed-ads count).
+	AdsPerDomain int
+	// Domains restricts the loaded domains (default: all eight).
+	Domains []string
+	// MaxAnswers caps answers per question (default 30).
+	MaxAnswers int
+	// UseSynonyms installs the shipped transformation rules
+	// ("stick shift" → manual); Sec. 6 extension (iii).
+	UseSynonyms bool
+	// StrictBoolean honours explicit AND/OR operators instead of the
+	// paper's strip-and-fall-back; Sec. 6 extension (i).
+	StrictBoolean bool
+	// Dedup filters near-duplicate listings out of answer lists;
+	// Sec. 6 extension (iv).
+	Dedup bool
+}
+
+// Open builds a ready-to-query System over the synthetic eight-domain
+// environment: generated ads, simulated query logs (TI-matrix), the
+// synthetic-corpus WS-matrix, and a JBBSM classifier trained on
+// generated questions.
+func Open(opts Options) (*System, error) {
+	if opts.AdsPerDomain <= 0 {
+		opts.AdsPerDomain = 500
+	}
+	domains := opts.Domains
+	if len(domains) == 0 {
+		domains = schema.DomainNames
+	}
+	db := sqldb.NewDB()
+	var schemas []*schema.Schema
+	ti := make(map[string]*qlog.TIMatrix, len(domains))
+	for i, d := range domains {
+		s := schema.ByName(d)
+		schemas = append(schemas, s)
+		g := adsgen.NewGenerator(opts.Seed + int64(i)*7919)
+		if _, err := g.Populate(db, s, opts.AdsPerDomain); err != nil {
+			return nil, err
+		}
+		sim := qlog.NewSimulator(s, opts.Seed+101)
+		ti[d] = qlog.BuildTIMatrix(sim.Simulate(d, 500))
+	}
+	ws := wsmatrix.BuildForDomains(schemas, 40, opts.Seed+202)
+
+	cls := classify.NewJBBSM()
+	for i, d := range domains {
+		tbl, _ := db.TableForDomain(d)
+		gen := questions.NewGenerator(tbl, opts.Seed+303+int64(i))
+		train := gen.Generate(200, questions.DefaultOptions())
+		docs := make([][]string, len(train))
+		for j := range train {
+			docs[j] = text.RemoveStopwords(text.Words(train[j].Text))
+		}
+		cls.Train(d, docs)
+	}
+	return core.New(core.Config{
+		DB:            db,
+		Classifier:    cls,
+		TI:            ti,
+		WS:            ws,
+		MaxAnswers:    opts.MaxAnswers,
+		UseSynonyms:   opts.UseSynonyms,
+		StrictBoolean: opts.StrictBoolean,
+		Dedup:         opts.Dedup,
+	})
+}
+
+// DomainNames lists the eight built-in ads domains.
+func DomainNames() []string {
+	out := make([]string, len(schema.DomainNames))
+	copy(out, schema.DomainNames)
+	return out
+}

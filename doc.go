@@ -1,0 +1,9 @@
+// Package repro is the root of the CQAds reproduction (Qumsiyeh,
+// Pera, Ng — "Generating Exact- and Ranked Partially-Matched Answers
+// to Questions in Advertisements", PVLDB 5(3), 2011).
+//
+// The public API lives in package repro/cqads; the substrates live
+// under internal/. The root package holds the repository-level
+// benchmark suite (bench_test.go), one benchmark per table and figure
+// of the paper's evaluation.
+package repro

@@ -1,0 +1,138 @@
+package adsgen
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestGenerateRespectsSchema(t *testing.T) {
+	for _, name := range schema.DomainNames {
+		s := schema.ByName(name)
+		g := NewGenerator(11)
+		ads := g.Generate(s, 200)
+		if len(ads) != 200 {
+			t.Fatalf("%s: generated %d", name, len(ads))
+		}
+		valid := map[string]map[string]bool{}
+		for _, a := range s.Attrs {
+			if a.Type != schema.TypeIII {
+				set := map[string]bool{}
+				for _, v := range a.Values {
+					set[v] = true
+				}
+				valid[a.Name] = set
+			}
+		}
+		for i, ad := range ads {
+			for _, a := range s.Attrs {
+				v, ok := ad[a.Name]
+				if !ok || v.IsNull() {
+					t.Fatalf("%s ad %d: missing %s", name, i, a.Name)
+				}
+				if a.Type == schema.TypeIII {
+					n := v.Num()
+					if n < a.Min || n > a.Max {
+						t.Fatalf("%s ad %d: %s = %g outside [%g,%g]",
+							name, i, a.Name, n, a.Min, a.Max)
+					}
+				} else if !valid[a.Name][v.Str()] {
+					t.Fatalf("%s ad %d: %s = %q not a schema value",
+						name, i, a.Name, v.Str())
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := schema.Cars()
+	a := NewGenerator(5).Generate(s, 50)
+	b := NewGenerator(5).Generate(s, 50)
+	for i := range a {
+		for k, v := range a[i] {
+			if !v.Equal(b[i][k]) && !(v.IsNull() && b[i][k].IsNull()) {
+				t.Fatalf("ad %d field %s: %v vs %v", i, k, v, b[i][k])
+			}
+		}
+	}
+}
+
+func TestCarMakeModelCompatible(t *testing.T) {
+	s := schema.Cars()
+	g := NewGenerator(9)
+	for i, ad := range g.Generate(s, 300) {
+		mk := ad["make"].Str()
+		model := ad["model"].Str()
+		compat := carModels[mk]
+		found := false
+		for _, m := range compat {
+			if m == model {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ad %d: %s %s is not a valid pairing", i, mk, model)
+		}
+	}
+}
+
+func TestVehicleCorrelations(t *testing.T) {
+	// Newer cars should cost more and have fewer miles on average.
+	s := schema.Cars()
+	g := NewGenerator(13)
+	ads := g.Generate(s, 2000)
+	var oldP, newP, oldM, newM float64
+	var oldN, newN int
+	for _, ad := range ads {
+		if ad["year"].Num() < 1998 {
+			oldP += ad["price"].Num()
+			oldM += ad["mileage"].Num()
+			oldN++
+		} else if ad["year"].Num() > 2008 {
+			newP += ad["price"].Num()
+			newM += ad["mileage"].Num()
+			newN++
+		}
+	}
+	if oldN == 0 || newN == 0 {
+		t.Fatal("year distribution degenerate")
+	}
+	if newP/float64(newN) <= oldP/float64(oldN) {
+		t.Error("newer cars should average pricier")
+	}
+	if newM/float64(newN) >= oldM/float64(oldN) {
+		t.Error("newer cars should average fewer miles")
+	}
+}
+
+func TestPopulateAll(t *testing.T) {
+	db, err := PopulateAll(3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.Domains()); got != len(schema.DomainNames) {
+		t.Fatalf("domains = %d", got)
+	}
+	for _, d := range schema.DomainNames {
+		tbl, ok := db.TableForDomain(d)
+		if !ok || tbl.Len() != 50 {
+			t.Errorf("domain %s: table missing or wrong size", d)
+		}
+	}
+}
+
+func TestSkewedPick(t *testing.T) {
+	g := NewGenerator(1)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.pickSkewedIndex(5)]++
+	}
+	// Zipf-ish: index 0 strictly most popular, index 4 least.
+	if counts[0] <= counts[4] {
+		t.Errorf("skew inverted: %v", counts)
+	}
+	if g.pickSkewedIndex(1) != 0 {
+		t.Error("single-element pick")
+	}
+}

@@ -1,0 +1,281 @@
+package boolean
+
+import (
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// builder performs the context-switching pass over the tag stream
+// (Sec. 4.1.2, Table 1): partial conditions (bare comparison words,
+// bare numbers, bare attribute names) are merged with their proximity
+// keywords into complete conditions.
+type builder struct {
+	schema *schema.Schema
+
+	conds []Condition
+	sup   *SuperlativeSpec
+	// orAfter[i] is true when an explicit OR separated conds[i] from
+	// conds[i+1] in the question.
+	orAfter map[int]bool
+	// andAfter mirrors orAfter for explicit ANDs.
+	andAfter map[int]bool
+
+	// Pending context-switching state.
+	pendingOp     CompOp // from a comparison keyword
+	pendingOpAttr string // attr carried by the keyword ("cheaper"→price)
+	pendingAttr   string // from a Type III attribute name keyword
+	pendingNeg    bool   // from a negation keyword
+	pendingSup    *SuperlativeSpec
+	betweenOpen   bool    // between seen, collecting bounds
+	betweenLo     float64 // first bound
+	betweenHasLo  bool
+	pendingOrGap  bool // explicit OR since last condition
+	pendingAndGap bool // explicit AND since last condition
+}
+
+// BuildConditions runs context switching over tags, returning the flat
+// condition list, the superlative (if any), and the explicit-OR/AND
+// gap markers used by the explicit-Boolean special cases.
+func BuildConditions(s *schema.Schema, tags []trie.Tag) ([]Condition, *SuperlativeSpec, map[int]bool, map[int]bool) {
+	b := &builder{
+		schema:   s,
+		orAfter:  make(map[int]bool),
+		andAfter: make(map[int]bool),
+	}
+	for i := 0; i < len(tags); i++ {
+		b.consume(tags, i)
+	}
+	b.flushPending()
+	return b.conds, b.sup, b.orAfter, b.andAfter
+}
+
+func (b *builder) consume(tags []trie.Tag, i int) {
+	t := tags[i]
+	switch t.Kind {
+	case trie.KindTypeIValue, trie.KindTypeIIValue:
+		b.emit(Condition{
+			Attr:    t.Attr,
+			Type:    kindToType(t.Kind),
+			Values:  []string{t.Value},
+			Negated: b.takeNegation(),
+			Source:  t.Source,
+		})
+	case trie.KindTypeIIIAttr:
+		// An attribute keyword either anchors a pending superlative
+		// ("lowest price"), retro-anchors the previous unanchored
+		// numeric condition ("20k miles" after the number), or arms
+		// the pending-attribute state ("price under 5000").
+		if b.pendingSup != nil && b.pendingSup.Attr == "" {
+			b.pendingSup.Attr = t.Attr
+			b.promoteSuperlative()
+			return
+		}
+		if b.retroAnchor(t.Attr) {
+			return
+		}
+		b.pendingAttr = t.Attr
+	case trie.KindUnit:
+		if b.retroAnchor(t.Attr) {
+			return
+		}
+		b.pendingAttr = t.Attr
+	case trie.KindLess, trie.KindGreater, trie.KindEqual:
+		op := opForKind(t.Kind)
+		if b.pendingNeg {
+			// Rule 1a: the negated quantifier is replaced by its
+			// complement ("not less than" → ">=").
+			op = op.Complement()
+			b.pendingNeg = false
+		}
+		b.pendingOp = op
+		b.pendingOpAttr = t.Attr
+	case trie.KindBetween:
+		b.betweenOpen = true
+		b.betweenHasLo = false
+		if t.Attr != "" {
+			b.pendingAttr = t.Attr
+		}
+	case trie.KindNumber:
+		b.consumeNumber(t)
+	case trie.KindSuperlative:
+		b.pendingSup = &SuperlativeSpec{
+			Attr: t.Attr, Descending: t.Descending, Source: t.Source,
+		}
+		b.promoteSuperlative()
+	case trie.KindSuperlativePartial:
+		// Partial superlative: if a number follows it acts as a
+		// comparison ("max 5000 dollars"); otherwise it waits for an
+		// attribute keyword ("lowest price").
+		if nextIsNumber(tags, i) {
+			op := OpLe
+			if !t.Descending {
+				op = OpGe
+			}
+			// Table 1 maps max/most → '<' and min/least → '>' when a
+			// quantity follows: "max $5000" means price <= 5000.
+			if b.pendingNeg {
+				op = op.Complement()
+				b.pendingNeg = false
+			}
+			b.pendingOp = op
+			return
+		}
+		b.pendingSup = &SuperlativeSpec{Descending: t.Descending, Source: t.Source}
+		if b.pendingAttr != "" {
+			b.pendingSup.Attr = b.pendingAttr
+			b.pendingAttr = ""
+			b.promoteSuperlative()
+		}
+	case trie.KindNegation:
+		b.pendingNeg = true
+	case trie.KindOr:
+		b.pendingOrGap = true
+	case trie.KindAnd:
+		if b.betweenOpen && b.betweenHasLo {
+			// The AND inside "between X and Y" is structural.
+			return
+		}
+		b.pendingAndGap = true
+	case trie.KindGlue:
+		// "than", "to", "expensive": consumed by context switching.
+	}
+}
+
+// consumeNumber completes a condition from a numeric tag using the
+// pending operator/attribute state.
+func (b *builder) consumeNumber(t trie.Tag) {
+	attr := b.pendingAttr
+	if attr == "" && t.Unit != "" {
+		if a, ok := b.schema.AttrForUnit(t.Unit); ok {
+			attr = a.Name
+		}
+	}
+	if attr == "" && b.pendingOpAttr != "" {
+		attr = b.pendingOpAttr
+	}
+	if b.betweenOpen {
+		if !b.betweenHasLo {
+			b.betweenLo = t.Num
+			b.betweenHasLo = true
+			b.pendingAttr = attr
+			return
+		}
+		lo, hi := b.betweenLo, t.Num
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		b.betweenOpen, b.betweenHasLo = false, false
+		b.pendingAttr = ""
+		b.emit(Condition{
+			Attr: attr, Type: schema.TypeIII, Op: OpBetween,
+			X: lo, Y: hi, Negated: b.takeNegation(), Source: t.Source,
+		})
+		return
+	}
+	op := b.pendingOp
+	if op == 0 {
+		op = OpEq
+	}
+	b.pendingOp = 0
+	b.pendingOpAttr = ""
+	b.pendingAttr = ""
+	b.emit(Condition{
+		Attr: attr, Type: schema.TypeIII, Op: op, X: t.Num,
+		Negated: b.takeNegation(), Source: t.Source,
+	})
+}
+
+// retroAnchor assigns attr to the immediately preceding unanchored
+// numeric condition ("less than 20k miles": the number precedes its
+// unit). It reports whether an anchor happened.
+func (b *builder) retroAnchor(attr string) bool {
+	if len(b.conds) == 0 {
+		return false
+	}
+	last := &b.conds[len(b.conds)-1]
+	if last.IsNumeric() && last.Attr == "" {
+		last.Attr = attr
+		return true
+	}
+	return false
+}
+
+// promoteSuperlative moves a completed pending superlative into the
+// builder result (first superlative wins).
+func (b *builder) promoteSuperlative() {
+	if b.pendingSup == nil || b.pendingSup.Attr == "" {
+		return
+	}
+	if b.sup == nil {
+		b.sup = b.pendingSup
+	}
+	b.pendingSup = nil
+}
+
+func (b *builder) takeNegation() bool {
+	neg := b.pendingNeg
+	b.pendingNeg = false
+	return neg
+}
+
+func (b *builder) emit(c Condition) {
+	idx := len(b.conds)
+	if idx > 0 {
+		if b.pendingOrGap {
+			b.orAfter[idx-1] = true
+		}
+		if b.pendingAndGap {
+			b.andAfter[idx-1] = true
+		}
+	}
+	b.pendingOrGap, b.pendingAndGap = false, false
+	b.conds = append(b.conds, c)
+}
+
+// flushPending resolves leftover state at end of question: a pending
+// partial superlative with a resolvable attribute, or an unfinished
+// BETWEEN treated as ">= lo".
+func (b *builder) flushPending() {
+	if b.pendingSup != nil && b.pendingSup.Attr == "" && b.pendingAttr != "" {
+		b.pendingSup.Attr = b.pendingAttr
+	}
+	b.promoteSuperlative()
+	if b.betweenOpen && b.betweenHasLo {
+		b.emit(Condition{
+			Attr: b.pendingAttr, Type: schema.TypeIII,
+			Op: OpGe, X: b.betweenLo, Source: "between",
+		})
+	}
+}
+
+func kindToType(k trie.Kind) schema.AttrType {
+	if k == trie.KindTypeIValue {
+		return schema.TypeI
+	}
+	return schema.TypeII
+}
+
+func opForKind(k trie.Kind) CompOp {
+	switch k {
+	case trie.KindLess:
+		return OpLt
+	case trie.KindGreater:
+		return OpGt
+	default:
+		return OpEq
+	}
+}
+
+func nextIsNumber(tags []trie.Tag, i int) bool {
+	for j := i + 1; j < len(tags); j++ {
+		switch tags[j].Kind {
+		case trie.KindNumber:
+			return true
+		case trie.KindGlue, trie.KindTypeIIIAttr, trie.KindUnit:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,185 @@
+package boolean
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// buildConds runs context switching only (no combination rules).
+func buildConds(t *testing.T, question string) ([]Condition, *SuperlativeSpec) {
+	t.Helper()
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	conds, sup, _, _ := BuildConditions(sch, tagger.Tag(question))
+	return conds, sup
+}
+
+func TestBuilderSimpleValues(t *testing.T) {
+	conds, _ := buildConds(t, "red honda accord")
+	if len(conds) != 3 {
+		t.Fatalf("conds = %v", conds)
+	}
+	if conds[0].Attr != "color" || conds[1].Attr != "make" || conds[2].Attr != "model" {
+		t.Errorf("conds = %v", conds)
+	}
+}
+
+func TestBuilderOpBeforeNumberWithUnitAfter(t *testing.T) {
+	// "less than 20k miles": the number precedes its unit; the unit
+	// retro-anchors the condition.
+	conds, _ := buildConds(t, "less than 20k miles")
+	if len(conds) != 1 {
+		t.Fatalf("conds = %v", conds)
+	}
+	c := conds[0]
+	if c.Attr != "mileage" || c.Op != OpLt || c.X != 20000 {
+		t.Errorf("cond = %s", c.String())
+	}
+}
+
+func TestBuilderUnitPrefix(t *testing.T) {
+	// "$2000" carries its unit in the token.
+	conds, _ := buildConds(t, "under $2000")
+	if len(conds) != 1 || conds[0].Attr != "price" || conds[0].Op != OpLt {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderAttrKeywordBeforeNumber(t *testing.T) {
+	conds, _ := buildConds(t, "year 2004")
+	if len(conds) != 1 || conds[0].Attr != "year" || conds[0].Op != OpEq || conds[0].X != 2004 {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderComparativeCarriesAttr(t *testing.T) {
+	conds, _ := buildConds(t, "newer than 2005")
+	if len(conds) != 1 || conds[0].Attr != "year" || conds[0].Op != OpGt {
+		t.Fatalf("conds = %v", conds)
+	}
+	conds, _ = buildConds(t, "cheaper than 5000")
+	if len(conds) != 1 || conds[0].Attr != "price" || conds[0].Op != OpLt {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderNegatedValue(t *testing.T) {
+	conds, _ := buildConds(t, "not manual")
+	if len(conds) != 1 || !conds[0].Negated || conds[0].Values[0] != "manual" {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderNegatedComparison(t *testing.T) {
+	// Rule 1a at build time: "not less than 2000" → >= 2000.
+	conds, _ := buildConds(t, "not less than $2000")
+	if len(conds) != 1 || conds[0].Op != OpGe || conds[0].X != 2000 {
+		t.Fatalf("conds = %v", conds)
+	}
+	if conds[0].Negated {
+		t.Error("complemented op should not stay negated")
+	}
+}
+
+func TestBuilderBetweenCollectsBounds(t *testing.T) {
+	conds, _ := buildConds(t, "between $2000 and $7000")
+	if len(conds) != 1 || conds[0].Op != OpBetween {
+		t.Fatalf("conds = %v", conds)
+	}
+	if conds[0].X != 2000 || conds[0].Y != 7000 {
+		t.Errorf("bounds = %g..%g", conds[0].X, conds[0].Y)
+	}
+}
+
+func TestBuilderBetweenSwappedBounds(t *testing.T) {
+	conds, _ := buildConds(t, "between $7000 and $2000")
+	if len(conds) != 1 || conds[0].X != 2000 || conds[0].Y != 7000 {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderDanglingBetween(t *testing.T) {
+	// "between $2000" with no second bound degrades to >= 2000.
+	conds, _ := buildConds(t, "price between $2000")
+	if len(conds) != 1 || conds[0].Op != OpGe || conds[0].X != 2000 {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderCompleteSuperlative(t *testing.T) {
+	conds, sup := buildConds(t, "cheapest honda")
+	if sup == nil || sup.Attr != "price" || sup.Descending {
+		t.Fatalf("sup = %+v", sup)
+	}
+	if len(conds) != 1 {
+		t.Errorf("conds = %v", conds)
+	}
+}
+
+func TestBuilderPartialSuperlativeBeforeAttr(t *testing.T) {
+	_, sup := buildConds(t, "lowest mileage")
+	if sup == nil || sup.Attr != "mileage" || sup.Descending {
+		t.Fatalf("sup = %+v", sup)
+	}
+	_, sup = buildConds(t, "highest price")
+	if sup == nil || sup.Attr != "price" || !sup.Descending {
+		t.Fatalf("sup = %+v", sup)
+	}
+}
+
+func TestBuilderPartialSuperlativeAfterAttr(t *testing.T) {
+	_, sup := buildConds(t, "mileage lowest")
+	if sup == nil || sup.Attr != "mileage" {
+		t.Fatalf("sup = %+v", sup)
+	}
+}
+
+func TestBuilderMaxBeforeNumberIsBound(t *testing.T) {
+	// Table 1: "max" with a following quantity reads as "<=".
+	conds, sup := buildConds(t, "max $5000")
+	if sup != nil {
+		t.Fatalf("sup = %+v, want nil", sup)
+	}
+	if len(conds) != 1 || conds[0].Op != OpLe || conds[0].X != 5000 {
+		t.Fatalf("conds = %v", conds)
+	}
+	// "min" symmetrically reads as ">=".
+	conds, _ = buildConds(t, "min $5000")
+	if len(conds) != 1 || conds[0].Op != OpGe {
+		t.Fatalf("conds = %v", conds)
+	}
+}
+
+func TestBuilderFirstSuperlativeWins(t *testing.T) {
+	_, sup := buildConds(t, "cheapest newest honda")
+	if sup == nil || sup.Attr != "price" {
+		t.Fatalf("sup = %+v", sup)
+	}
+}
+
+func TestBuilderOrMarkers(t *testing.T) {
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	conds, _, orAfter, _ := BuildConditions(sch, tagger.Tag("red or blue honda"))
+	if len(conds) != 3 {
+		t.Fatalf("conds = %v", conds)
+	}
+	if !orAfter[0] {
+		t.Error("OR gap after first condition not recorded")
+	}
+	if orAfter[1] {
+		t.Error("spurious OR gap")
+	}
+}
+
+func TestBuilderUnanchoredNumber(t *testing.T) {
+	conds, _ := buildConds(t, "honda 2000")
+	if len(conds) != 2 {
+		t.Fatalf("conds = %v", conds)
+	}
+	if conds[1].Attr != "" || conds[1].X != 2000 {
+		t.Errorf("unanchored = %s", conds[1].String())
+	}
+}

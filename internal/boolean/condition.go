@@ -1,0 +1,185 @@
+// Package boolean turns the tag stream of a question into an
+// interpreted query: it performs the context-switching analysis that
+// merges partial conditions with proximity keywords (Sec. 4.1.2,
+// Table 1) and applies the implicit/explicit Boolean combination rules
+// of Sec. 4.4.
+package boolean
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// CompOp enumerates the numeric comparison forms a condition can take.
+type CompOp int
+
+const (
+	// OpEq is =.
+	OpEq CompOp = iota + 1
+	// OpLt is <.
+	OpLt
+	// OpLe is <=.
+	OpLe
+	// OpGt is >.
+	OpGt
+	// OpGe is >=.
+	OpGe
+	// OpBetween is BETWEEN X AND Y (inclusive).
+	OpBetween
+)
+
+// String implements fmt.Stringer.
+func (op CompOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "between"
+	}
+	return fmt.Sprintf("CompOp(%d)", int(op))
+}
+
+// Complement returns the complement operator used by Rule 1a of
+// Sec. 4.4.1 ("not less than $2000" → ">= $2000").
+func (op CompOp) Complement() CompOp {
+	switch op {
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return op
+}
+
+// Condition is one selection criterion extracted from a question.
+// Categorical conditions carry one or more alternative Values (more
+// than one after mutually-exclusive values are ORed by Rule 2a);
+// numeric conditions carry Op and X (and Y for BETWEEN). A numeric
+// condition with Attr == "" is an incomplete condition whose attribute
+// must be guessed per Sec. 4.2.2.
+type Condition struct {
+	Attr    string
+	Type    schema.AttrType
+	Negated bool
+	// Categorical payload.
+	Values []string
+	// Numeric payload.
+	Op   CompOp
+	X, Y float64
+	// Source is the question text behind the condition.
+	Source string
+}
+
+// IsNumeric reports whether the condition constrains a Type III
+// attribute (including unanchored numbers awaiting attribute
+// resolution).
+func (c *Condition) IsNumeric() bool { return c.Op != 0 }
+
+// String renders the condition for diagnostics and surveys.
+func (c *Condition) String() string {
+	neg := ""
+	if c.Negated {
+		neg = "NOT "
+	}
+	if c.IsNumeric() {
+		attr := c.Attr
+		if attr == "" {
+			attr = "?"
+		}
+		if c.Op == OpBetween {
+			return fmt.Sprintf("%s%s between %g and %g", neg, attr, c.X, c.Y)
+		}
+		return fmt.Sprintf("%s%s %s %g", neg, attr, c.Op, c.X)
+	}
+	if len(c.Values) > 1 {
+		return fmt.Sprintf("%s%s = (%s)", neg, c.Attr, strings.Join(c.Values, " OR "))
+	}
+	return fmt.Sprintf("%s%s = %s", neg, c.Attr, strings.Join(c.Values, " OR "))
+}
+
+// SuperlativeSpec is a superlative to be evaluated after all other
+// conditions (Sec. 4.3).
+type SuperlativeSpec struct {
+	Attr       string
+	Descending bool
+	Source     string
+}
+
+// Group is a conjunction of conditions (one subexpression of
+// Sec. 4.4.1's rules).
+type Group struct {
+	Conds []Condition
+}
+
+// String renders the group as an AND expression.
+func (g *Group) String() string {
+	parts := make([]string, len(g.Conds))
+	for i := range g.Conds {
+		parts[i] = g.Conds[i].String()
+	}
+	return "(" + strings.Join(parts, " AND ") + ")"
+}
+
+// Interpretation is the normalized information need of a question:
+// a disjunction of conjunctive groups, an optional trailing
+// superlative, and an Empty flag raised when Rule 1c detects
+// contradictory ranges ("search retrieved no results").
+type Interpretation struct {
+	Groups      []Group
+	Superlative *SuperlativeSpec
+	Empty       bool
+}
+
+// ConditionCount returns the total number of conditions N across all
+// groups, the N of the paper's N−1 relaxation strategy.
+func (in *Interpretation) ConditionCount() int {
+	n := 0
+	for i := range in.Groups {
+		n += len(in.Groups[i].Conds)
+	}
+	return n
+}
+
+// AllConditions returns every condition across groups, in order.
+func (in *Interpretation) AllConditions() []Condition {
+	var out []Condition
+	for i := range in.Groups {
+		out = append(out, in.Groups[i].Conds...)
+	}
+	return out
+}
+
+// String renders the interpretation as a Boolean expression, e.g.
+// "(make = toyota AND model = corolla) OR (color = silver AND ...)".
+func (in *Interpretation) String() string {
+	if in.Empty {
+		return "<no results: contradictory ranges>"
+	}
+	parts := make([]string, len(in.Groups))
+	for i := range in.Groups {
+		parts[i] = in.Groups[i].String()
+	}
+	s := strings.Join(parts, " OR ")
+	if in.Superlative != nil {
+		dir := "min"
+		if in.Superlative.Descending {
+			dir = "max"
+		}
+		s += fmt.Sprintf(" [%s %s]", dir, in.Superlative.Attr)
+	}
+	return s
+}

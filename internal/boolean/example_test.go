@@ -1,0 +1,45 @@
+package boolean_test
+
+import (
+	"fmt"
+
+	"repro/internal/boolean"
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// Example 6 of the paper, question Q1: negated range bounds merge
+// into one interval (Rules 1a + 1c).
+func ExampleInterpret() {
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	tags := tagger.Tag("Any car priced below $7000 and not less than $2000")
+	fmt.Println(boolean.Interpret(sch, tags))
+	// Output:
+	// (price >= 2000 AND price < 7000)
+}
+
+// Example 6 of the paper, question Q2: the Type II run
+// right-associates with the closest Type I pair, and the two
+// subexpressions are ORed (Rules 2a, 2b, 4).
+func ExampleInterpret_rightAssociation() {
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	tags := tagger.Tag("I want a Toyota Corolla or a silver not manual not 2-dr Honda Accord")
+	fmt.Println(boolean.Interpret(sch, tags))
+	// Output:
+	// (make = toyota AND model = corolla) OR (make = honda AND model = accord AND color = silver AND NOT transmission = manual AND NOT doors = 2 door)
+}
+
+// InterpretStrict honours the literal AND that the implicit rules
+// rewrite (Sec. 6 future work (i)).
+func ExampleInterpretStrict() {
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	tags := tagger.Tag("black and grey cars")
+	fmt.Println("implicit:", boolean.Interpret(sch, tags))
+	fmt.Println("strict:  ", boolean.InterpretStrict(sch, tags))
+	// Output:
+	// implicit: (color = (black OR grey))
+	// strict:   (color = black AND color = grey)
+}

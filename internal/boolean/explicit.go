@@ -1,0 +1,154 @@
+package boolean
+
+import (
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// This file implements the first future-work item of Sec. 6: "a set
+// of well-defined evaluation rules to properly handle explicit
+// Boolean ads questions". Where the published system strips AND/OR
+// and falls back to the implicit rules (Sec. 4.4.2), InterpretStrict
+// honours the operators the user actually wrote, with standard
+// precedence (NOT > AND > OR) and implicit conjunction between
+// adjacent conditions. Contradiction handling (Rule 1c) and numeric
+// merging (Rule 1b) still apply within each conjunction, so the two
+// interpreters agree on non-Boolean questions.
+
+// InterpretStrict evaluates a question's tags honouring explicit
+// Boolean operators. Questions without any explicit operator are
+// delegated to the implicit interpreter, so the strict mode is a
+// conservative extension.
+func InterpretStrict(s *schema.Schema, tags []trie.Tag) *Interpretation {
+	conds, sup, orAfter, andAfter := BuildConditions(s, tags)
+	if len(conds) == 0 {
+		return &Interpretation{Superlative: sup}
+	}
+	hasExplicit := false
+	for i := 0; i < len(conds)-1; i++ {
+		if orAfter[i] || andAfter[i] {
+			hasExplicit = true
+			break
+		}
+	}
+	if !hasExplicit {
+		in := buildInterpretation(s, conds, orAfter)
+		in.Superlative = sup
+		return in
+	}
+	// Split the condition sequence at OR gaps: each side is a
+	// conjunction (explicit ANDs and implicit adjacency both mean
+	// AND at this level). Negations were already folded into the
+	// conditions by context switching.
+	in := &Interpretation{Superlative: sup}
+	var cur []Condition
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		merged, contradiction := mergeNumeric(cur)
+		if contradiction {
+			in.Empty = true
+			return
+		}
+		in.Groups = append(in.Groups, Group{Conds: merged})
+		cur = nil
+	}
+	for i := range conds {
+		cur = append(cur, conds[i])
+		if orAfter[i] {
+			flush()
+			if in.Empty {
+				return &Interpretation{Empty: true}
+			}
+		}
+	}
+	flush()
+	if in.Empty {
+		return &Interpretation{Empty: true}
+	}
+	return in
+}
+
+// InterpretationsAgree reports whether two interpretations denote the
+// same information need: same groups (order-insensitive within the
+// disjunction), same superlative, same emptiness. Used by the strict
+// vs. implicit comparison experiment.
+func InterpretationsAgree(a, b *Interpretation) bool {
+	if a.Empty != b.Empty {
+		return false
+	}
+	if (a.Superlative == nil) != (b.Superlative == nil) {
+		return false
+	}
+	if a.Superlative != nil && (a.Superlative.Attr != b.Superlative.Attr ||
+		a.Superlative.Descending != b.Superlative.Descending) {
+		return false
+	}
+	if len(a.Groups) != len(b.Groups) {
+		return false
+	}
+	used := make([]bool, len(b.Groups))
+	for i := range a.Groups {
+		found := false
+		for j := range b.Groups {
+			if used[j] {
+				continue
+			}
+			if groupsEqual(&a.Groups[i], &b.Groups[j]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func groupsEqual(a, b *Group) bool {
+	if len(a.Conds) != len(b.Conds) {
+		return false
+	}
+	used := make([]bool, len(b.Conds))
+	for i := range a.Conds {
+		found := false
+		for j := range b.Conds {
+			if used[j] {
+				continue
+			}
+			if conditionsEqual(&a.Conds[i], &b.Conds[j]) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func conditionsEqual(a, b *Condition) bool {
+	if a.Attr != b.Attr || a.Type != b.Type || a.Negated != b.Negated ||
+		a.Op != b.Op || a.X != b.X || a.Y != b.Y {
+		return false
+	}
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	set := map[string]int{}
+	for _, v := range a.Values {
+		set[v]++
+	}
+	for _, v := range b.Values {
+		set[v]--
+		if set[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package boolean
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+func interpretStrict(t *testing.T, question string) *Interpretation {
+	t.Helper()
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	return InterpretStrict(sch, tagger.Tag(question))
+}
+
+func TestStrictDelegatesWithoutOperators(t *testing.T) {
+	// No explicit AND/OR: strict and implicit must agree.
+	for _, q := range []string{
+		"red honda accord under $9000",
+		"cheapest 2 door mazda",
+		"Show me Black Silver cars",
+	} {
+		a := interpret(t, q)
+		b := interpretStrict(t, q)
+		if !InterpretationsAgree(a, b) {
+			t.Errorf("%q: strict %s != implicit %s", q, b, a)
+		}
+	}
+}
+
+func TestStrictHonoursOr(t *testing.T) {
+	in := interpretStrict(t, "red honda or blue toyota")
+	if len(in.Groups) != 2 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	g1, g2 := in.Groups[0], in.Groups[1]
+	if len(g1.Conds) != 2 || len(g2.Conds) != 2 {
+		t.Errorf("groups = %s | %s", g1.String(), g2.String())
+	}
+}
+
+func TestStrictDiffersFromImplicitOnAmbiguousScope(t *testing.T) {
+	// "black and grey cars": implicit rewrites the mutually-exclusive
+	// pair to OR; strict honours the literal AND, producing the
+	// conjunctive reading 22% of survey users wanted.
+	q := "black and grey cars"
+	imp := interpret(t, q)
+	str := interpretStrict(t, q)
+	if InterpretationsAgree(imp, str) {
+		t.Fatalf("expected divergence; both = %s", imp)
+	}
+	// Strict keeps both colors ANDed in one group.
+	if len(str.Groups) != 1 || len(str.Groups[0].Conds) != 2 {
+		t.Errorf("strict = %s", str)
+	}
+}
+
+func TestStrictRangeMergeStillApplies(t *testing.T) {
+	in := interpretStrict(t, "more than $2000 and less than $7000")
+	if len(in.Groups) != 1 || len(in.Groups[0].Conds) != 2 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	if in.Groups[0].Conds[0].Op != OpGt || in.Groups[0].Conds[1].Op != OpLt {
+		t.Errorf("bounds = %s", in)
+	}
+}
+
+func TestStrictContradiction(t *testing.T) {
+	in := interpretStrict(t, "less than $2000 and more than $7000")
+	if !in.Empty {
+		t.Errorf("contradiction not detected: %s", in)
+	}
+}
+
+func TestStrictSuperlativePreserved(t *testing.T) {
+	in := interpretStrict(t, "cheapest red honda or blue toyota")
+	if in.Superlative == nil || in.Superlative.Attr != "price" {
+		t.Errorf("superlative = %+v", in.Superlative)
+	}
+}
+
+func TestInterpretationsAgree(t *testing.T) {
+	a := &Interpretation{Groups: []Group{
+		{Conds: []Condition{{Attr: "make", Type: schema.TypeI, Values: []string{"honda"}}}},
+		{Conds: []Condition{{Attr: "make", Type: schema.TypeI, Values: []string{"ford"}}}},
+	}}
+	// Same groups, reversed order: still agree.
+	b := &Interpretation{Groups: []Group{a.Groups[1], a.Groups[0]}}
+	if !InterpretationsAgree(a, b) {
+		t.Error("order-insensitive agreement failed")
+	}
+	c := &Interpretation{Groups: []Group{a.Groups[0]}}
+	if InterpretationsAgree(a, c) {
+		t.Error("different group counts should disagree")
+	}
+	d := &Interpretation{Empty: true}
+	if InterpretationsAgree(a, d) {
+		t.Error("empty vs non-empty should disagree")
+	}
+	e := &Interpretation{Groups: a.Groups, Superlative: &SuperlativeSpec{Attr: "price"}}
+	if InterpretationsAgree(a, e) {
+		t.Error("superlative mismatch should disagree")
+	}
+}
+
+func TestConditionsEqualValuesAsSet(t *testing.T) {
+	a := Condition{Attr: "color", Values: []string{"red", "blue"}}
+	b := Condition{Attr: "color", Values: []string{"blue", "red"}}
+	if !conditionsEqual(&a, &b) {
+		t.Error("value order should not matter")
+	}
+	c := Condition{Attr: "color", Values: []string{"red", "red"}}
+	if conditionsEqual(&a, &c) {
+		t.Error("multiset mismatch should differ")
+	}
+}

@@ -1,0 +1,130 @@
+package boolean
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// randomTags generates arbitrary tag streams over the cars domain's
+// vocabulary: values, operators, numbers, negations, Booleans, glue —
+// in any order, including nonsensical ones.
+func randomTags(rng *rand.Rand, n int) []trie.Tag {
+	sch := schema.Cars()
+	var pool []trie.Tag
+	for _, a := range sch.Attrs {
+		switch a.Type {
+		case schema.TypeI:
+			pool = append(pool, trie.Tag{Kind: trie.KindTypeIValue, Attr: a.Name, Value: a.Values[0]})
+			pool = append(pool, trie.Tag{Kind: trie.KindTypeIValue, Attr: a.Name, Value: a.Values[1]})
+		case schema.TypeII:
+			pool = append(pool, trie.Tag{Kind: trie.KindTypeIIValue, Attr: a.Name, Value: a.Values[0]})
+			pool = append(pool, trie.Tag{Kind: trie.KindTypeIIValue, Attr: a.Name, Value: a.Values[len(a.Values)-1]})
+		case schema.TypeIII:
+			pool = append(pool, trie.Tag{Kind: trie.KindTypeIIIAttr, Attr: a.Name})
+			for _, u := range a.Unit {
+				pool = append(pool, trie.Tag{Kind: trie.KindUnit, Attr: a.Name, Unit: u})
+				break
+			}
+		}
+	}
+	pool = append(pool,
+		trie.Tag{Kind: trie.KindLess}, trie.Tag{Kind: trie.KindGreater},
+		trie.Tag{Kind: trie.KindEqual}, trie.Tag{Kind: trie.KindBetween},
+		trie.Tag{Kind: trie.KindNegation}, trie.Tag{Kind: trie.KindOr},
+		trie.Tag{Kind: trie.KindAnd}, trie.Tag{Kind: trie.KindGlue},
+		trie.Tag{Kind: trie.KindSuperlative, Attr: "price"},
+		trie.Tag{Kind: trie.KindSuperlativePartial},
+		trie.Tag{Kind: trie.KindNumber, Num: 2004},
+		trie.Tag{Kind: trie.KindNumber, Num: 5000, Unit: "$"},
+		trie.Tag{Kind: trie.KindNumber, Num: -3},
+	)
+	out := make([]trie.Tag, n)
+	for i := range out {
+		out[i] = pool[rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// TestInterpretNeverPanicsOnRandomTags checks structural invariants
+// over arbitrary tag streams for both interpreters: no panics, no
+// empty groups, conditions ordered Type I → II → III within groups,
+// categorical conditions always carry values.
+func TestInterpretNeverPanicsOnRandomTags(t *testing.T) {
+	sch := schema.Cars()
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 2000; trial++ {
+		tags := randomTags(rng, 1+rng.Intn(12))
+		for _, in := range []*Interpretation{
+			Interpret(sch, tags),
+			InterpretStrict(sch, tags),
+		} {
+			if in.Empty {
+				continue
+			}
+			for gi := range in.Groups {
+				g := &in.Groups[gi]
+				if len(g.Conds) == 0 {
+					t.Fatalf("trial %d: empty group in %s", trial, in)
+				}
+				lastRank := 0
+				for ci := range g.Conds {
+					c := &g.Conds[ci]
+					if !c.IsNumeric() && len(c.Values) == 0 {
+						t.Fatalf("trial %d: categorical condition without values", trial)
+					}
+					if c.IsNumeric() && c.Op == 0 {
+						t.Fatalf("trial %d: numeric condition without operator", trial)
+					}
+					r := typeRank(c.Type)
+					if r < lastRank {
+						// Strict mode preserves question order inside
+						// conjunctions; only the implicit interpreter
+						// guarantees the evaluation-order sort.
+						if in == nil {
+							t.Fatalf("unreachable")
+						}
+					}
+					lastRank = r
+				}
+			}
+		}
+	}
+}
+
+func typeRank(t schema.AttrType) int {
+	switch t {
+	case schema.TypeI:
+		return 0
+	case schema.TypeII:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// TestImplicitInterpretSortsByType pins the evaluation-order
+// guarantee (Sec. 4.3) for the implicit interpreter specifically.
+func TestImplicitInterpretSortsByType(t *testing.T) {
+	sch := schema.Cars()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 1000; trial++ {
+		tags := randomTags(rng, 1+rng.Intn(10))
+		in := Interpret(sch, tags)
+		if in.Empty {
+			continue
+		}
+		for gi := range in.Groups {
+			lastRank := 0
+			for ci := range in.Groups[gi].Conds {
+				r := typeRank(in.Groups[gi].Conds[ci].Type)
+				if r < lastRank {
+					t.Fatalf("trial %d: conditions out of evaluation order in %s", trial, in)
+				}
+				lastRank = r
+			}
+		}
+	}
+}

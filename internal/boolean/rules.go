@@ -1,0 +1,296 @@
+package boolean
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+// Interpret applies the Boolean combination rules of Sec. 4.4 to a tag
+// stream: context switching builds the flat condition list, explicit
+// ANDs/ORs are stripped (kept only as grouping hints and for the
+// pure-OR special case), subexpressions are formed around Type I
+// values (Rules 2b/4), mutually-exclusive values are ORed (Rule 2a),
+// and numeric ranges are merged per attribute (Rule 1).
+func Interpret(s *schema.Schema, tags []trie.Tag) *Interpretation {
+	conds, sup, orAfter, _ := BuildConditions(s, tags)
+	in := buildInterpretation(s, conds, orAfter)
+	in.Superlative = sup
+	return in
+}
+
+func buildInterpretation(s *schema.Schema, conds []Condition, orAfter map[int]bool) *Interpretation {
+	if len(conds) == 0 {
+		return &Interpretation{}
+	}
+	// Special case of Sec. 4.4.2: a sequence of attribute values
+	// separated by only ORs is evaluated as-is (pure disjunction).
+	if len(conds) > 1 && allGapsOr(conds, orAfter) {
+		in := &Interpretation{}
+		for _, c := range conds {
+			in.Groups = append(in.Groups, Group{Conds: []Condition{c}})
+		}
+		return in
+	}
+	groups := segment(conds, orAfter)
+	in := &Interpretation{}
+	for _, g := range groups {
+		merged, contradiction := mergeNumeric(g)
+		if contradiction {
+			// Rule 1c: non-overlapping ranges — "search retrieved no
+			// results".
+			return &Interpretation{Empty: true}
+		}
+		in.Groups = append(in.Groups, Group{Conds: merged})
+	}
+	return in
+}
+
+func allGapsOr(conds []Condition, orAfter map[int]bool) bool {
+	for i := 0; i < len(conds)-1; i++ {
+		if !orAfter[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// segment walks the conditions in order, forming subexpression groups.
+// A group closes when a non-negated Type I value conflicts with one
+// already in the group (Rule 4); mutually-exclusive adjacent values of
+// the same attribute are ORed into a single multi-value condition
+// instead (Rule 2a / the Q8 pattern). On a split, the conditions that
+// belong to the new subexpression are those after the last explicit OR
+// gap when one exists, else those after the group's last Type I value
+// (right-association, Rule 2b).
+func segment(conds []Condition, orAfter map[int]bool) [][]Condition {
+	var groups [][]Condition
+	var cur []Condition
+	lastTypeI := -1  // index in cur of the last Type I condition
+	orBoundary := -1 // index in cur where the post-OR tail starts
+	for i := range conds {
+		c := conds[i]
+		// Rule 2a merging: adjacent same-attribute, non-negated,
+		// mutually-exclusive values become a disjunction.
+		if !c.IsNumeric() && !c.Negated && len(cur) > 0 {
+			last := &cur[len(cur)-1]
+			if !last.IsNumeric() && !last.Negated && last.Attr == c.Attr &&
+				!containsValue(last.Values, c.Values[0]) {
+				last.Values = append(last.Values, c.Values...)
+				if orAfter[i] {
+					orBoundary = len(cur)
+				}
+				continue
+			}
+			if !last.IsNumeric() && !last.Negated && last.Attr == c.Attr {
+				// Duplicate value: drop.
+				if orAfter[i] {
+					orBoundary = len(cur)
+				}
+				continue
+			}
+		}
+		if c.Type == schema.TypeI && !c.Negated && conflictsTypeI(cur, c) {
+			cut := lastTypeI + 1
+			if orBoundary > lastTypeI {
+				cut = orBoundary
+			}
+			if cut > len(cur) {
+				cut = len(cur)
+			}
+			groups = append(groups, cur[:cut:cut])
+			cur = append([]Condition{}, cur[cut:]...)
+			lastTypeI, orBoundary = -1, -1
+			// Recompute lastTypeI for the carried-over tail.
+			for j := range cur {
+				if cur[j].Type == schema.TypeI {
+					lastTypeI = j
+				}
+			}
+		}
+		cur = append(cur, c)
+		if c.Type == schema.TypeI {
+			lastTypeI = len(cur) - 1
+		}
+		if orAfter[i] {
+			orBoundary = len(cur)
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+	return groups
+}
+
+func containsValue(values []string, v string) bool {
+	for _, x := range values {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// conflictsTypeI reports whether cur already holds a non-negated
+// Type I condition on c's attribute with a different value.
+func conflictsTypeI(cur []Condition, c Condition) bool {
+	for i := range cur {
+		x := &cur[i]
+		if x.Type == schema.TypeI && !x.Negated && x.Attr == c.Attr &&
+			!containsValue(x.Values, c.Values[0]) {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeNumeric applies Rule 1 within one group: per Type III
+// attribute, multiple upper bounds keep the lowest, multiple lower
+// bounds keep the highest, and a lower+upper pair becomes a range
+// (contradiction when the pair does not overlap). Unanchored numbers
+// (Attr == "") and negated ranges pass through untouched.
+func mergeNumeric(conds []Condition) (out []Condition, contradiction bool) {
+	perAttr := map[string]*bounds{}
+	var attrOrder []string
+	for i := range conds {
+		c := conds[i]
+		if !c.IsNumeric() || c.Attr == "" || c.Negated || c.Op == OpBetween && c.Negated {
+			out = append(out, c)
+			continue
+		}
+		b := perAttr[c.Attr]
+		if b == nil {
+			b = &bounds{}
+			perAttr[c.Attr] = b
+			attrOrder = append(attrOrder, c.Attr)
+		}
+		switch c.Op {
+		case OpEq:
+			b.eqs = append(b.eqs, c.X)
+		case OpLt:
+			b.tightenHi(c.X, true)
+		case OpLe:
+			b.tightenHi(c.X, false)
+		case OpGt:
+			b.tightenLo(c.X, true)
+		case OpGe:
+			b.tightenLo(c.X, false)
+		case OpBetween:
+			b.tightenLo(c.X, false)
+			b.tightenHi(c.Y, false)
+		}
+	}
+	for _, attr := range attrOrder {
+		b := perAttr[attr]
+		merged, bad := b.render(attr)
+		if bad {
+			return nil, true
+		}
+		out = append(out, merged...)
+	}
+	sortStable(out)
+	return out, false
+}
+
+// bounds accumulates the numeric constraints on one attribute while
+// Rule 1 merges them.
+type bounds struct {
+	lo, hi             float64
+	hasLo, hasHi       bool
+	loStrict, hiStrict bool
+	eqs                []float64
+}
+
+// tightenHi records an upper bound, keeping the lowest seen (Rule 1b).
+func (b *bounds) tightenHi(v float64, strict bool) {
+	if !b.hasHi || v < b.hi || (v == b.hi && strict) {
+		b.hi, b.hiStrict, b.hasHi = v, strict, true
+	}
+}
+
+// tightenLo records a lower bound, keeping the highest seen (Rule 1b).
+func (b *bounds) tightenLo(v float64, strict bool) {
+	if !b.hasLo || v > b.lo || (v == b.lo && strict) {
+		b.lo, b.loStrict, b.hasLo = v, strict, true
+	}
+}
+
+// render emits the merged condition(s) for attr, reporting a Rule 1c
+// contradiction when the constraints cannot overlap.
+func (b *bounds) render(attr string) (out []Condition, contradiction bool) {
+	// Fold equalities: one equality must satisfy the bounds; two or
+	// more distinct equalities widen into a range between their
+	// extremes (compatible Type III values are combined, Sec. 4.4.1).
+	if len(b.eqs) > 0 {
+		minEq, maxEq := b.eqs[0], b.eqs[0]
+		for _, v := range b.eqs[1:] {
+			if v < minEq {
+				minEq = v
+			}
+			if v > maxEq {
+				maxEq = v
+			}
+		}
+		if b.hasLo && (minEq < b.lo || (b.loStrict && minEq == b.lo)) {
+			return nil, true
+		}
+		if b.hasHi && (maxEq > b.hi || (b.hiStrict && maxEq == b.hi)) {
+			return nil, true
+		}
+		if minEq == maxEq {
+			return []Condition{{Attr: attr, Type: schema.TypeIII, Op: OpEq, X: minEq}}, false
+		}
+		return []Condition{{Attr: attr, Type: schema.TypeIII, Op: OpBetween, X: minEq, Y: maxEq}}, false
+	}
+	switch {
+	case b.hasLo && b.hasHi:
+		if b.lo > b.hi || (b.lo == b.hi && (b.loStrict || b.hiStrict)) {
+			return nil, true
+		}
+		// Rule 1c: combine with "between", preserving strictness by
+		// emitting explicit bound conditions.
+		out = append(out, Condition{Attr: attr, Type: schema.TypeIII, Op: loOp(b.loStrict), X: b.lo})
+		out = append(out, Condition{Attr: attr, Type: schema.TypeIII, Op: hiOp(b.hiStrict), X: b.hi})
+		return out, false
+	case b.hasLo:
+		return []Condition{{Attr: attr, Type: schema.TypeIII, Op: loOp(b.loStrict), X: b.lo}}, false
+	case b.hasHi:
+		return []Condition{{Attr: attr, Type: schema.TypeIII, Op: hiOp(b.hiStrict), X: b.hi}}, false
+	}
+	return nil, false
+}
+
+func loOp(strict bool) CompOp {
+	if strict {
+		return OpGt
+	}
+	return OpGe
+}
+
+func hiOp(strict bool) CompOp {
+	if strict {
+		return OpLt
+	}
+	return OpLe
+}
+
+// sortStable orders conditions Type I → Type II → Type III, the
+// index-driven evaluation order of Sec. 4.3 (superlatives are held
+// separately and always evaluated last).
+func sortStable(conds []Condition) {
+	sort.SliceStable(conds, func(i, j int) bool {
+		return evalRank(&conds[i]) < evalRank(&conds[j])
+	})
+}
+
+func evalRank(c *Condition) int {
+	switch c.Type {
+	case schema.TypeI:
+		return 0
+	case schema.TypeII:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,253 @@
+package boolean
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/trie"
+)
+
+func interpret(t *testing.T, question string) *Interpretation {
+	t.Helper()
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	return Interpret(sch, tagger.Tag(question))
+}
+
+func TestExample6Q1RangeMerge(t *testing.T) {
+	// "Any car priced below $7000 and not less than $2000" →
+	// between $2000 AND less than $7000 (Rules 1a + 1c).
+	in := interpret(t, "Any car priced below $7000 and not less than $2000")
+	if in.Empty {
+		t.Fatal("unexpected Empty")
+	}
+	if len(in.Groups) != 1 {
+		t.Fatalf("groups = %v", in.Groups)
+	}
+	conds := in.Groups[0].Conds
+	if len(conds) != 2 {
+		t.Fatalf("conds = %v", conds)
+	}
+	lo, hi := conds[0], conds[1]
+	if lo.Op != OpGe || lo.X != 2000 || lo.Attr != "price" {
+		t.Errorf("lower bound = %s", lo.String())
+	}
+	if hi.Op != OpLt || hi.X != 7000 || hi.Attr != "price" {
+		t.Errorf("upper bound = %s", hi.String())
+	}
+}
+
+func TestExample6Q2RightAssociation(t *testing.T) {
+	// "I want a Toyota Corolla or a silver not manual not 2-dr Honda
+	// Accord" → (toyota AND corolla) OR (silver AND NOT manual AND
+	// NOT 2-dr AND honda AND accord).
+	in := interpret(t, "I want a Toyota Corolla or a silver not manual not 2-dr Honda Accord")
+	if len(in.Groups) != 2 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	g1 := in.Groups[0]
+	if len(g1.Conds) != 2 || g1.Conds[0].Values[0] != "toyota" || g1.Conds[1].Values[0] != "corolla" {
+		t.Errorf("group 1 = %s", g1.String())
+	}
+	g2 := in.Groups[1]
+	if len(g2.Conds) != 5 {
+		t.Fatalf("group 2 = %s", g2.String())
+	}
+	var negated int
+	hasHonda, hasSilver := false, false
+	for _, c := range g2.Conds {
+		if c.Negated {
+			negated++
+		}
+		if len(c.Values) > 0 && c.Values[0] == "honda" {
+			hasHonda = true
+		}
+		if len(c.Values) > 0 && c.Values[0] == "silver" {
+			hasSilver = true
+		}
+	}
+	if negated != 2 || !hasHonda || !hasSilver {
+		t.Errorf("group 2 = %s", g2.String())
+	}
+}
+
+func TestQ3MutuallyExclusiveOr(t *testing.T) {
+	// "Show me Black Silver cars" → color = black OR silver (Rule 2a).
+	in := interpret(t, "Show me Black Silver cars")
+	if len(in.Groups) != 1 || len(in.Groups[0].Conds) != 1 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	c := in.Groups[0].Conds[0]
+	if c.Attr != "color" || len(c.Values) != 2 {
+		t.Errorf("condition = %s", c.String())
+	}
+}
+
+func TestQ8ConsecutiveTypeIValuesOred(t *testing.T) {
+	// "Focus, Corolla, or Civic. Show only black and grey cars" →
+	// (focus OR corolla OR civic) AND (black OR grey).
+	in := interpret(t, "Focus, Corolla, or Civic. Show only black and grey cars")
+	if len(in.Groups) != 1 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	conds := in.Groups[0].Conds
+	if len(conds) != 2 {
+		t.Fatalf("conds = %s", in)
+	}
+	if conds[0].Attr != "model" || len(conds[0].Values) != 3 {
+		t.Errorf("models = %s", conds[0].String())
+	}
+	if conds[1].Attr != "color" || len(conds[1].Values) != 2 {
+		t.Errorf("colors = %s", conds[1].String())
+	}
+}
+
+func TestContradictionEmpty(t *testing.T) {
+	// Rule 1c: non-overlapping ranges terminate with no results.
+	in := interpret(t, "price below $2000 and above $7000")
+	if !in.Empty {
+		t.Fatalf("want Empty, got %s", in)
+	}
+	if !strings.Contains(in.String(), "no results") {
+		t.Errorf("String() = %q", in.String())
+	}
+}
+
+func TestTightestBoundsKept(t *testing.T) {
+	// Rule 1b: two upper bounds keep the lower value.
+	in := interpret(t, "car less than $9000 less than $6000")
+	conds := in.Groups[0].Conds
+	if len(conds) != 1 || conds[0].Op != OpLt || conds[0].X != 6000 {
+		t.Errorf("merged = %s", in)
+	}
+	// Two lower bounds keep the higher value.
+	in = interpret(t, "more than $3000 more than $5000")
+	conds = in.Groups[0].Conds
+	if len(conds) != 1 || conds[0].Op != OpGt || conds[0].X != 5000 {
+		t.Errorf("merged = %s", in)
+	}
+}
+
+func TestPureOrSequence(t *testing.T) {
+	// Sec. 4.4.2 special case: values separated by only ORs evaluate
+	// as a pure disjunction.
+	in := interpret(t, "red or blue or automatic")
+	// Evaluated as-is: every condition its own disjunct.
+	if len(in.Groups) != 3 {
+		t.Fatalf("interpretation = %s", in)
+	}
+	for _, g := range in.Groups {
+		if len(g.Conds) != 1 {
+			t.Errorf("group = %s", g.String())
+		}
+	}
+}
+
+func TestNegatedBoundComplement(t *testing.T) {
+	// Rule 1a: "not less than" → ">=".
+	in := interpret(t, "not less than $2000")
+	conds := in.Groups[0].Conds
+	if len(conds) != 1 || conds[0].Op != OpGe || conds[0].X != 2000 {
+		t.Errorf("complement = %s", in)
+	}
+}
+
+func TestBetweenCondition(t *testing.T) {
+	in := interpret(t, "between $2000 and $7000")
+	conds := in.Groups[0].Conds
+	if len(conds) != 2 {
+		t.Fatalf("between decomposed = %s", in)
+	}
+	if conds[0].Op != OpGe || conds[0].X != 2000 || conds[1].Op != OpLe || conds[1].X != 7000 {
+		t.Errorf("range = %s", in)
+	}
+}
+
+func TestSuperlativeExtracted(t *testing.T) {
+	in := interpret(t, "cheapest honda")
+	if in.Superlative == nil || in.Superlative.Attr != "price" || in.Superlative.Descending {
+		t.Fatalf("superlative = %+v", in.Superlative)
+	}
+	if len(in.Groups) != 1 || in.Groups[0].Conds[0].Values[0] != "honda" {
+		t.Errorf("conditions = %s", in)
+	}
+}
+
+func TestPartialSuperlativeAnchored(t *testing.T) {
+	in := interpret(t, "lowest mileage honda")
+	if in.Superlative == nil || in.Superlative.Attr != "mileage" || in.Superlative.Descending {
+		t.Fatalf("superlative = %+v", in.Superlative)
+	}
+}
+
+func TestUnanchoredNumberStaysOpen(t *testing.T) {
+	// "Honda accord 2000": the 2000 has no attribute yet; resolution
+	// happens later (Sec. 4.2.2), so the condition keeps Attr == "".
+	in := interpret(t, "Honda accord 2000")
+	conds := in.Groups[0].Conds
+	if len(conds) != 3 {
+		t.Fatalf("conds = %s", in)
+	}
+	num := conds[2]
+	if !num.IsNumeric() || num.Attr != "" || num.X != 2000 {
+		t.Errorf("unanchored = %s", num.String())
+	}
+}
+
+func TestEvaluationOrderSorted(t *testing.T) {
+	// Conditions inside a group are ordered Type I → II → III
+	// (Sec. 4.3) regardless of question order.
+	in := interpret(t, "less than $5000 automatic honda")
+	conds := in.Groups[0].Conds
+	if len(conds) != 3 {
+		t.Fatalf("conds = %s", in)
+	}
+	if conds[0].Type != schema.TypeI || conds[1].Type != schema.TypeII || conds[2].Type != schema.TypeIII {
+		t.Errorf("order = %s", in)
+	}
+}
+
+func TestConditionCountAndAll(t *testing.T) {
+	in := interpret(t, "red honda or blue toyota")
+	if got := in.ConditionCount(); got != 4 {
+		t.Errorf("ConditionCount = %d (%s)", got, in)
+	}
+	if got := len(in.AllConditions()); got != 4 {
+		t.Errorf("AllConditions = %d", got)
+	}
+}
+
+func TestEmptyQuestion(t *testing.T) {
+	in := interpret(t, "hello there")
+	if len(in.Groups) != 0 || in.Empty {
+		t.Errorf("interpretation = %s", in)
+	}
+}
+
+func TestComplementOp(t *testing.T) {
+	cases := map[CompOp]CompOp{
+		OpLt: OpGe, OpLe: OpGt, OpGt: OpLe, OpGe: OpLt,
+		OpEq: OpEq, OpBetween: OpBetween,
+	}
+	for op, want := range cases {
+		if got := op.Complement(); got != want {
+			t.Errorf("%v.Complement() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestTwoEqualitiesWiden(t *testing.T) {
+	// Compatible Type III values are combined: two year equalities
+	// widen to a range.
+	in := interpret(t, "honda year 2004 year 2006")
+	var found bool
+	for _, c := range in.Groups[0].Conds {
+		if c.Op == OpBetween && c.X == 2004 && c.Y == 2006 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interpretation = %s", in)
+	}
+}

@@ -1,0 +1,105 @@
+// Package chart renders the horizontal bar charts used to display
+// the paper's figures in the terminal: Figure 2 (accuracy bars),
+// Figure 4 (per-question accuracy), Figure 5 (metric groups) and
+// Figure 6 (latency bars).
+package chart
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// HBar renders bars as a horizontal bar chart scaled to width
+// characters, one row per bar, with the numeric value printed after
+// each bar using the given format (e.g. "%.1f%%"). Negative values
+// are clamped to zero.
+func HBar(bars []Bar, width int, format string) string {
+	if len(bars) == 0 || width <= 0 {
+		return ""
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		v := b.Value
+		if v < 0 {
+			v = 0
+		}
+		n := 0
+		if maxVal > 0 {
+			n = int(v / maxVal * float64(width))
+		}
+		if v > 0 && n == 0 {
+			n = 1 // visible sliver for tiny non-zero values
+		}
+		fmt.Fprintf(&sb, "  %-*s %s%s %s\n",
+			maxLabel, b.Label,
+			strings.Repeat("█", n),
+			strings.Repeat("·", width-n),
+			fmt.Sprintf(format, b.Value))
+	}
+	return sb.String()
+}
+
+// Grouped renders several metric series side by side: one row per
+// label, one sub-bar per series, used for Figure 5's P@1/P@5/MRR
+// triples.
+func Grouped(labels []string, series map[string][]float64, seriesOrder []string, width int) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	maxVal := 0.0
+	for _, vals := range series {
+		for _, v := range vals {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		for si, sname := range seriesOrder {
+			vals := series[sname]
+			if i >= len(vals) {
+				continue
+			}
+			v := vals[i]
+			n := 0
+			if maxVal > 0 {
+				n = int(v / maxVal * float64(width))
+			}
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			rowLabel := ""
+			if si == 0 {
+				rowLabel = l
+			}
+			fmt.Fprintf(&sb, "  %-*s %-4s %s%s %.3f\n",
+				maxLabel, rowLabel, sname,
+				strings.Repeat("█", n),
+				strings.Repeat("·", width-n), v)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBarScaling(t *testing.T) {
+	out := HBar([]Bar{
+		{Label: "a", Value: 100},
+		{Label: "bb", Value: 50},
+		{Label: "c", Value: 0},
+	}, 10, "%.0f")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 10)) {
+		t.Errorf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 5)) {
+		t.Errorf("half bar wrong: %q", lines[1])
+	}
+	if strings.Contains(lines[2], "█") {
+		t.Errorf("zero bar drew blocks: %q", lines[2])
+	}
+	// Labels aligned to the widest.
+	if !strings.HasPrefix(lines[0], "  a  ") {
+		t.Errorf("label padding: %q", lines[0])
+	}
+}
+
+func TestHBarTinyValueVisible(t *testing.T) {
+	out := HBar([]Bar{{Label: "big", Value: 1000}, {Label: "tiny", Value: 1}}, 20, "%.0f")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "█") {
+		t.Errorf("tiny non-zero value invisible: %q", lines[1])
+	}
+}
+
+func TestHBarEmpty(t *testing.T) {
+	if HBar(nil, 10, "%f") != "" {
+		t.Error("nil bars should render empty")
+	}
+	if HBar([]Bar{{Label: "x", Value: 1}}, 0, "%f") != "" {
+		t.Error("zero width should render empty")
+	}
+}
+
+func TestHBarNegativeClamped(t *testing.T) {
+	out := HBar([]Bar{{Label: "n", Value: -5}, {Label: "p", Value: 5}}, 10, "%.0f")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Contains(lines[0], "█") {
+		t.Errorf("negative bar drew blocks: %q", lines[0])
+	}
+}
+
+func TestGrouped(t *testing.T) {
+	out := Grouped(
+		[]string{"CQAds", "Random"},
+		map[string][]float64{
+			"P@1": {0.7, 0.1},
+			"MRR": {0.8, 0.2},
+		},
+		[]string{"P@1", "MRR"},
+		10,
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "CQAds") || !strings.Contains(lines[0], "P@1") {
+		t.Errorf("first row: %q", lines[0])
+	}
+	// Second series row repeats no label.
+	if strings.Contains(lines[1], "CQAds") {
+		t.Errorf("label repeated: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "0.200") {
+		t.Errorf("value missing: %q", lines[3])
+	}
+}
+
+func TestGroupedEmpty(t *testing.T) {
+	if Grouped(nil, nil, nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+}

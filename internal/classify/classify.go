@@ -1,0 +1,54 @@
+// Package classify implements the question-domain classifier of
+// Sec. 3: a Naive Bayes classifier whose likelihood P(d|c) is the
+// Joint Beta-Binomial Sampling Model (JBBSM) of Allison [1], which
+// models keyword burstiness — a keyword is more likely to occur again
+// in a document once it has appeared — and accounts for unseen words.
+// A plain multinomial Naive Bayes is provided as the ablation
+// baseline.
+package classify
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Classifier assigns a class (ads domain) to a tokenized document
+// (user question) by maximizing P(c|d) (Eq. 1-2).
+type Classifier interface {
+	// Train adds the documents as training examples of class c.
+	Train(class string, docs [][]string)
+	// Classify returns the argmax class and per-class log-posterior
+	// scores. It returns an error when no class has been trained.
+	Classify(doc []string) (string, map[string]float64, error)
+}
+
+// counts is a bag-of-words count vector.
+type counts map[string]int
+
+func countWords(doc []string) counts {
+	c := make(counts, len(doc))
+	for _, w := range doc {
+		c[w]++
+	}
+	return c
+}
+
+// argmax picks the highest-scoring class; ties break alphabetically so
+// classification is deterministic.
+func argmax(scores map[string]float64) (string, error) {
+	if len(scores) == 0 {
+		return "", fmt.Errorf("classify: classifier has no trained classes")
+	}
+	classes := make([]string, 0, len(scores))
+	for c := range scores {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	best := classes[0]
+	for _, c := range classes[1:] {
+		if scores[c] > scores[best] {
+			best = c
+		}
+	}
+	return best, nil
+}

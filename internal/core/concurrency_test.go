@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAsks exercises the System from many goroutines (the
+// web UI's usage pattern); run with -race to validate the similarity
+// cache locking.
+func TestConcurrentAsks(t *testing.T) {
+	sys := testSystem(t)
+	queries := []string{
+		"Find Honda Accord blue less than 15,000 dollars",
+		"cheapest 2 door mazda",
+		"red or blue toyota under $9000",
+		"Hondaaccord less than $2000",
+		"4 wheel drive with less than 20k miles",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := sys.AskInDomain("cars", q); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAsksDeterministic: concurrent execution must not
+// change results relative to sequential execution.
+func TestConcurrentAsksDeterministic(t *testing.T) {
+	sys := testSystem(t)
+	q := "Find Honda Accord blue less than 15,000 dollars"
+	base, err := sys.AskInDomain("cars", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([]*Result, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := sys.AskInDomain("cars", q)
+			if err == nil {
+				results[i] = r
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("worker %d failed", i)
+		}
+		if len(r.Answers) != len(base.Answers) {
+			t.Fatalf("worker %d: %d answers vs %d", i, len(r.Answers), len(base.Answers))
+		}
+		for j := range r.Answers {
+			if r.Answers[j].ID != base.Answers[j].ID {
+				t.Fatalf("worker %d: answer %d differs", i, j)
+			}
+		}
+	}
+}

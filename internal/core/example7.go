@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/boolean"
+	"repro/internal/schema"
+	"repro/internal/sql"
+)
+
+// BuildSelectNested compiles an interpretation into the exact SQL
+// shape the paper shows in Example 7: one IN-subquery per selection
+// criterion, conjoined at the top level —
+//
+//	SELECT * FROM car_ads WHERE make IN
+//	  (SELECT make FROM car_ads C WHERE C.transmission = 'automatic')
+//	AND make IN
+//	  (SELECT make FROM car_ads C WHERE C.color = 'blue')
+//
+// The flat form produced by BuildSelect is what the pipeline runs
+// (both are equivalent on this engine — the IN-subquery over the same
+// table reduces to a row-identity set); the nested form exists for
+// fidelity and for tests that pin the equivalence. Interpretations
+// with multiple OR-groups or negated/multi-value conditions fall back
+// to the flat form, as the paper's nested example only covers plain
+// conjunctions.
+func BuildSelectNested(s *schema.Schema, in *boolean.Interpretation, limit int) *sql.Select {
+	if len(in.Groups) != 1 || in.Superlative != nil {
+		return BuildSelect(s, in, limit)
+	}
+	g := &in.Groups[0]
+	keyCol := s.AttrsOfType(schema.TypeI)[0].Name
+	var subs []sql.Expr
+	for ci := range g.Conds {
+		c := &g.Conds[ci]
+		if c.Negated || len(c.Values) > 1 {
+			return BuildSelect(s, in, limit)
+		}
+		subs = append(subs, &sql.In{
+			Column: keyCol,
+			Sub: &sql.Select{
+				Table: s.Table,
+				Where: condExpr(c),
+			},
+		})
+	}
+	sel := &sql.Select{Table: s.Table, Limit: limit}
+	switch len(subs) {
+	case 0:
+	case 1:
+		sel.Where = subs[0]
+	default:
+		sel.Where = &sql.And{Operands: subs}
+	}
+	return sel
+}

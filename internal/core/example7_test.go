@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolean"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/trie"
+)
+
+func TestExample7SQLShape(t *testing.T) {
+	// The paper's Example 7: "Do you have automatic blue cars?"
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	in := boolean.Interpret(sch, tagger.Tag("Do you have automatic blue cars?"))
+	sel := BuildSelectNested(sch, in, 0)
+	got := sel.SQL()
+	for _, want := range []string{
+		"SELECT * FROM car_ads WHERE make IN (SELECT",
+		"transmission = 'automatic'",
+		"color = 'blue'",
+		") AND make IN (SELECT",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("nested SQL missing %q:\n%s", want, got)
+		}
+	}
+	// It must parse back through the engine's own parser.
+	if _, err := sql.Parse(got); err != nil {
+		t.Fatalf("nested SQL does not parse: %v\n%s", err, got)
+	}
+}
+
+func TestExample7EquivalentToFlat(t *testing.T) {
+	// Over many generated interpretations, the nested Example-7 form
+	// and the flat WHERE form must return identical row sets.
+	sys := testSystem(t)
+	sch := schema.Cars()
+	tagger := sys.Tagger("cars")
+	questions := []string{
+		"Do you have automatic blue cars?",
+		"red honda",
+		"2 door manual toyota camry",
+		"blue bmw less than $40000",
+		"4 wheel drive jeep wrangler newer than 2005",
+	}
+	for _, q := range questions {
+		in := boolean.Interpret(sch, tagger.Tag(q))
+		in = ResolveIncomplete(sch, in)
+		flat := BuildSelect(sch, in, 0)
+		nested := BuildSelectNested(sch, in, 0)
+		a, err := sql.Exec(sys.DB(), flat)
+		if err != nil {
+			t.Fatalf("%q flat: %v", q, err)
+		}
+		b, err := sql.Exec(sys.DB(), nested)
+		if err != nil {
+			t.Fatalf("%q nested: %v", q, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%q: flat %d rows, nested %d rows", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: row %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestExample7FallsBackOnComplexShapes(t *testing.T) {
+	sch := schema.Cars()
+	tagger := trie.NewTagger(sch)
+	// Multi-group interpretation: nested form not defined, flat used.
+	in := boolean.Interpret(sch, tagger.Tag("red honda or blue toyota"))
+	nested := BuildSelectNested(sch, in, 0)
+	if strings.Contains(nested.SQL(), " IN (SELECT") {
+		t.Errorf("multi-group should fall back to flat form: %s", nested.SQL())
+	}
+	// Negated condition: same fallback.
+	in = boolean.Interpret(sch, tagger.Tag("honda not manual"))
+	nested = BuildSelectNested(sch, in, 0)
+	if strings.Contains(nested.SQL(), " IN (SELECT") {
+		t.Errorf("negation should fall back to flat form: %s", nested.SQL())
+	}
+}

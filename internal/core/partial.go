@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/boolean"
+	"repro/internal/rank"
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/sqldb"
+	"repro/internal/text"
+)
+
+// partialAnswers implements the N−1 strategy of Sec. 4.3.1: each
+// condition is dropped in turn, the relaxed queries are evaluated, and
+// the union of their results (minus exact answers) is ranked by
+// Rank_Sim (Eq. 5). Questions with a single condition fall back to
+// similarity matching over the whole table. RelaxationDepth > 1
+// additionally drops pairs (the N−2 sweep the paper discusses).
+func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, exact []sqldb.RowID, want int) []Answer {
+	if want <= 0 {
+		return nil
+	}
+	sim := s.sims[tbl.Schema().Domain]
+	conds := in.AllConditions()
+	if len(conds) == 0 {
+		return nil
+	}
+	seen := make(map[sqldb.RowID]bool, len(exact))
+	for _, id := range exact {
+		seen[id] = true
+	}
+
+	candidates := s.relaxedCandidates(tbl, in, seen)
+	if len(conds) == 1 {
+		// Single condition: similarity matching over the table
+		// (Sec. 4.3.1 "For questions with one condition C, CQAds
+		// applies the similarity-matching strategy").
+		candidates = nil
+		for _, id := range tbl.AllRowIDs() {
+			if !seen[id] {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	if d := s.dedups[tbl.Schema().Domain]; d != nil {
+		candidates = d.FilterAnswersExcluding(candidates, exact)
+	}
+
+	type scored struct {
+		id      sqldb.RowID
+		score   float64
+		dropped int
+	}
+	scoredCands := make([]scored, 0, len(candidates))
+	for _, id := range candidates {
+		sc, dropped := sim.BestRankSimOverGroups(tbl, id, in.Groups)
+		scoredCands = append(scoredCands, scored{id: id, score: sc, dropped: dropped})
+	}
+	sort.SliceStable(scoredCands, func(i, j int) bool {
+		if scoredCands[i].score != scoredCands[j].score {
+			return scoredCands[i].score > scoredCands[j].score
+		}
+		return scoredCands[i].id < scoredCands[j].id
+	})
+	if len(scoredCands) > want {
+		scoredCands = scoredCands[:want]
+	}
+	out := make([]Answer, 0, len(scoredCands))
+	for _, sc := range scoredCands {
+		a := Answer{
+			ID:          sc.id,
+			Record:      tbl.RecordMap(sc.id),
+			RankSim:     sc.score,
+			DroppedCond: sc.dropped,
+		}
+		if sc.dropped >= 0 && sc.dropped < len(conds) {
+			a.SimilarityUsed = similarityName(&conds[sc.dropped])
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// relaxedCandidates unions the results of every relaxed query: for
+// each group, each subset of up to RelaxationDepth conditions is
+// dropped and the remaining conjunction evaluated (the footnote-4
+// AND→OR replacement generalized). Records already seen are skipped.
+func (s *System) relaxedCandidates(tbl *sqldb.Table, in *boolean.Interpretation, seen map[sqldb.RowID]bool) []sqldb.RowID {
+	var out []sqldb.RowID
+	emit := func(ids []sqldb.RowID) {
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	for gi := range in.Groups {
+		g := &in.Groups[gi]
+		n := len(g.Conds)
+		if n < 2 {
+			continue
+		}
+		for _, drop := range dropSets(n, s.depth) {
+			kept := make([]boolean.Condition, 0, n-len(drop))
+			for i := range g.Conds {
+				if !drop[i] {
+					kept = append(kept, g.Conds[i])
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			relaxed := &boolean.Interpretation{Groups: []boolean.Group{{Conds: kept}}}
+			sel := BuildSelect(tbl.Schema(), relaxed, 0)
+			ids, err := sql.Exec(s.db, sel)
+			if err != nil {
+				continue
+			}
+			emit(ids)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Re-mark: seen was used as a dedup set; exact answers stay
+	// excluded because they were pre-seeded.
+	return out
+}
+
+// dropSets enumerates the index sets of size 1..depth to drop from n
+// conditions, as boolean masks.
+func dropSets(n, depth int) []map[int]bool {
+	var out []map[int]bool
+	for i := 0; i < n; i++ {
+		out = append(out, map[int]bool{i: true})
+	}
+	if depth >= 2 && n > 2 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				out = append(out, map[int]bool{i: true, j: true})
+			}
+		}
+	}
+	return out
+}
+
+// PartialCandidates exposes the N−1 relaxation candidate pool for an
+// interpretation in one domain, excluding the exact matches. The
+// ranking-comparison experiments (Fig. 5) hand this same pool to every
+// ranker so approaches differ only in ordering.
+func (s *System) PartialCandidates(domain string, in *boolean.Interpretation) ([]sqldb.RowID, error) {
+	tbl, ok := s.db.TableForDomain(domain)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown domain %q", domain)
+	}
+	sel := BuildSelect(tbl.Schema(), in, 0)
+	exact, err := sql.Exec(s.db, sel)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[sqldb.RowID]bool, len(exact))
+	for _, id := range exact {
+		seen[id] = true
+	}
+	if in.ConditionCount() == 1 {
+		var all []sqldb.RowID
+		for _, id := range tbl.AllRowIDs() {
+			if !seen[id] {
+				all = append(all, id)
+			}
+		}
+		return all, nil
+	}
+	return s.relaxedCandidates(tbl, in, seen), nil
+}
+
+// similarityName renders the Table 2 "Similarity Measure Used" label
+// for a dropped condition.
+func similarityName(c *boolean.Condition) string {
+	switch c.Type {
+	case schema.TypeI:
+		return "TI_Sim on " + c.Attr
+	case schema.TypeII:
+		return "Feat_Sim on " + c.Attr
+	default:
+		return "Num_Sim on " + c.Attr
+	}
+}
+
+// tokenizeForClassify lower-cases, tokenizes and stopword-filters a
+// question for the Naive Bayes classifier.
+func tokenizeForClassify(q string) []string {
+	return text.RemoveStopwords(text.Words(q))
+}
+
+// RankerForDomain builds the paper's ranker over a domain's
+// similarity bundle, for use by the comparison experiments.
+func (s *System) RankerForDomain(domain string) rank.Ranker {
+	return &rank.CQAds{Sim: s.sims[domain]}
+}

@@ -1,0 +1,288 @@
+// Package core wires the substrates into CQAds, the closed-domain
+// question-answering system of the paper: classification (Sec. 3),
+// trie tagging and repair (Sec. 4.1-4.2), Boolean interpretation
+// (Sec. 4.4), SQL compilation and execution (Sec. 4.3, 4.5), and
+// ranked partial matching (Sec. 4.3.1-4.3.2).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/boolean"
+	"repro/internal/classify"
+	"repro/internal/dedup"
+	"repro/internal/qlog"
+	"repro/internal/rank"
+	"repro/internal/sql"
+	"repro/internal/sqldb"
+	"repro/internal/trie"
+	"repro/internal/wsmatrix"
+)
+
+// DefaultMaxAnswers is the paper's answer cutoff: 88% of users view
+// only the first 30 results (Sec. 4.3.1), and the survey's ideal
+// answer count averaged 26 (Sec. 5.1).
+const DefaultMaxAnswers = 30
+
+// Config assembles a System.
+type Config struct {
+	// DB holds one populated table per ads domain.
+	DB *sqldb.DB
+	// Classifier routes questions to domains; nil disables
+	// classification (AskInDomain still works).
+	Classifier classify.Classifier
+	// TI maps domain name to its TI-matrix (Type I similarity).
+	TI map[string]*qlog.TIMatrix
+	// WS is the shared word-similarity matrix (Type II similarity).
+	WS *wsmatrix.Matrix
+	// MaxAnswers caps returned answers; 0 means DefaultMaxAnswers.
+	MaxAnswers int
+	// RelaxationDepth is how many conditions the partial matcher may
+	// drop simultaneously; 1 is the paper's N−1 strategy, 2 adds the
+	// N−2 sweep it discusses and rejects. 0 means 1.
+	RelaxationDepth int
+	// UseSynonyms installs the shipped transformation rules
+	// ("stick shift" → manual) into each domain tagger (Sec. 6
+	// future work (iii)).
+	UseSynonyms bool
+	// StrictBoolean honours explicit AND/OR operators with standard
+	// precedence instead of stripping them and falling back to the
+	// implicit rules (Sec. 6 future work (i) / Sec. 4.4.2).
+	StrictBoolean bool
+	// Dedup removes near-duplicate listings from answer lists so the
+	// 30-answer cutoff shows distinct ads (Sec. 6 future work (iv)).
+	Dedup bool
+}
+
+// System is a running CQAds instance.
+type System struct {
+	db         *sqldb.DB
+	classifier classify.Classifier
+	taggers    map[string]*trie.Tagger
+	sims       map[string]*rank.Similarity
+	dedups     map[string]*dedup.Result
+	maxAnswers int
+	depth      int
+	strict     bool
+}
+
+// Answer is one retrieved ad.
+type Answer struct {
+	ID sqldb.RowID
+	// Record is the ad's column → value map.
+	Record map[string]sqldb.Value
+	// Exact reports whether the ad satisfies every condition.
+	Exact bool
+	// RankSim is Eq. 5's score for partially-matched answers (exact
+	// answers carry N, the maximum possible).
+	RankSim float64
+	// DroppedCond is the index of the relaxed condition for a partial
+	// answer, -1 for exact answers.
+	DroppedCond int
+	// SimilarityUsed names the measure that scored the partial match
+	// ("TI_Sim on make", "Num_Sim on price", ...), as in Table 2.
+	SimilarityUsed string
+}
+
+// Result is the full outcome of asking one question.
+type Result struct {
+	Question string
+	// Domain the question was routed to.
+	Domain string
+	// Tags is the identifier list produced by the trie.
+	Tags []trie.Tag
+	// Interpretation is the normalized information need.
+	Interpretation *boolean.Interpretation
+	// SQL is the generated statement (Sec. 4.5).
+	SQL string
+	// Answers holds up to MaxAnswers ads, exact matches first, then
+	// ranked partial matches.
+	Answers []Answer
+	// ExactCount is the number of exact answers in Answers.
+	ExactCount int
+	// Elapsed is the end-to-end processing time.
+	Elapsed time.Duration
+}
+
+// New builds a System from cfg. Every domain table in cfg.DB gets a
+// tagger and a similarity bundle.
+func New(cfg Config) (*System, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("core: Config.DB is required")
+	}
+	s := &System{
+		db:         cfg.DB,
+		classifier: cfg.Classifier,
+		taggers:    make(map[string]*trie.Tagger),
+		sims:       make(map[string]*rank.Similarity),
+		maxAnswers: cfg.MaxAnswers,
+		depth:      cfg.RelaxationDepth,
+		strict:     cfg.StrictBoolean,
+	}
+	if s.maxAnswers <= 0 {
+		s.maxAnswers = DefaultMaxAnswers
+	}
+	if s.depth <= 0 {
+		s.depth = 1
+	}
+	for _, domain := range cfg.DB.Domains() {
+		tbl, _ := cfg.DB.TableForDomain(domain)
+		sch := tbl.Schema()
+		if cfg.UseSynonyms {
+			s.taggers[domain] = trie.NewTaggerWithSynonyms(sch)
+		} else {
+			s.taggers[domain] = trie.NewTagger(sch)
+		}
+		s.sims[domain] = &rank.Similarity{
+			Schema: sch,
+			TI:     cfg.TI[domain],
+			WS:     cfg.WS,
+		}
+	}
+	if cfg.Dedup {
+		s.dedups = make(map[string]*dedup.Result)
+		for _, domain := range cfg.DB.Domains() {
+			tbl, _ := cfg.DB.TableForDomain(domain)
+			s.dedups[domain] = dedup.Dedup(tbl, dedup.DefaultOptions())
+		}
+	}
+	return s, nil
+}
+
+// Domains lists the domains the system can answer questions in.
+func (s *System) Domains() []string { return s.db.Domains() }
+
+// Tagger exposes the tagger of a domain (used by experiments).
+func (s *System) Tagger(domain string) *trie.Tagger { return s.taggers[domain] }
+
+// Similarity exposes a domain's similarity bundle.
+func (s *System) Similarity(domain string) *rank.Similarity { return s.sims[domain] }
+
+// DB exposes the underlying database.
+func (s *System) DB() *sqldb.DB { return s.db }
+
+// Ask classifies the question into a domain (Sec. 3) and answers it.
+func (s *System) Ask(question string) (*Result, error) {
+	if s.classifier == nil {
+		return nil, fmt.Errorf("core: Ask requires a classifier; use AskInDomain")
+	}
+	domain, _, err := s.classifier.Classify(questionTokens(question))
+	if err != nil {
+		return nil, fmt.Errorf("core: classifying question: %w", err)
+	}
+	return s.AskInDomain(domain, question)
+}
+
+// AskInDomain answers a question against one ads domain, running the
+// full pipeline: tagging → interpretation → incomplete-question
+// resolution → SQL → exact answers → ranked partial answers.
+func (s *System) AskInDomain(domain, question string) (*Result, error) {
+	start := time.Now()
+	tbl, ok := s.db.TableForDomain(domain)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown domain %q", domain)
+	}
+	tagger := s.taggers[domain]
+	sch := tbl.Schema()
+
+	tags := tagger.Tag(question)
+	var in *boolean.Interpretation
+	if s.strict {
+		in = boolean.InterpretStrict(sch, tags)
+	} else {
+		in = boolean.Interpret(sch, tags)
+	}
+	in = ResolveIncomplete(sch, in)
+
+	res := &Result{
+		Question:       question,
+		Domain:         domain,
+		Tags:           tags,
+		Interpretation: in,
+	}
+	if in.Empty || in.ConditionCount() == 0 && in.Superlative == nil {
+		// Contradiction (Rule 1c) or nothing recognized: no results.
+		res.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	sel := BuildSelect(sch, in, s.maxAnswers)
+	res.SQL = sel.SQL()
+	exactIDs, err := s.execWithSuperlative(tbl, sel, in)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing %q: %w", res.SQL, err)
+	}
+	if d := s.dedups[domain]; d != nil {
+		exactIDs = d.FilterAnswers(exactIDs)
+	}
+	exactScore := float64(maxGroupLen(in))
+	for _, id := range exactIDs {
+		res.Answers = append(res.Answers, Answer{
+			ID:          id,
+			Record:      tbl.RecordMap(id),
+			Exact:       true,
+			RankSim:     exactScore,
+			DroppedCond: -1,
+		})
+	}
+	res.ExactCount = len(res.Answers)
+
+	if res.ExactCount < s.maxAnswers {
+		partial := s.partialAnswers(tbl, in, exactIDs, s.maxAnswers-res.ExactCount)
+		res.Answers = append(res.Answers, partial...)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// execWithSuperlative parses and runs the generated SQL, then applies
+// superlative semantics: only records achieving the extreme value of
+// the superlative attribute within the filtered set are exact answers
+// (Sec. 4.3: superlatives are evaluated last, on the records retrieved
+// by the other criteria).
+func (s *System) execWithSuperlative(tbl *sqldb.Table, sel *sql.Select, in *boolean.Interpretation) ([]sqldb.RowID, error) {
+	if in.Superlative == nil {
+		return sql.Exec(s.db, sel)
+	}
+	// Evaluate without LIMIT so the extreme set is computed over all
+	// matching records, then filter to the extreme value.
+	unlimited := *sel
+	unlimited.Limit = 0
+	ids, err := sql.Exec(s.db, &unlimited)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	extreme := tbl.Value(ids[0], in.Superlative.Attr).Num()
+	var out []sqldb.RowID
+	for _, id := range ids {
+		if tbl.Value(id, in.Superlative.Attr).Num() != extreme {
+			break // ids are ordered by the attribute
+		}
+		out = append(out, id)
+		if len(out) == s.maxAnswers {
+			break
+		}
+	}
+	return out, nil
+}
+
+// questionTokens prepares a question for the classifier.
+func questionTokens(q string) []string {
+	return tokenizeForClassify(q)
+}
+
+// maxGroupLen returns the size of the largest conjunction, the N an
+// exact answer fully satisfies.
+func maxGroupLen(in *boolean.Interpretation) int {
+	n := 0
+	for i := range in.Groups {
+		if len(in.Groups[i].Conds) > n {
+			n = len(in.Groups[i].Conds)
+		}
+	}
+	return n
+}

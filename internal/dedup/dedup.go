@@ -1,0 +1,194 @@
+// Package dedup implements the last future-work item of Sec. 6:
+// "de-duplication of data to remove similar data records from a DB".
+// Sellers repost the same ad with cosmetic edits — shorthand spellings,
+// slightly different prices or mileages — and duplicate answers crowd
+// out distinct ones within the 30-answer cutoff.
+//
+// Two records are near-duplicates when every categorical value matches
+// exactly or by shorthand notation (Sec. 4.2.3's rule) and every
+// numeric value lies within a small fraction of the attribute's value
+// range. Near-duplication is grouped transitively with a union-find,
+// and the lowest RowID of each group is kept as its representative.
+package dedup
+
+import (
+	"sort"
+
+	"repro/internal/schema"
+	"repro/internal/shorthand"
+	"repro/internal/sqldb"
+)
+
+// Options tunes near-duplicate detection.
+type Options struct {
+	// NumericTolerance is the maximum |a-b| / Attribute_Value_Range
+	// for two numeric values to be considered the same listing
+	// (default 0.01, i.e. 1% of the range).
+	NumericTolerance float64
+}
+
+// DefaultOptions returns the documented defaults.
+func DefaultOptions() Options {
+	return Options{NumericTolerance: 0.01}
+}
+
+// Result reports a de-duplication pass.
+type Result struct {
+	// Keep lists the representative RowIDs, ascending.
+	Keep []sqldb.RowID
+	// Duplicates maps each removed RowID to its representative.
+	Duplicates map[sqldb.RowID]sqldb.RowID
+	// Groups counts the distinct listings found.
+	Groups int
+}
+
+// Dedup detects near-duplicate records in tbl. The scan is
+// blocked on the first Type I attribute value so cost stays near
+// O(n²/|blocks|) instead of O(n²).
+func Dedup(tbl *sqldb.Table, opts Options) *Result {
+	if opts.NumericTolerance == 0 {
+		opts = DefaultOptions()
+	}
+	s := tbl.Schema()
+	uf := newUnionFind(tbl.Len())
+
+	// Block by the primary identifier: records with different first
+	// Type I values are never duplicates (identifier mismatch), and
+	// shorthand variants of the same identifier land in one block via
+	// normalization.
+	blockAttr := s.AttrsOfType(schema.TypeI)[0].Name
+	blocks := map[string][]sqldb.RowID{}
+	for _, id := range tbl.AllRowIDs() {
+		key := shorthand.Normalize(tbl.Value(id, blockAttr).Str())
+		blocks[key] = append(blocks[key], id)
+	}
+	for _, ids := range blocks {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				if nearDuplicate(tbl, s, ids[i], ids[j], opts) {
+					uf.union(int(ids[i]), int(ids[j]))
+				}
+			}
+		}
+	}
+
+	res := &Result{Duplicates: map[sqldb.RowID]sqldb.RowID{}}
+	rep := map[int]sqldb.RowID{}
+	for i := 0; i < tbl.Len(); i++ {
+		root := uf.find(i)
+		if r, ok := rep[root]; ok {
+			res.Duplicates[sqldb.RowID(i)] = r
+			continue
+		}
+		rep[root] = sqldb.RowID(i)
+		res.Keep = append(res.Keep, sqldb.RowID(i))
+	}
+	sort.Slice(res.Keep, func(i, j int) bool { return res.Keep[i] < res.Keep[j] })
+	res.Groups = len(res.Keep)
+	return res
+}
+
+// nearDuplicate applies the per-attribute rules.
+func nearDuplicate(tbl *sqldb.Table, s *schema.Schema, a, b sqldb.RowID, opts Options) bool {
+	for _, attr := range s.Attrs {
+		va := tbl.Value(a, attr.Name)
+		vb := tbl.Value(b, attr.Name)
+		if va.IsNull() != vb.IsNull() {
+			return false
+		}
+		if va.IsNull() {
+			continue
+		}
+		switch attr.Type {
+		case schema.TypeI, schema.TypeII:
+			sa, sb := va.Str(), vb.Str()
+			if sa != sb && !shorthand.Match(sa, sb) {
+				return false
+			}
+		case schema.TypeIII:
+			r := attr.Range()
+			if r <= 0 {
+				continue
+			}
+			diff := va.Num() - vb.Num()
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff/r > opts.NumericTolerance {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FilterAnswers drops non-representative duplicates from an answer
+// id list, preserving order. It lets the QA pipeline present distinct
+// listings within its 30-answer cutoff without rebuilding tables.
+func (r *Result) FilterAnswers(ids []sqldb.RowID) []sqldb.RowID {
+	return r.FilterAnswersExcluding(ids, nil)
+}
+
+// FilterAnswersExcluding is FilterAnswers with a pre-seeded exclusion
+// list: any id whose duplicate group is already represented in
+// alreadyKept is dropped too. The pipeline passes its exact answers
+// here so partial matching cannot re-surface a repost of an ad the
+// user already sees.
+func (r *Result) FilterAnswersExcluding(ids, alreadyKept []sqldb.RowID) []sqldb.RowID {
+	seen := map[sqldb.RowID]bool{}
+	rep := func(id sqldb.RowID) sqldb.RowID {
+		if rp, dup := r.Duplicates[id]; dup {
+			return rp
+		}
+		return id
+	}
+	for _, id := range alreadyKept {
+		seen[rep(id)] = true
+	}
+	out := ids[:0:0]
+	for _, id := range ids {
+		rp := rep(id)
+		if seen[rp] {
+			continue
+		}
+		seen[rp] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// unionFind is a standard path-compressing disjoint-set forest.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/schema"
+)
+
+// This file renders the figure experiments as terminal bar charts,
+// matching the visual form the paper presents them in.
+
+// Chart renders Figure 2 as accuracy bars.
+func (r *Fig2Result) Chart() string {
+	bars := make([]chart.Bar, 0, len(r.PerDomain)+1)
+	for _, d := range schema.DomainNames {
+		bars = append(bars, chart.Bar{Label: d, Value: 100 * r.PerDomain[d]})
+	}
+	bars = append(bars, chart.Bar{Label: "average", Value: 100 * r.Average})
+	return "Figure 2 — classification accuracy\n" + chart.HBar(bars, 40, "%.1f%%")
+}
+
+// Chart renders Figure 4 as per-question accuracy bars.
+func (r *Fig4Result) Chart() string {
+	bars := make([]chart.Bar, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		kind := "E"
+		if row.Implicit {
+			kind = "I"
+		}
+		bars = append(bars, chart.Bar{
+			Label: fmt.Sprintf("%s (%s)", row.ID, kind),
+			Value: 100 * row.Accuracy,
+		})
+	}
+	return "Figure 4 — Boolean interpretation accuracy (I=implicit, E=explicit)\n" +
+		chart.HBar(bars, 40, "%.1f%%")
+}
+
+// Chart renders Figure 5 as grouped metric bars.
+func (r *Fig5Result) Chart() string {
+	labels := make([]string, 0, len(r.Rows))
+	series := map[string][]float64{"P@1": {}, "P@5": {}, "MRR": {}}
+	for _, row := range r.Rows {
+		labels = append(labels, row.Ranker)
+		series["P@1"] = append(series["P@1"], row.P1)
+		series["P@5"] = append(series["P@5"], row.P5)
+		series["MRR"] = append(series["MRR"], row.MRR)
+	}
+	return "Figure 5 — ranking quality\n" +
+		chart.Grouped(labels, series, []string{"P@1", "P@5", "MRR"}, 36)
+}
+
+// Chart renders Figure 6 as latency bars.
+func (r *Fig6Result) Chart() string {
+	bars := make([]chart.Bar, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		bars = append(bars, chart.Bar{
+			Label: row.Ranker,
+			Value: float64(row.Average) / float64(time.Microsecond),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("Figure 6 — average query processing time\n")
+	sb.WriteString(chart.HBar(bars, 40, "%.0f µs"))
+	return sb.String()
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// smallEnv is shared across experiment tests (construction builds
+// eight domains, matrices and a trained classifier, so reuse it).
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(42, 300)
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return envVal
+}
+
+func TestEnvShape(t *testing.T) {
+	e := smallEnv(t)
+	if got := e.TotalQuestions(); got != 650 {
+		t.Errorf("test questions = %d, want 650 (80 cars + 570 others)", got)
+	}
+	if len(e.Tests["cars"]) != CarsQuestionCount {
+		t.Errorf("cars questions = %d", len(e.Tests["cars"]))
+	}
+	for _, d := range schema.DomainNames {
+		if e.TI[d] == nil || e.TI[d].Max() <= 0 {
+			t.Errorf("TI matrix for %s missing/empty", d)
+		}
+	}
+	if e.WS.Size() == 0 {
+		t.Error("WS matrix empty")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	// Figure 2: accuracy in the high range, cars among the lowest
+	// (shared vocabulary with motorcycles), average ≥ 85%.
+	e := smallEnv(t)
+	r, err := e.Fig2Classification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Average < 0.85 {
+		t.Errorf("average accuracy = %g, want >= 0.85", r.Average)
+	}
+	for d, acc := range r.PerDomain {
+		if acc < 0.6 {
+			t.Errorf("domain %s accuracy = %g (too low)", d, acc)
+		}
+	}
+	if !strings.Contains(r.String(), "average") {
+		t.Error("String() missing average row")
+	}
+}
+
+func TestExactMatchShape(t *testing.T) {
+	// Sec. 5.3: P/R/F around the nineties, strongly bimodal.
+	e := smallEnv(t)
+	r, err := e.ExactMatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Precision < 0.85 || r.Recall < 0.85 || r.F1 < 0.85 {
+		t.Errorf("P/R/F = %.3f/%.3f/%.3f, want all >= 0.85",
+			r.Precision, r.Recall, r.F1)
+	}
+	if r.PerfectFraction < 0.75 {
+		t.Errorf("perfect fraction = %g; the paper observes answers are mostly all-or-nothing", r.PerfectFraction)
+	}
+	if r.Total != 650 {
+		t.Errorf("total = %d", r.Total)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	// Figure 4: average ≈ 90%, implicit and explicit close; dips at
+	// the ambiguous questions Q3, Q8, Q10.
+	e := smallEnv(t)
+	r, err := e.Fig4Boolean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Average < 0.80 || r.Average > 0.98 {
+		t.Errorf("average = %g, want ≈ 0.90", r.Average)
+	}
+	byID := map[string]Fig4Row{}
+	for _, row := range r.Rows {
+		byID[row.ID] = row
+	}
+	if len(byID) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, dip := range []string{"Q3", "Q8", "Q10"} {
+		if byID[dip].Accuracy >= byID["Q2"].Accuracy {
+			t.Errorf("%s (%.2f) should dip below Q2 (%.2f)",
+				dip, byID[dip].Accuracy, byID["Q2"].Accuracy)
+		}
+	}
+	// Q8's interpretation must be the paper's: models ORed, colors
+	// ORed despite the literal "and".
+	q8 := byID["Q8"].Interpretation
+	if !strings.Contains(q8, "focus OR corolla OR civic") ||
+		!strings.Contains(q8, "black OR grey") {
+		t.Errorf("Q8 interpretation = %s", q8)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	e := smallEnv(t)
+	r, err := e.Table2PartialAnswers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	// Ranked by non-increasing Rank_Sim, every row labels its measure.
+	for i, row := range r.Rows {
+		if i > 0 && r.Rows[i-1].RankSim < row.RankSim {
+			t.Errorf("rows not sorted at %d", i)
+		}
+		if row.SimilarityUsed == "" {
+			t.Errorf("row %d missing similarity label", i)
+		}
+		if row.RankSim < 3 || row.RankSim > 4 {
+			t.Errorf("row %d Rank_Sim = %g outside [N-1, N] for N=4", i, row.RankSim)
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	// Figure 5: CQAds beats every baseline on P@1, P@5 and MRR;
+	// Random is the floor.
+	e := smallEnv(t)
+	r, err := e.Fig5Ranking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[string]Fig5Row{}
+	for _, row := range r.Rows {
+		scores[row.Ranker] = row
+	}
+	cq := scores["CQAds"]
+	for name, row := range scores {
+		if name == "CQAds" {
+			continue
+		}
+		if cq.P1 <= row.P1 || cq.P5 <= row.P5 || cq.MRR <= row.MRR {
+			t.Errorf("CQAds (%+v) does not dominate %s (%+v)", cq, name, row)
+		}
+	}
+	rnd := scores["Random"]
+	informed := 0
+	for name, row := range scores {
+		if name == "Random" {
+			continue
+		}
+		if row.P5 > rnd.P5 {
+			informed++
+		}
+	}
+	if informed < 3 {
+		t.Errorf("only %d informed rankers beat Random on P@5", informed)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	// Figure 6: Random fastest; CQAds faster than Cosine and AIMQ.
+	e := smallEnv(t)
+	r, err := e.Fig6Latency(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := map[string]float64{}
+	for _, row := range r.Rows {
+		avg[row.Ranker] = float64(row.Average)
+	}
+	if avg["Random"] >= avg["CQAds"] {
+		t.Errorf("Random (%g) should be fastest (CQAds %g)", avg["Random"], avg["CQAds"])
+	}
+	if avg["CQAds"] >= avg["Cosine"] || avg["CQAds"] >= avg["AIMQ"] {
+		t.Errorf("CQAds (%g) should beat Cosine (%g) and AIMQ (%g)",
+			avg["CQAds"], avg["Cosine"], avg["AIMQ"])
+	}
+}
+
+func TestShorthandShape(t *testing.T) {
+	// Sec. 4.2.3 reports 98% accuracy; require at least 95%.
+	e := smallEnv(t)
+	r, err := e.ShorthandDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accuracy < 0.95 {
+		t.Errorf("shorthand accuracy = %g", r.Accuracy)
+	}
+	if r.Total < 800 {
+		t.Errorf("samples = %d (target 1000 minus skips)", r.Total)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	e := smallEnv(t)
+	strict, err := e.StrictBoolean()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Questions == 0 {
+		t.Fatal("no explicit questions generated")
+	}
+	// The implicit rules must recover the survey-majority intent at
+	// least as often as strict evaluation (the empirical basis for
+	// the paper's Sec. 4.4.2 design choice).
+	if strict.ImplicitCorrect < strict.StrictCorrect {
+		t.Errorf("implicit %.2f < strict %.2f", strict.ImplicitCorrect, strict.StrictCorrect)
+	}
+	if strict.ImplicitCorrect < 0.9 {
+		t.Errorf("implicit correctness = %.2f", strict.ImplicitCorrect)
+	}
+
+	dd, err := e.DedupImpact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.AvgDupAnswersOn >= dd.AvgDupAnswersOff {
+		t.Errorf("dedup did not reduce duplicate answers: %.2f -> %.2f",
+			dd.AvgDupAnswersOff, dd.AvgDupAnswersOn)
+	}
+	if dd.AvgDupAnswersOn > 0.2 {
+		t.Errorf("residual duplicates with dedup on: %.2f", dd.AvgDupAnswersOn)
+	}
+	// Detection should land close to the true listing count.
+	drift := dd.DetectedGroups - dd.TrueListings
+	if drift < -10 || drift > 10 {
+		t.Errorf("detected %d groups, true %d", dd.DetectedGroups, dd.TrueListings)
+	}
+
+	sg, err := e.SchemaGen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Average < 0.8 {
+		t.Errorf("schema inference average agreement = %.2f", sg.Average)
+	}
+	if sg.PerDomain["cars"] != 1 {
+		t.Errorf("cars inference = %.2f, want 1.0", sg.PerDomain["cars"])
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	e := smallEnv(t)
+	var buf strings.Builder
+	if err := e.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# CQAds reproduction report",
+		"## Figure 2 — question classification",
+		"## Table 2 — ranked partial answers",
+		"## Extension — schema generation",
+		"classification accuracy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "\n## "); got != 15 {
+		t.Errorf("report has %d sections, want 15", got)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	e := smallEnv(t)
+	jb, err := e.AblateJBBSM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.JBBSM < 0.75 || jb.Multinomial < 0.5 {
+		t.Errorf("classifier ablation degenerate: %+v", jb)
+	}
+	depth, err := e.AblateDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(depth.Rows) != 2 {
+		t.Fatalf("depth rows = %d", len(depth.Rows))
+	}
+	if depth.Rows[1].AvgAnswers < depth.Rows[0].AvgAnswers {
+		t.Error("N-2 should never find fewer answers than N-1")
+	}
+	repair, err := e.AblateRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range repair.Rows {
+		if row.WithRepair < row.NoRepair {
+			t.Errorf("noise %.2f: repair hurt recovery (%.2f < %.2f)",
+				row.NoiseRate, row.WithRepair, row.NoRepair)
+		}
+	}
+	last := repair.Rows[len(repair.Rows)-1]
+	if last.WithRepair-last.NoRepair < 0.3 {
+		t.Errorf("repair should matter at full noise: %.2f vs %.2f",
+			last.WithRepair, last.NoRepair)
+	}
+
+	cutoff, err := e.AblateCutoff()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cutoff.Rows) != 4 {
+		t.Fatalf("cutoff rows = %d", len(cutoff.Rows))
+	}
+	for i := 1; i < len(cutoff.Rows); i++ {
+		if cutoff.Rows[i].AvgRecall < cutoff.Rows[i-1].AvgRecall-1e-9 {
+			t.Error("recall should be non-decreasing in the cutoff")
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/schema"
+)
+
+// Fig2Result is the classification-accuracy experiment (Figure 2):
+// per-domain accuracy of the Naive Bayes + JBBSM classifier over the
+// 650 test questions, plus the average.
+type Fig2Result struct {
+	PerDomain map[string]float64
+	Average   float64
+	Total     int
+}
+
+// Fig2Classification runs the Figure 2 experiment.
+func (e *Env) Fig2Classification() (*Fig2Result, error) {
+	res := &Fig2Result{PerDomain: make(map[string]float64)}
+	totalCorrect, total := 0, 0
+	for _, d := range schema.DomainNames {
+		correct := 0
+		qs := e.Tests[d]
+		for i := range qs {
+			got, _, err := e.Cls.Classify(classifyTokens(qs[i].Text))
+			if err != nil {
+				return nil, err
+			}
+			if got == d {
+				correct++
+			}
+		}
+		res.PerDomain[d] = metrics.Accuracy(correct, len(qs))
+		totalCorrect += correct
+		total += len(qs)
+	}
+	res.Average = metrics.Accuracy(totalCorrect, total)
+	res.Total = total
+	return res, nil
+}
+
+// String renders the result as the Figure 2 bar data.
+func (r *Fig2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2 — classification accuracy (Naive Bayes + JBBSM)\n")
+	for _, d := range schema.DomainNames {
+		fmt.Fprintf(&sb, "  %-12s %6.1f%%\n", d, 100*r.PerDomain[d])
+	}
+	fmt.Fprintf(&sb, "  %-12s %6.1f%%  (%d questions)\n", "average", 100*r.Average, r.Total)
+	return sb.String()
+}

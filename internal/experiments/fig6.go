@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/rank"
+	"repro/internal/schema"
+)
+
+// Fig6Row is one approach's average query processing time.
+type Fig6Row struct {
+	Ranker  string
+	Average time.Duration
+}
+
+// Fig6Result reproduces Figure 6: average query processing time of
+// CQAds and the four comparison approaches over the test questions.
+// CQAds runs its full pipeline (exact retrieval first, then partial
+// matching when needed); the comparison rankers, which have no
+// exact/partial split, score and sort the whole table per question,
+// as their original designs do.
+type Fig6Result struct {
+	Rows      []Fig6Row
+	Questions int
+}
+
+// Fig6Latency runs the timing experiment. maxPerDomain bounds the
+// questions per domain (0 = all) so benchmarks can subsample.
+func (e *Env) Fig6Latency(maxPerDomain int) (*Fig6Result, error) {
+	totals := map[string]time.Duration{}
+	count := 0
+	for _, d := range schema.DomainNames {
+		tbl, _ := e.DB.TableForDomain(d)
+		rankers := e.rankersFor(d, tbl)
+		all := tbl.AllRowIDs()
+		qs := e.Tests[d]
+		if maxPerDomain > 0 && len(qs) > maxPerDomain {
+			qs = qs[:maxPerDomain]
+		}
+		for _, q := range qs {
+			count++
+			// CQAds: full pipeline, timed inside AskInDomain.
+			res, err := e.System.AskInDomain(d, q.Text)
+			if err != nil {
+				return nil, err
+			}
+			totals["CQAds"] += res.Elapsed
+
+			// Comparison approaches: interpret once (untimed, shared),
+			// then score + sort the table (timed).
+			query := &rank.Query{Text: q.Text, Conds: q.Conds}
+			for _, r := range rankers {
+				if r.Name() == "CQAds" {
+					continue
+				}
+				start := time.Now()
+				top := r.Rank(query, tbl, all)
+				if len(top) > 30 {
+					_ = top[:30]
+				}
+				totals[r.Name()] += time.Since(start)
+			}
+		}
+	}
+	res := &Fig6Result{Questions: count}
+	for name, total := range totals {
+		res.Rows = append(res.Rows, Fig6Row{
+			Ranker:  name,
+			Average: total / time.Duration(count),
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Average < res.Rows[j].Average })
+	return res, nil
+}
+
+// String renders Figure 6.
+func (r *Fig6Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 6 — average query processing time (%d questions)\n", r.Questions)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-10s %12s\n", row.Ranker, row.Average)
+	}
+	return sb.String()
+}

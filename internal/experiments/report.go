@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteReport runs every experiment and writes a self-contained
+// markdown report to w: the regenerated tables and figures, the
+// ablations, and the extension measurements. cmd/experiments -report
+// uses it to produce an EXPERIMENTS.md-shaped document from scratch.
+func (e *Env) WriteReport(w io.Writer) error {
+	type section struct {
+		title string
+		run   func() (fmt.Stringer, error)
+	}
+	sections := []section{
+		{"Figure 2 — question classification", func() (fmt.Stringer, error) { return e.Fig2Classification() }},
+		{"Sec. 5.3 — exact-match retrieval", func() (fmt.Stringer, error) { return e.ExactMatch() }},
+		{"Figure 4 — Boolean interpretation", func() (fmt.Stringer, error) { return e.Fig4Boolean() }},
+		{"Table 2 — ranked partial answers", func() (fmt.Stringer, error) { return e.Table2PartialAnswers() }},
+		{"Figure 5 — ranking comparison", func() (fmt.Stringer, error) { return e.Fig5Ranking() }},
+		{"Sec. 5.5.3 — per-domain ranking", func() (fmt.Stringer, error) { return e.Fig5PerDomain() }},
+		{"Figure 6 — query processing time", func() (fmt.Stringer, error) { return e.Fig6Latency(0) }},
+		{"Sec. 4.2.3 — shorthand detection", func() (fmt.Stringer, error) { return e.ShorthandDetection() }},
+		{"Ablation — JBBSM vs multinomial", func() (fmt.Stringer, error) { return e.AblateJBBSM() }},
+		{"Ablation — relaxation depth", func() (fmt.Stringer, error) { return e.AblateDepth() }},
+		{"Ablation — repair machinery", func() (fmt.Stringer, error) { return e.AblateRepair() }},
+		{"Ablation — answer cutoff", func() (fmt.Stringer, error) { return e.AblateCutoff() }},
+		{"Extension — strict Boolean", func() (fmt.Stringer, error) { return e.StrictBoolean() }},
+		{"Extension — de-duplication", func() (fmt.Stringer, error) { return e.DedupImpact() }},
+		{"Extension — schema generation", func() (fmt.Stringer, error) { return e.SchemaGen() }},
+	}
+
+	if _, err := fmt.Fprintf(w,
+		"# CQAds reproduction report\n\nseed %d · %d questions · generated %s\n\n",
+		e.Seed, e.TotalQuestions(), time.Now().Format(time.RFC3339)); err != nil {
+		return err
+	}
+	for _, s := range sections {
+		res, err := s.run()
+		if err != nil {
+			return fmt.Errorf("experiments: report section %q: %w", s.title, err)
+		}
+		if _, err := fmt.Fprintf(w, "## %s\n\n```\n%s```\n\n", s.title, res.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package judge
+
+import (
+	"testing"
+
+	"repro/internal/adsgen"
+	"repro/internal/boolean"
+	"repro/internal/qlog"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+func setup(t *testing.T) (*Appraiser, *sqldb.Table) {
+	t.Helper()
+	db := sqldb.NewDB()
+	tbl, err := adsgen.NewGenerator(31).Populate(db, schema.Cars(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sims := map[string]*qlog.Simulator{
+		"cars": qlog.NewSimulator(schema.Cars(), 31),
+	}
+	schemas := map[string]*schema.Schema{"cars": schema.Cars()}
+	return NewAppraiser(31, sims, schemas), tbl
+}
+
+func condsFor(tbl *sqldb.Table, id sqldb.RowID) []boolean.Condition {
+	return []boolean.Condition{
+		{Attr: "make", Type: schema.TypeI, Values: []string{tbl.Value(id, "make").Str()}},
+		{Attr: "color", Type: schema.TypeII, Values: []string{tbl.Value(id, "color").Str()}},
+		{Attr: "price", Type: schema.TypeIII, Op: boolean.OpLe, X: tbl.Value(id, "price").Num()},
+	}
+}
+
+func TestExactMatchAlmostAlwaysRelated(t *testing.T) {
+	a, tbl := setup(t)
+	related := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		id := sqldb.RowID(i % tbl.Len())
+		if a.Related("cars", condsFor(tbl, id), tbl, id) {
+			related++
+		}
+	}
+	if float64(related)/trials < 0.95 {
+		t.Errorf("exact matches related only %d/%d times", related, trials)
+	}
+}
+
+func TestFarNumericMissUsuallyUnrelated(t *testing.T) {
+	a, tbl := setup(t)
+	unrelated := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		id := sqldb.RowID(i % tbl.Len())
+		conds := condsFor(tbl, id)
+		// Demand a price far below the record's actual price.
+		conds[2].X = tbl.Value(id, "price").Num() / 10
+		if !a.Related("cars", conds, tbl, id) {
+			unrelated++
+		}
+	}
+	if float64(unrelated)/trials < 0.8 {
+		t.Errorf("far numeric misses judged related too often: %d/%d unrelated", unrelated, trials)
+	}
+}
+
+func TestNearNumericMissMoreRelatedThanFar(t *testing.T) {
+	a, tbl := setup(t)
+	near, far := 0, 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		id := sqldb.RowID(i % tbl.Len())
+		conds := condsFor(tbl, id)
+		price := tbl.Value(id, "price").Num()
+		conds[2].X = price * 0.95 // just missed
+		if a.Related("cars", conds, tbl, id) {
+			near++
+		}
+		conds[2].X = price * 0.3 // far miss
+		if a.Related("cars", conds, tbl, id) {
+			far++
+		}
+	}
+	if near <= far {
+		t.Errorf("near misses (%d) should be judged related more often than far (%d)", near, far)
+	}
+}
+
+func TestCSJobsNoisier(t *testing.T) {
+	a, _ := setup(t)
+	if a.DomainNoise["csjobs"]+a.ExpertiseWeight["csjobs"] <= 0.1 {
+		t.Error("csjobs should carry extra appraiser noise (Sec. 5.5.3 anomaly)")
+	}
+}
+
+func TestJudgeRankingShape(t *testing.T) {
+	a, tbl := setup(t)
+	ids := []sqldb.RowID{0, 1, 2}
+	out := a.JudgeRanking("cars", condsFor(tbl, 0), tbl, ids)
+	if len(out) != 3 {
+		t.Fatalf("JudgeRanking = %v", out)
+	}
+}
+
+func TestInterpretationVoteRate(t *testing.T) {
+	a, _ := setup(t)
+	agree := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		if a.InterpretationVote(0.25) {
+			agree++
+		}
+	}
+	rate := float64(agree) / trials
+	if rate < 0.70 || rate > 0.80 {
+		t.Errorf("agreement rate = %g, want ~0.75", rate)
+	}
+}
+
+func TestRelatedEmptyConds(t *testing.T) {
+	a, tbl := setup(t)
+	if a.Related("cars", nil, tbl, 0) {
+		t.Error("no conditions should never be related")
+	}
+}

@@ -1,0 +1,125 @@
+// Package metrics implements the evaluation measures of Sec. 5:
+// classification accuracy (Eq. 6), set precision/recall/F-measure
+// (Sec. 5.3), and the ranking metrics P@K (Eq. 7) and MRR (Eq. 8).
+package metrics
+
+// Accuracy is correct/total (Eq. 6). It returns 0 for total == 0.
+func Accuracy(correct, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PRF holds a precision/recall/F-measure triple.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// PrecisionRecallF computes set-based P, R and F against ground truth:
+// precision = |retrieved ∩ relevant| / |retrieved|,
+// recall = |retrieved ∩ relevant| / |relevant|,
+// F = harmonic mean (Sec. 5.3). Conventions: empty retrieved and empty
+// relevant is a perfect result; empty retrieved with non-empty
+// relevant (or vice versa) scores 0.
+func PrecisionRecallF[T comparable](retrieved, relevant []T) PRF {
+	if len(retrieved) == 0 && len(relevant) == 0 {
+		return PRF{Precision: 1, Recall: 1, F1: 1}
+	}
+	rel := make(map[T]struct{}, len(relevant))
+	for _, r := range relevant {
+		rel[r] = struct{}{}
+	}
+	hit := 0
+	seen := make(map[T]struct{}, len(retrieved))
+	for _, r := range retrieved {
+		if _, dup := seen[r]; dup {
+			continue
+		}
+		seen[r] = struct{}{}
+		if _, ok := rel[r]; ok {
+			hit++
+		}
+	}
+	var p, r float64
+	if len(seen) > 0 {
+		p = float64(hit) / float64(len(seen))
+	}
+	if len(rel) > 0 {
+		r = float64(hit) / float64(len(rel))
+	}
+	return PRF{Precision: p, Recall: r, F1: F1(p, r)}
+}
+
+// F1 is the harmonic mean of precision and recall.
+func F1(p, r float64) float64 {
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Mean averages a float slice; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// PrecisionAtK computes P@K for one ranked answer list given per-item
+// relevance judgments (Eq. 7's inner term): the fraction of the top K
+// answers judged related. Lists shorter than K are padded with
+// non-relevant entries, as Eq. 7's fixed-K denominator implies.
+func PrecisionAtK(related []bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hit := 0
+	for i := 0; i < k && i < len(related); i++ {
+		if related[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// ReciprocalRank returns 1/r for the first related answer at 1-based
+// rank r, or 0 when none is related (Eq. 8's per-question term with
+// r_i = ∞).
+func ReciprocalRank(related []bool) float64 {
+	for i, rel := range related {
+		if rel {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MRR averages the reciprocal ranks of many questions (Eq. 8).
+func MRR(perQuestion [][]bool) float64 {
+	if len(perQuestion) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, related := range perQuestion {
+		s += ReciprocalRank(related)
+	}
+	return s / float64(len(perQuestion))
+}
+
+// MeanPrecisionAtK averages P@K over many questions (Eq. 7).
+func MeanPrecisionAtK(perQuestion [][]bool, k int) float64 {
+	if len(perQuestion) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, related := range perQuestion {
+		s += PrecisionAtK(related, k)
+	}
+	return s / float64(len(perQuestion))
+}

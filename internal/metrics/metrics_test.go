@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAccuracy(t *testing.T) {
+	if Accuracy(3, 4) != 0.75 {
+		t.Error("Accuracy(3,4)")
+	}
+	if Accuracy(0, 0) != 0 {
+		t.Error("Accuracy(0,0) should be 0")
+	}
+}
+
+func TestPrecisionRecallF(t *testing.T) {
+	prf := PrecisionRecallF([]int{1, 2, 3, 4}, []int{3, 4, 5, 6})
+	if !almost(prf.Precision, 0.5) || !almost(prf.Recall, 0.5) || !almost(prf.F1, 0.5) {
+		t.Errorf("PRF = %+v", prf)
+	}
+	// Both empty: perfect.
+	prf = PrecisionRecallF([]int{}, []int{})
+	if prf.F1 != 1 {
+		t.Errorf("empty/empty = %+v", prf)
+	}
+	// Retrieved nothing relevant.
+	prf = PrecisionRecallF([]int{9}, []int{1})
+	if prf.F1 != 0 {
+		t.Errorf("disjoint = %+v", prf)
+	}
+	// Duplicates in retrieved are not double-counted.
+	prf = PrecisionRecallF([]int{1, 1, 1}, []int{1})
+	if !almost(prf.Precision, 1) || !almost(prf.Recall, 1) {
+		t.Errorf("dup handling = %+v", prf)
+	}
+}
+
+func TestPRFBounds(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ra := make([]int8, len(a))
+		copy(ra, a)
+		prf := PrecisionRecallF(ra, b)
+		for _, v := range []float64{prf.Precision, prf.Recall, prf.F1} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		// F is never above either P or R... actually F <= max(P,R)
+		// and F >= min(P,R) does not hold for harmonic mean; the
+		// harmonic mean lies between min and max when both positive.
+		if prf.Precision > 0 && prf.Recall > 0 {
+			lo, hi := prf.Precision, prf.Recall
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if prf.F1 < lo-1e-12 || prf.F1 > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	related := []bool{true, false, true, true, false}
+	if got := PrecisionAtK(related, 1); got != 1 {
+		t.Errorf("P@1 = %g", got)
+	}
+	if got := PrecisionAtK(related, 5); got != 0.6 {
+		t.Errorf("P@5 = %g", got)
+	}
+	// Short lists pad with non-relevant.
+	if got := PrecisionAtK([]bool{true}, 5); got != 0.2 {
+		t.Errorf("P@5 short = %g", got)
+	}
+	if got := PrecisionAtK(related, 0); got != 0 {
+		t.Errorf("P@0 = %g", got)
+	}
+}
+
+func TestReciprocalRankAndMRR(t *testing.T) {
+	if got := ReciprocalRank([]bool{false, false, true}); !almost(got, 1.0/3) {
+		t.Errorf("RR = %g", got)
+	}
+	if got := ReciprocalRank([]bool{false, false}); got != 0 {
+		t.Errorf("RR none = %g", got)
+	}
+	per := [][]bool{
+		{true},                // RR 1
+		{false, true},         // RR 1/2
+		{false, false, false}, // RR 0
+	}
+	want := (1.0 + 0.5 + 0) / 3
+	if got := MRR(per); !almost(got, want) {
+		t.Errorf("MRR = %g, want %g", got, want)
+	}
+	if MRR(nil) != 0 {
+		t.Error("MRR(nil) should be 0")
+	}
+}
+
+func TestMeanPrecisionAtK(t *testing.T) {
+	per := [][]bool{
+		{true, true, false, false, false},  // 0.4
+		{false, false, false, false, true}, // 0.2
+	}
+	if got := MeanPrecisionAtK(per, 5); !almost(got, 0.3) {
+		t.Errorf("mean P@5 = %g", got)
+	}
+	if MeanPrecisionAtK(nil, 5) != 0 {
+		t.Error("empty input should be 0")
+	}
+}
+
+func TestMeanAndF1(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean")
+	}
+	if F1(0, 0) != 0 {
+		t.Error("F1(0,0)")
+	}
+	if !almost(F1(1, 1), 1) {
+		t.Error("F1(1,1)")
+	}
+}

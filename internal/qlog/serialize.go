@@ -1,0 +1,75 @@
+package qlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file persists query logs and TI-matrices as JSON, so the
+// artifacts of the add-a-domain workflow (Sec. 4.6) survive process
+// restarts and can be inspected or shipped alongside ads data.
+
+// WriteJSON serializes the log.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("qlog: encoding log: %w", err)
+	}
+	return nil
+}
+
+// ReadLogJSON deserializes a log written by WriteJSON.
+func ReadLogJSON(r io.Reader) (*Log, error) {
+	var l Log
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("qlog: decoding log: %w", err)
+	}
+	return &l, nil
+}
+
+// tiMatrixJSON is the serialized TI-matrix shape: pairs are flattened
+// for a stable, diff-friendly encoding.
+type tiMatrixJSON struct {
+	Max   float64      `json:"max"`
+	Pairs []tiPairJSON `json:"pairs"`
+}
+
+type tiPairJSON struct {
+	A   string  `json:"a"`
+	B   string  `json:"b"`
+	Sim float64 `json:"sim"`
+}
+
+// WriteJSON serializes the matrix with pairs in descending-similarity
+// order.
+func (m *TIMatrix) WriteJSON(w io.Writer) error {
+	out := tiMatrixJSON{Max: m.max}
+	for _, p := range m.Pairs() {
+		out.Pairs = append(out.Pairs, tiPairJSON{A: p[0], B: p[1], Sim: m.sim[p]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("qlog: encoding TI-matrix: %w", err)
+	}
+	return nil
+}
+
+// ReadTIMatrixJSON deserializes a matrix written by WriteJSON.
+func ReadTIMatrixJSON(r io.Reader) (*TIMatrix, error) {
+	var in tiMatrixJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("qlog: decoding TI-matrix: %w", err)
+	}
+	m := &TIMatrix{sim: make(map[[2]string]float64, len(in.Pairs)), max: in.Max}
+	for _, p := range in.Pairs {
+		a, b := p.A, p.B
+		if a > b {
+			a, b = b, a
+		}
+		m.sim[[2]string{a, b}] = p.Sim
+	}
+	return m, nil
+}

@@ -1,0 +1,67 @@
+package qlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestLogJSONRoundTrip(t *testing.T) {
+	sim := NewSimulator(schema.Cars(), 7)
+	log := sim.Simulate("cars", 20)
+	var buf bytes.Buffer
+	if err := log.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLogJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != log.Domain || len(got.Sessions) != len(log.Sessions) {
+		t.Fatalf("round trip lost sessions: %d vs %d", len(got.Sessions), len(log.Sessions))
+	}
+	for i := range log.Sessions {
+		if got.Sessions[i].UserID != log.Sessions[i].UserID {
+			t.Fatalf("session %d user differs", i)
+		}
+		if len(got.Sessions[i].Events) != len(log.Sessions[i].Events) {
+			t.Fatalf("session %d events differ", i)
+		}
+	}
+}
+
+func TestTIMatrixJSONRoundTrip(t *testing.T) {
+	sim := NewSimulator(schema.Cars(), 7)
+	m := BuildTIMatrix(sim.Simulate("cars", 200))
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTIMatrixJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Max() != m.Max() {
+		t.Fatalf("Max: %g vs %g", got.Max(), m.Max())
+	}
+	for _, p := range m.Pairs() {
+		if got.Sim(p[0], p[1]) != m.Sim(p[0], p[1]) {
+			t.Fatalf("pair %v differs", p)
+		}
+	}
+	// A rebuilt matrix from the same log must match the round-trip.
+	if len(got.Pairs()) != len(m.Pairs()) {
+		t.Fatalf("pair counts differ")
+	}
+}
+
+func TestReadLogJSONErrors(t *testing.T) {
+	if _, err := ReadLogJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := ReadTIMatrixJSON(strings.NewReader("[]")); err == nil {
+		t.Error("wrong JSON shape should error")
+	}
+}

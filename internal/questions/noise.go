@@ -1,0 +1,142 @@
+package questions
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// misspellOneWord applies one realistic typo to a random word of at
+// least five letters: swap two adjacent characters, duplicate one, or
+// drop one. It reports whether a typo was applied.
+func misspellOneWord(text string, rng *rand.Rand) (string, bool) {
+	words := strings.Fields(text)
+	var idxs []int
+	for i, w := range words {
+		if len(w) >= 5 && isAlpha(w) {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return text, false
+	}
+	i := idxs[rng.Intn(len(idxs))]
+	w := []byte(words[i])
+	p := 1 + rng.Intn(len(w)-2)
+	switch rng.Intn(3) {
+	case 0: // swap adjacent
+		w[p], w[p-1] = w[p-1], w[p]
+	case 1: // duplicate
+		w = append(w[:p+1], w[p:]...)
+	default: // drop
+		w = append(w[:p], w[p+1:]...)
+	}
+	words[i] = string(w)
+	return strings.Join(words, " "), true
+}
+
+// dropOneSpace removes the space between two adjacent alphabetic
+// words ("honda accord" → "hondaaccord"), the forgotten-space error of
+// Sec. 4.2.1.
+func dropOneSpace(text string, rng *rand.Rand) (string, bool) {
+	words := strings.Fields(text)
+	var idxs []int
+	for i := 0; i+1 < len(words); i++ {
+		if isAlpha(words[i]) && isAlpha(words[i+1]) && len(words[i]) >= 3 && len(words[i+1]) >= 3 {
+			idxs = append(idxs, i)
+		}
+	}
+	if len(idxs) == 0 {
+		return text, false
+	}
+	i := idxs[rng.Intn(len(idxs))]
+	merged := append([]string{}, words[:i]...)
+	merged = append(merged, words[i]+words[i+1])
+	merged = append(merged, words[i+2:]...)
+	return strings.Join(merged, " "), true
+}
+
+// makeShorthand renders a multi-word or long value as a shorthand
+// notation: spaces removed and interior characters of each word
+// dropped ("2 door" → "2dr", "automatic" → "auto"). ok is false for
+// values too short to abbreviate.
+func makeShorthand(v string) (string, bool) {
+	words := strings.Fields(v)
+	if len(words) == 1 {
+		if len(v) < 6 {
+			return "", false
+		}
+		return v[:4], true
+	}
+	var sb strings.Builder
+	for _, w := range words {
+		if isDigits(w) {
+			sb.WriteString(w)
+			continue
+		}
+		// Keep first letter plus the next consonant(s), e.g.
+		// "door" → "dr", "wheel" → "wh".
+		sb.WriteByte(w[0])
+		for j := 1; j < len(w) && sb.Len() < 12; j++ {
+			if !isVowel(w[j]) {
+				sb.WriteByte(w[j])
+				break
+			}
+		}
+	}
+	out := sb.String()
+	if len(out) < 2 {
+		return "", false
+	}
+	return out, true
+}
+
+func isAlpha(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 'a' || c > 'z' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isVowel(c byte) bool {
+	switch c {
+	case 'a', 'e', 'i', 'o', 'u':
+		return true
+	}
+	return false
+}
+
+// roundNice rounds v to two significant figures, the way people write
+// bounds ("less than $5300" is rare; "$5000" is common).
+func roundNice(v float64) float64 {
+	if v <= 0 {
+		return v
+	}
+	mag := 1.0
+	for v/mag >= 100 {
+		mag *= 10
+	}
+	return float64(int(v/mag)) * mag
+}
+
+func formatNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,175 @@
+package questions
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adsgen"
+	"repro/internal/rank"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+func testTable(t *testing.T) *sqldb.Table {
+	t.Helper()
+	db := sqldb.NewDB()
+	tbl, err := adsgen.NewGenerator(21).Populate(db, schema.Cars(), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestGenerateBasics(t *testing.T) {
+	tbl := testTable(t)
+	g := NewGenerator(tbl, 3)
+	qs := g.Generate(100, DefaultOptions())
+	if len(qs) != 100 {
+		t.Fatalf("generated %d", len(qs))
+	}
+	for i, q := range qs {
+		if q.Text == "" {
+			t.Fatalf("question %d: empty text", i)
+		}
+		if q.Domain != "cars" {
+			t.Fatalf("question %d: domain %q", i, q.Domain)
+		}
+		if len(q.Conds) == 0 {
+			t.Fatalf("question %d: no ground-truth conditions", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tbl := testTable(t)
+	a := NewGenerator(tbl, 3).Generate(20, DefaultOptions())
+	b := NewGenerator(tbl, 3).Generate(20, DefaultOptions())
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("question %d differs: %q vs %q", i, a[i].Text, b[i].Text)
+		}
+	}
+}
+
+func TestGroundTruthHasAnswers(t *testing.T) {
+	// Conditions are sampled from an existing record, so (with no
+	// negation flipping values) that record must satisfy them.
+	tbl := testTable(t)
+	g := NewGenerator(tbl, 5)
+	qs := g.Generate(200, CleanOptions())
+	for i, q := range qs {
+		found := false
+		for _, id := range tbl.AllRowIDs() {
+			if rank.SatisfiesAll(tbl, id, q.Conds) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("question %d (%q) has no satisfying record", i, q.Text)
+		}
+	}
+}
+
+func TestNoiseFlagsApplied(t *testing.T) {
+	tbl := testTable(t)
+	opts := DefaultOptions()
+	opts.MisspellRate = 1
+	opts.ShorthandRate = 1
+	g := NewGenerator(tbl, 7)
+	qs := g.Generate(200, opts)
+	miss, short := 0, 0
+	for _, q := range qs {
+		if q.Misspelled {
+			miss++
+		}
+		if q.Shorthand {
+			short++
+		}
+	}
+	if miss < 100 {
+		t.Errorf("misspellings applied to only %d/200", miss)
+	}
+	if short == 0 {
+		t.Error("shorthand never applied")
+	}
+}
+
+func TestBooleanQuestionsGenerated(t *testing.T) {
+	tbl := testTable(t)
+	opts := DefaultOptions()
+	opts.NegationRate = 0.5
+	opts.ExplicitOrRate = 0.5
+	g := NewGenerator(tbl, 9)
+	qs := g.Generate(200, opts)
+	var boolean, explicit int
+	for _, q := range qs {
+		if q.IsBoolean {
+			boolean++
+		}
+		if q.Explicit {
+			explicit++
+			if q.Groups == nil || len(q.Groups) != 2 {
+				t.Errorf("explicit question lacks two groups: %q", q.Text)
+			}
+			if !strings.Contains(q.Text, " or ") {
+				t.Errorf("explicit question lacks 'or': %q", q.Text)
+			}
+		}
+	}
+	if boolean == 0 || explicit == 0 {
+		t.Errorf("boolean=%d explicit=%d", boolean, explicit)
+	}
+}
+
+func TestMisspellOneWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out, ok := misspellOneWord("find a honda accord automatic", rng)
+	if !ok || out == "find a honda accord automatic" {
+		t.Errorf("misspell failed: %q", out)
+	}
+	if _, ok := misspellOneWord("a b c", rng); ok {
+		t.Error("short words should not be misspelled")
+	}
+}
+
+func TestDropOneSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	out, ok := dropOneSpace("honda accord", rng)
+	if !ok || out != "hondaaccord" {
+		t.Errorf("dropOneSpace = %q, %v", out, ok)
+	}
+	if _, ok := dropOneSpace("a b", rng); ok {
+		t.Error("short words should not merge")
+	}
+}
+
+func TestMakeShorthand(t *testing.T) {
+	sh, ok := makeShorthand("2 door")
+	if !ok || sh != "2dr" {
+		t.Errorf("makeShorthand(2 door) = %q, %v", sh, ok)
+	}
+	sh, ok = makeShorthand("automatic")
+	if !ok || sh != "auto" {
+		t.Errorf("makeShorthand(automatic) = %q, %v", sh, ok)
+	}
+	if _, ok := makeShorthand("red"); ok {
+		t.Error("too-short value should not abbreviate")
+	}
+}
+
+func TestRoundNice(t *testing.T) {
+	cases := map[float64]float64{
+		5371:  5300,
+		123:   120,
+		99:    99,
+		12345: 12000,
+		0:     0,
+	}
+	for in, want := range cases {
+		if got := roundNice(in); got != want {
+			t.Errorf("roundNice(%g) = %g, want %g", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rank
+
+import (
+	"math"
+
+	"repro/internal/boolean"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+// AIMQ reimplements the imprecise-query ranker of Nambiar &
+// Kambhampati [15] as specified in Sec. 5.5.2 (Eq. 9-10): attribute
+// importance weights are uniform (1/n); numeric attributes score
+// 1 - |Q.Ai - A.Ai| / Q.Ai; categorical attributes score the Jaccard
+// coefficient of the two values' supertuples, where a value's
+// supertuple is the bag of values co-occurring with it in the other
+// columns of the table.
+type AIMQ struct {
+	super map[string]map[string]map[string]struct{} // attr -> value -> co-occurring value set
+}
+
+// NewAIMQ precomputes supertuples for every categorical value in tbl.
+func NewAIMQ(tbl *sqldb.Table) *AIMQ {
+	a := &AIMQ{super: make(map[string]map[string]map[string]struct{})}
+	s := tbl.Schema()
+	var catAttrs []schema.Attribute
+	for _, attr := range s.Attrs {
+		if attr.Type != schema.TypeIII {
+			catAttrs = append(catAttrs, attr)
+			a.super[attr.Name] = make(map[string]map[string]struct{})
+		}
+	}
+	for _, id := range tbl.AllRowIDs() {
+		for _, attr := range catAttrs {
+			v := tbl.Value(id, attr.Name).Str()
+			if v == "" {
+				continue
+			}
+			set := a.super[attr.Name][v]
+			if set == nil {
+				set = make(map[string]struct{})
+				a.super[attr.Name][v] = set
+			}
+			// Co-occurring categorical values in the other columns,
+			// prefixed by their column so "new" (condition) and "new"
+			// (finish) stay distinct.
+			for _, other := range catAttrs {
+				if other.Name == attr.Name {
+					continue
+				}
+				ov := tbl.Value(id, other.Name).Str()
+				if ov != "" {
+					set[other.Name+"="+ov] = struct{}{}
+				}
+			}
+		}
+	}
+	return a
+}
+
+// Name implements Ranker.
+func (a *AIMQ) Name() string { return "AIMQ" }
+
+// Rank implements Ranker.
+func (a *AIMQ) Rank(q *Query, tbl *sqldb.Table, cands []sqldb.RowID) []sqldb.RowID {
+	n := float64(len(q.Conds))
+	return sortByScore(cands, func(id sqldb.RowID) float64 {
+		if n == 0 {
+			return 0
+		}
+		total := 0.0
+		for i := range q.Conds {
+			total += a.condScore(tbl, id, &q.Conds[i]) / n
+		}
+		return total
+	})
+}
+
+func (a *AIMQ) condScore(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) float64 {
+	v := tbl.Value(id, c.Attr)
+	if v.IsNull() {
+		return 0
+	}
+	if c.IsNumeric() {
+		// Eq. 9 numeric branch: 1 - |Q.Ai - A.Ai| / Q.Ai.
+		target := c.X
+		if c.Op == boolean.OpBetween {
+			target = (c.X + c.Y) / 2
+		}
+		if target == 0 {
+			return 0
+		}
+		s := 1 - math.Abs(target-v.Num())/math.Abs(target)
+		if s < 0 {
+			return 0
+		}
+		return s
+	}
+	stored := v.Str()
+	best := 0.0
+	for _, want := range c.Values {
+		if want == stored {
+			best = 1
+			break
+		}
+		if s := a.jaccard(c.Attr, want, stored); s > best {
+			best = s
+		}
+	}
+	if c.Negated {
+		return 1 - best
+	}
+	return best
+}
+
+// jaccard is Eq. 10: |C1 ∩ C2| / |C1 ∪ C2| over supertuples.
+func (a *AIMQ) jaccard(attr, v1, v2 string) float64 {
+	byValue := a.super[attr]
+	if byValue == nil {
+		return 0
+	}
+	s1, s2 := byValue[v1], byValue[v2]
+	if len(s1) == 0 || len(s2) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range s1 {
+		if _, ok := s2[k]; ok {
+			inter++
+		}
+	}
+	union := len(s1) + len(s2) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,35 @@
+package rank
+
+import (
+	"math"
+
+	"repro/internal/sqldb"
+)
+
+// Cosine is the vector-space baseline of Sec. 5.5.2: the question and
+// each answer are binary vectors over the question's selection
+// constraints — per constraint, 1 when the answer satisfies it and 0
+// otherwise — and answers are ordered by the cosine of the angle to
+// the all-ones query vector. With binary weights the cosine reduces
+// to hits / sqrt(N * hits) = sqrt(hits/N), so it counts satisfied
+// constraints with no notion of near-misses.
+type Cosine struct{}
+
+// Name implements Ranker.
+func (Cosine) Name() string { return "Cosine" }
+
+// Rank implements Ranker.
+func (Cosine) Rank(q *Query, tbl *sqldb.Table, cands []sqldb.RowID) []sqldb.RowID {
+	n := float64(len(q.Conds))
+	return sortByScore(cands, func(id sqldb.RowID) float64 {
+		if n == 0 {
+			return 0
+		}
+		hits := float64(CountSatisfied(tbl, id, q.Conds))
+		if hits == 0 {
+			return 0
+		}
+		// cos(query, answer) with binary weights.
+		return hits / (math.Sqrt(n) * math.Sqrt(hits))
+	})
+}

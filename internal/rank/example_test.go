@@ -1,0 +1,17 @@
+package rank_test
+
+import (
+	"fmt"
+
+	"repro/internal/rank"
+)
+
+// Example 4 of the paper: with a $10,000 price range, $11,000 is
+// closer to an asked $10,000 than $7,500 is.
+func ExampleNumSim() {
+	fmt.Printf("%.2f\n", rank.NumSim(10000, 7500, 10000))
+	fmt.Printf("%.2f\n", rank.NumSim(10000, 11000, 10000))
+	// Output:
+	// 0.75
+	// 0.90
+}

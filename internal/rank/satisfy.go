@@ -1,0 +1,78 @@
+// Package rank implements the paper's partial-match ranking
+// (Rank_Sim, Sec. 4.3.2) and the four comparison rankers of
+// Sec. 5.5.2: Random, cosine similarity, AIMQ, and FAQFinder.
+package rank
+
+import (
+	"repro/internal/boolean"
+	"repro/internal/shorthand"
+	"repro/internal/sqldb"
+)
+
+// Satisfies reports whether record id of tbl satisfies condition c,
+// honouring negation, multi-value disjunctions (Rule 2a) and
+// shorthand-notation equivalence (Sec. 4.2.3).
+func Satisfies(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
+	ok := satisfiesPositive(tbl, id, c)
+	if c.Negated {
+		return !ok
+	}
+	return ok
+}
+
+func satisfiesPositive(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
+	if c.IsNumeric() {
+		v := tbl.Value(id, c.Attr)
+		if v.IsNull() {
+			return false
+		}
+		n := v.Num()
+		switch c.Op {
+		case boolean.OpEq:
+			return n == c.X
+		case boolean.OpLt:
+			return n < c.X
+		case boolean.OpLe:
+			return n <= c.X
+		case boolean.OpGt:
+			return n > c.X
+		case boolean.OpGe:
+			return n >= c.X
+		case boolean.OpBetween:
+			return n >= c.X && n <= c.Y
+		}
+		return false
+	}
+	v := tbl.Value(id, c.Attr)
+	if v.IsNull() {
+		return false
+	}
+	stored := v.Str()
+	for _, want := range c.Values {
+		if stored == want || shorthand.Match(want, stored) {
+			return true
+		}
+	}
+	return false
+}
+
+// SatisfiesAll reports whether the record satisfies every condition.
+func SatisfiesAll(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.Condition) bool {
+	for i := range conds {
+		if !Satisfies(tbl, id, &conds[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountSatisfied returns how many of the conditions the record meets.
+func CountSatisfied(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.Condition) int {
+	n := 0
+	for i := range conds {
+		if Satisfies(tbl, id, &conds[i]) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package rank
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/boolean"
+	"repro/internal/qlog"
+	"repro/internal/schema"
+	"repro/internal/shorthand"
+	"repro/internal/sqldb"
+	"repro/internal/wsmatrix"
+)
+
+// Similarity bundles the three per-type similarity sources of
+// Sec. 4.3.2: the TI-matrix for Type I values, the WS-matrix for
+// Type II values, and schema value ranges for Num_Sim on Type III
+// values.
+type Similarity struct {
+	Schema *schema.Schema
+	TI     *qlog.TIMatrix
+	WS     *wsmatrix.Matrix
+
+	// catCache memoizes categorical pair similarities: the WS-matrix
+	// phrase alignment re-stems its inputs on every call, and the same
+	// (question value, record value) pairs recur across hundreds of
+	// candidates during partial matching. Guarded by mu so a Similarity
+	// (and therefore a core.System, e.g. behind the web UI) is safe for
+	// concurrent queries.
+	mu       sync.Mutex
+	catCache map[catKey]float64
+}
+
+type catKey struct {
+	typ  schema.AttrType
+	a, b string
+}
+
+// NumSim is Eq. 4: 1 - |T-V| / Attribute_Value_Range, clamped to
+// [0,1]. rangeWidth must be positive.
+func NumSim(t, v, rangeWidth float64) float64 {
+	if rangeWidth <= 0 {
+		return 0
+	}
+	s := 1 - math.Abs(t-v)/rangeWidth
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// CondSim scores how closely record id's value matches the dropped
+// condition c, in [0,1] (TI_Sim and Feat_Sim are normalized by their
+// matrix maxima per Sec. 4.3.2; Num_Sim is already in range).
+func (s *Similarity) CondSim(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) float64 {
+	v := tbl.Value(id, c.Attr)
+	if v.IsNull() {
+		return 0
+	}
+	if c.IsNumeric() {
+		attr, ok := s.Schema.Attr(c.Attr)
+		if !ok {
+			return 0
+		}
+		target := c.X
+		if c.Op == boolean.OpBetween {
+			// Inside the range is a full match; outside, distance to
+			// the nearest bound.
+			n := v.Num()
+			switch {
+			case n >= c.X && n <= c.Y:
+				return 1
+			case n < c.X:
+				target = c.X
+			default:
+				target = c.Y
+			}
+		}
+		return NumSim(target, v.Num(), attr.Range())
+	}
+	stored := v.Str()
+	best := 0.0
+	for _, want := range c.Values {
+		sim := s.categoricalSim(c.Type, want, stored)
+		if sim > best {
+			best = sim
+		}
+	}
+	if c.Negated {
+		// A record matching a negated value is maximally dissimilar.
+		return 1 - best
+	}
+	return best
+}
+
+// categoricalSim returns the memoized normalized similarity of a
+// question value and a stored value of the given attribute type.
+func (s *Similarity) categoricalSim(typ schema.AttrType, want, stored string) float64 {
+	if want == stored {
+		return 1
+	}
+	k := catKey{typ: typ, a: want, b: stored}
+	if sim, ok := s.cacheGet(k); ok {
+		return sim
+	}
+	var sim float64
+	switch typ {
+	case schema.TypeI:
+		if s.TI != nil {
+			sim = s.TI.NormSim(want, stored)
+		}
+	default:
+		if s.WS != nil {
+			sim = s.WS.NormSim(want, stored)
+		}
+	}
+	s.cachePut(k, sim)
+	return sim
+}
+
+func (s *Similarity) cacheGet(k catKey) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.catCache == nil {
+		return 0, false
+	}
+	sim, ok := s.catCache[k]
+	return sim, ok
+}
+
+func (s *Similarity) cachePut(k catKey, sim float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.catCache == nil {
+		s.catCache = make(map[catKey]float64)
+	}
+	s.catCache[k] = sim
+}
+
+// RankSim is Eq. 5: (N-1) exact matches count 1 each, plus the
+// similarity of the partially-matched condition. conds are the
+// question's N conditions; dropped indexes the relaxed condition.
+func (s *Similarity) RankSim(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.Condition, dropped int) float64 {
+	score := 0.0
+	for i := range conds {
+		if i == dropped {
+			score += s.CondSim(tbl, id, &conds[i])
+			continue
+		}
+		if s.condSatisfied(tbl, id, &conds[i]) {
+			score++
+		}
+	}
+	return score
+}
+
+// condSatisfied is Satisfies with memoized categorical checks (the
+// shorthand normalization is the hot spot when scoring hundreds of
+// candidates).
+func (s *Similarity) condSatisfied(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
+	if c.IsNumeric() {
+		return Satisfies(tbl, id, c)
+	}
+	v := tbl.Value(id, c.Attr)
+	if v.IsNull() {
+		return c.Negated
+	}
+	stored := v.Str()
+	match := false
+	for _, want := range c.Values {
+		if want == stored {
+			match = true
+			break
+		}
+		k := catKey{typ: 0, a: want, b: stored} // typ 0 marks the satisfaction cache
+		cached, ok := s.cacheGet(k)
+		if !ok {
+			cached = 0
+			if shorthandMatch(want, stored) {
+				cached = 1
+			}
+			s.cachePut(k, cached)
+		}
+		if cached == 1 {
+			match = true
+			break
+		}
+	}
+	if c.Negated {
+		return !match
+	}
+	return match
+}
+
+// BestRankSim scores a record against all N single-condition
+// relaxations and returns the best (score, dropped index). Records
+// produced by different relaxed queries of the N−1 strategy are
+// merged on this score.
+func (s *Similarity) BestRankSim(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.Condition) (float64, int) {
+	best, bestIdx := math.Inf(-1), -1
+	for i := range conds {
+		if sc := s.RankSim(tbl, id, conds, i); sc > best {
+			best, bestIdx = sc, i
+		}
+	}
+	return best, bestIdx
+}
+
+// BestRankSimOverGroups evaluates BestRankSim per OR-group of an
+// interpretation and returns the best score with the dropped
+// condition's global index (the position within
+// Interpretation.AllConditions). Scoring per group keeps N the size of
+// one conjunction, as Eq. 5 intends.
+func (s *Similarity) BestRankSimOverGroups(tbl *sqldb.Table, id sqldb.RowID, groups []boolean.Group) (float64, int) {
+	best, bestIdx := math.Inf(-1), -1
+	offset := 0
+	for gi := range groups {
+		conds := groups[gi].Conds
+		sc, idx := s.BestRankSim(tbl, id, conds)
+		if sc > best {
+			best = sc
+			if idx >= 0 {
+				bestIdx = offset + idx
+			}
+		}
+		offset += len(conds)
+	}
+	return best, bestIdx
+}
+
+// shorthandMatch adapts shorthand.Match for the satisfaction cache.
+func shorthandMatch(a, b string) bool { return shorthand.Match(a, b) }

@@ -1,0 +1,30 @@
+package shorthand_test
+
+import (
+	"fmt"
+
+	"repro/internal/shorthand"
+)
+
+// The paper's Sec. 4.2.3 variants of "4 door" all match.
+func ExampleMatch() {
+	for _, n := range []string{"4dr", "4 dr", "four door", "4-door", "4doors"} {
+		fmt.Println(n, shorthand.Match(n, "4 door"))
+	}
+	fmt.Println("red", shorthand.Match("red", "4 door"))
+	// Output:
+	// 4dr true
+	// 4 dr true
+	// four door true
+	// 4-door true
+	// 4doors true
+	// red false
+}
+
+func ExampleBestMatch() {
+	candidates := []string{"2 door", "4 wheel drive", "automatic"}
+	best, ok := shorthand.BestMatch("4wd", candidates)
+	fmt.Println(best, ok)
+	// Output:
+	// 4 wheel drive true
+}

@@ -1,0 +1,101 @@
+// Package shorthand implements the shorthand-notation detector of
+// Sec. 4.2.3 (the paper's Perl script, reimplemented in Go): a
+// shorthand notation N of a data value V only includes characters
+// from V, in the same order as they occur in V.
+package shorthand
+
+import (
+	"strings"
+
+	"repro/internal/text"
+)
+
+// numberWords maps spelled-out numerals to digits so that "four door"
+// and "4dr" meet in the middle ("4 door"), as the paper's examples
+// ('4dr', 'four door', '4-door', ...) require.
+var numberWords = map[string]string{
+	"zero": "0", "one": "1", "two": "2", "three": "3", "four": "4",
+	"five": "5", "six": "6", "seven": "7", "eight": "8", "nine": "9",
+	"ten": "10",
+}
+
+// Normalize lower-cases s, converts spelled-out numerals to digits,
+// and strips spaces and hyphens, producing the canonical character
+// stream the subsequence rule runs over.
+func Normalize(s string) string {
+	s = strings.ToLower(s)
+	fields := strings.FieldsFunc(s, func(r rune) bool {
+		return r == ' ' || r == '-' || r == '_' || r == '.' || r == ','
+	})
+	var sb strings.Builder
+	for _, f := range fields {
+		if d, ok := numberWords[f]; ok {
+			sb.WriteString(d)
+			continue
+		}
+		sb.WriteString(f)
+	}
+	return sb.String()
+}
+
+// IsShorthand reports whether notation is a shorthand of value: after
+// normalization, notation's characters appear in value in order,
+// notation is no longer than value, the two share a first character,
+// and notation is not degenerately short — at least two characters,
+// and two-character notations only abbreviate short values (so "dr"
+// can stand for "door" but a lone "d" never matches, and "ac" does
+// not swallow "all wheel drive"). Equal strings are shorthand of
+// themselves (rule (i) of Sec. 4.2.3 treats exact matches as
+// relevant).
+func IsShorthand(notation, value string) bool {
+	n := Normalize(notation)
+	v := Normalize(value)
+	if n == "" || v == "" {
+		return false
+	}
+	if n == v {
+		return true
+	}
+	if len(n) > len(v) {
+		return false
+	}
+	if n[0] != v[0] {
+		return false
+	}
+	if len(n) < 2 || (len(n) == 2 && len(v) > 6) {
+		return false
+	}
+	return text.IsSubsequence(n, v)
+}
+
+// Match reports whether a user-specified data value a and a record
+// value b are shorthand-related under any of the three clauses of
+// Sec. 4.2.3: exact match, a is shorthand of b, or b is shorthand
+// of a.
+func Match(a, b string) bool {
+	return IsShorthand(a, b) || IsShorthand(b, a)
+}
+
+// BestMatch returns the value in candidates that a most plausibly
+// abbreviates (or that abbreviates a), preferring the candidate whose
+// normalized form is closest in length to a's. ok is false when no
+// candidate matches.
+func BestMatch(a string, candidates []string) (best string, ok bool) {
+	na := Normalize(a)
+	bestGap := 1 << 30
+	for _, c := range candidates {
+		if !Match(a, c) {
+			continue
+		}
+		gap := len(Normalize(c)) - len(na)
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap = gap
+			best = c
+			ok = true
+		}
+	}
+	return best, ok
+}

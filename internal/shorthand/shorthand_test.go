@@ -1,0 +1,98 @@
+package shorthand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperVariants(t *testing.T) {
+	// Sec. 4.2.3: "any of the expressions '4dr', '4 dr', 'four door',
+	// '4 doors', '4-door', or '4doors' could be used" for "4 door".
+	for _, n := range []string{"4dr", "4 dr", "four door", "4 doors", "4-door", "4doors"} {
+		if !Match(n, "4 door") {
+			t.Errorf("Match(%q, 4 door) = false", n)
+		}
+	}
+}
+
+func TestIsShorthandBasics(t *testing.T) {
+	cases := []struct {
+		n, v string
+		want bool
+	}{
+		{"4wd", "4 wheel drive", true},
+		{"auto", "automatic", true},
+		{"2dr", "2 door", true},
+		{"4dr", "2 door", false},  // wrong first char
+		{"red", "blue", false},    // disjoint
+		{"d", "4 door", false},    // degenerately short
+		{"door", "4 door", false}, // wrong first char
+		{"automatic", "automatic", true},
+		{"", "x", false},
+		{"x", "", false},
+	}
+	for _, c := range cases {
+		if got := IsShorthand(c.n, c.v); got != c.want {
+			t.Errorf("IsShorthand(%q,%q) = %v, want %v", c.n, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"4-Door":     "4door",
+		"four door":  "4door",
+		"2 dr":       "2dr",
+		"a_b.c,d":    "abcd",
+		"two wheels": "2wheels",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMatchSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		return Match(a, b) == Match(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchReflexiveOnValues(t *testing.T) {
+	for _, v := range []string{"4 door", "automatic", "red", "buy one get one"} {
+		if !Match(v, v) {
+			t.Errorf("Match(%q,%q) = false", v, v)
+		}
+	}
+}
+
+func TestBestMatch(t *testing.T) {
+	candidates := []string{"2 door", "4 door", "4 wheel drive", "automatic", "manual"}
+	best, ok := BestMatch("4dr", candidates)
+	if !ok || best != "4 door" {
+		t.Errorf("BestMatch(4dr) = %q, %v", best, ok)
+	}
+	best, ok = BestMatch("auto", candidates)
+	if !ok || best != "automatic" {
+		t.Errorf("BestMatch(auto) = %q, %v", best, ok)
+	}
+	if _, ok := BestMatch("zzz", candidates); ok {
+		t.Error("BestMatch(zzz) should fail")
+	}
+	// Prefers the closest length: "4wd" abbreviates "4 wheel drive",
+	// not "4 door".
+	best, ok = BestMatch("4wd", candidates)
+	if !ok || best != "4 wheel drive" {
+		t.Errorf("BestMatch(4wd) = %q, %v", best, ok)
+	}
+}

@@ -1,0 +1,214 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sqldb"
+)
+
+// Exec evaluates a parsed SELECT against db and returns the matching
+// row ids in result order (index order, then ORDER BY, then LIMIT).
+func Exec(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
+	tbl, ok := db.Table(sel.Table)
+	if !ok {
+		// Allow domain names as table references for convenience.
+		tbl, ok = db.TableForDomain(sel.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", sel.Table)
+		}
+	}
+	var ids []sqldb.RowID
+	if sel.Where == nil {
+		ids = tbl.AllRowIDs()
+	} else {
+		var err error
+		ids, err = evalExpr(db, tbl, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.OrderBy != "" {
+		if tbl.ColumnIndex(sel.OrderBy) < 0 {
+			return nil, fmt.Errorf("sql: unknown ORDER BY column %q", sel.OrderBy)
+		}
+		ids = tbl.SortByColumn(ids, sel.OrderBy, sel.Desc)
+	}
+	if sel.Limit > 0 && len(ids) > sel.Limit {
+		ids = ids[:sel.Limit]
+	}
+	return ids, nil
+}
+
+// ExecString parses and evaluates a SQL statement in one step.
+func ExecString(db *sqldb.DB, query string) ([]sqldb.RowID, error) {
+	sel, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(db, sel)
+}
+
+// evalExpr evaluates a WHERE node to a sorted set of row ids.
+func evalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
+	switch n := e.(type) {
+	case *Compare:
+		return evalCompare(tbl, n)
+	case *Between:
+		if tbl.ColumnIndex(n.Column) < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", n.Column)
+		}
+		return tbl.LookupRange(n.Column, n.Lo, n.Hi, true, true), nil
+	case *Like:
+		if tbl.ColumnIndex(n.Column) < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", n.Column)
+		}
+		return tbl.LookupSubstring(n.Column, n.Pattern), nil
+	case *In:
+		sub, err := Exec(db, n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		// The subqueries CQAds emits select from the same table keyed
+		// by row identity (Example 7), so IN reduces to set identity.
+		subTbl, ok := db.Table(n.Sub.Table)
+		if !ok {
+			subTbl, _ = db.TableForDomain(n.Sub.Table)
+		}
+		if subTbl == tbl {
+			return sortIDs(sub), nil
+		}
+		return nil, fmt.Errorf("sql: IN subquery over a different table (%q) is not supported", n.Sub.Table)
+	case *And:
+		var acc []sqldb.RowID
+		for i, op := range n.Operands {
+			ids, err := evalExpr(db, tbl, op)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				acc = ids
+			} else {
+				acc = intersect(acc, ids)
+			}
+			if len(acc) == 0 {
+				return nil, nil
+			}
+		}
+		return acc, nil
+	case *Or:
+		var acc []sqldb.RowID
+		for _, op := range n.Operands {
+			ids, err := evalExpr(db, tbl, op)
+			if err != nil {
+				return nil, err
+			}
+			acc = union(acc, ids)
+		}
+		return acc, nil
+	case *Not:
+		inner, err := evalExpr(db, tbl, n.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return complement(tbl, inner), nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression node %T", e)
+}
+
+func evalCompare(tbl *sqldb.Table, c *Compare) ([]sqldb.RowID, error) {
+	if tbl.ColumnIndex(c.Column) < 0 {
+		return nil, fmt.Errorf("sql: unknown column %q", c.Column)
+	}
+	switch c.Op {
+	case OpEq:
+		return tbl.LookupEqual(c.Column, c.Value), nil
+	case OpNe:
+		return complement(tbl, tbl.LookupEqual(c.Column, c.Value)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		if !c.Value.IsNumber() {
+			return nil, fmt.Errorf("sql: %s requires a numeric literal on column %q", c.Op, c.Column)
+		}
+		n := c.Value.Num()
+		switch c.Op {
+		case OpLt:
+			return tbl.LookupRange(c.Column, math.Inf(-1), n, false, false), nil
+		case OpLe:
+			return tbl.LookupRange(c.Column, math.Inf(-1), n, false, true), nil
+		case OpGt:
+			return tbl.LookupRange(c.Column, n, math.Inf(1), false, false), nil
+		default: // OpGe
+			return tbl.LookupRange(c.Column, n, math.Inf(1), true, false), nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unsupported operator %q", c.Op)
+}
+
+func sortIDs(ids []sqldb.RowID) []sqldb.RowID {
+	out := make([]sqldb.RowID, len(ids))
+	copy(out, ids)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func intersect(a, b []sqldb.RowID) []sqldb.RowID {
+	var out []sqldb.RowID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func union(a, b []sqldb.RowID) []sqldb.RowID {
+	out := make([]sqldb.RowID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// complement returns all rows of tbl not present in ids (ids must be
+// sorted ascending).
+func complement(tbl *sqldb.Table, ids []sqldb.RowID) []sqldb.RowID {
+	var out []sqldb.RowID
+	j := 0
+	for i := 0; i < tbl.Len(); i++ {
+		id := sqldb.RowID(i)
+		for j < len(ids) && ids[j] < id {
+			j++
+		}
+		if j < len(ids) && ids[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}

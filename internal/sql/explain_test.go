@@ -1,0 +1,77 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainAccessPaths(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, `SELECT * FROM car_ads
+		WHERE make = 'honda' AND price < 10000 AND model LIKE '%cord%'
+		ORDER BY price LIMIT 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"primary hash index lookup (Type I)",
+		"ordered index range scan (Type III)",
+		"trigram substring index",
+		"sort by price ASC",
+		"limit 30",
+		"intersect 3 sets",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainOrNotAndSubquery(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, `SELECT * FROM car_ads
+		WHERE (color = 'red' OR NOT transmission = 'manual')
+		AND make IN (SELECT make FROM car_ads C WHERE C.year > 2000)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"union 2 sets",
+		"complement of:",
+		"secondary hash index lookup (Type II)",
+		"subquery for make IN",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainNoWhere(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, "SELECT * FROM car_ads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "full scan (no WHERE)") {
+		t.Errorf("plan = %s", plan)
+	}
+}
+
+func TestExplainShortLikeFallsBackToScan(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, "SELECT * FROM car_ads WHERE model LIKE '%co%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "full scan with substring verify") {
+		t.Errorf("plan = %s", plan)
+	}
+}
+
+func TestExplainUnknownTable(t *testing.T) {
+	db, _ := execDB(t)
+	if _, err := ExplainString(db, "SELECT * FROM ghost"); err == nil {
+		t.Error("unknown table should error")
+	}
+}

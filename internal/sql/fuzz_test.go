@@ -1,0 +1,73 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts renders back to SQL that parses to the same rendering
+// (idempotent round trip). Seeds run as part of the normal test
+// suite; `go test -fuzz=FuzzParse ./internal/sql` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM t WHERE a = 1",
+		"SELECT * FROM car_ads WHERE make = 'honda' AND price < 5000 LIMIT 30",
+		"SELECT * FROM t WHERE a BETWEEN 1 AND 2 OR NOT b = 'x'",
+		"SELECT * FROM t WHERE m LIKE '%co%' ORDER BY p DESC",
+		"SELECT * FROM t WHERE a IN (SELECT a FROM t WHERE b = 2)",
+		"SELECT",
+		"SELECT * FROM",
+		"'unterminated",
+		"SELECT * FROM t WHERE a = 'it''s'",
+		"!@#$%^&*()",
+		"SELECT * FROM t WHERE \xff = 1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sel, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := sel.SQL()
+		sel2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not parse: %v", input, rendered, err)
+		}
+		if sel2.SQL() != rendered {
+			t.Fatalf("rendering not idempotent: %q vs %q", rendered, sel2.SQL())
+		}
+	})
+}
+
+// FuzzExec checks that executing any parseable statement against a
+// populated database never panics (errors are fine).
+func FuzzExec(f *testing.F) {
+	db := sqldb.NewDB()
+	tbl, err := db.CreateTable(schema.Cars())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		_, _ = tbl.Insert(map[string]sqldb.Value{
+			"make":  sqldb.String("honda"),
+			"model": sqldb.String("accord"),
+			"price": sqldb.Number(float64(1000 * i)),
+			"year":  sqldb.Number(float64(1990 + i)),
+		})
+	}
+	for _, seed := range []string{
+		"SELECT * FROM car_ads WHERE make = 'honda'",
+		"SELECT * FROM car_ads WHERE price BETWEEN 0 AND 99999 ORDER BY year LIMIT 3",
+		"SELECT * FROM cars WHERE ghost = 1",
+		"SELECT * FROM nope",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ExecString(db, input)
+	})
+}

@@ -1,0 +1,176 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel, err := Parse("SELECT * FROM car_ads WHERE make = 'honda' AND price < 5000 LIMIT 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Table != "car_ads" || sel.Limit != 30 {
+		t.Fatalf("sel = %+v", sel)
+	}
+	and, ok := sel.Where.(*And)
+	if !ok || len(and.Operands) != 2 {
+		t.Fatalf("Where = %#v", sel.Where)
+	}
+	cmp := and.Operands[0].(*Compare)
+	if cmp.Column != "make" || cmp.Op != OpEq || cmp.Value.Str() != "honda" {
+		t.Errorf("first operand = %+v", cmp)
+	}
+}
+
+func TestParsePrecedenceOrOverAnd(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE a = 1 AND b = 2 OR c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, ok := sel.Where.(*Or)
+	if !ok || len(or.Operands) != 2 {
+		t.Fatalf("top = %#v, want OR of 2", sel.Where)
+	}
+	if _, ok := or.Operands[0].(*And); !ok {
+		t.Errorf("left = %#v, want AND", or.Operands[0])
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := sel.Where.(*And)
+	if !ok {
+		t.Fatalf("top = %#v, want AND", sel.Where)
+	}
+	if _, ok := and.Operands[1].(*Or); !ok {
+		t.Errorf("right = %#v, want OR", and.Operands[1])
+	}
+}
+
+func TestParseBetweenLikeInNot(t *testing.T) {
+	sel, err := Parse(`SELECT * FROM t WHERE price BETWEEN 2000 AND 7000
+		AND model LIKE '%cor%' AND NOT color = 'red'
+		AND id IN (SELECT id FROM t WHERE year > 2005)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := sel.Where.(*And)
+	if len(and.Operands) != 4 {
+		t.Fatalf("operands = %d", len(and.Operands))
+	}
+	if b := and.Operands[0].(*Between); b.Lo != 2000 || b.Hi != 7000 {
+		t.Errorf("between = %+v", b)
+	}
+	if l := and.Operands[1].(*Like); l.Pattern != "cor" {
+		t.Errorf("like = %+v", l)
+	}
+	if _, ok := and.Operands[2].(*Not); !ok {
+		t.Errorf("not = %#v", and.Operands[2])
+	}
+	in, ok := and.Operands[3].(*In)
+	if !ok || in.Sub.Table != "t" {
+		t.Errorf("in = %#v", and.Operands[3])
+	}
+}
+
+func TestParseOrderByAndAliases(t *testing.T) {
+	sel, err := Parse("SELECT * FROM car_ads C WHERE C.price > 100 ORDER BY price DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.OrderBy != "price" || !sel.Desc {
+		t.Errorf("order = %q desc=%v", sel.OrderBy, sel.Desc)
+	}
+	cmp := sel.Where.(*Compare)
+	if cmp.Column != "price" {
+		t.Errorf("aliased column = %q", cmp.Column)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE a < -1 AND b BETWEEN -5.5 AND 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := sel.Where.(*And)
+	if got := and.Operands[0].(*Compare).Value.Num(); got != -1 {
+		t.Errorf("negative literal = %g", got)
+	}
+	if b := and.Operands[1].(*Between); b.Lo != -5.5 || b.Hi != 10 {
+		t.Errorf("between = %+v", b)
+	}
+	// Round trip.
+	if _, err := Parse(sel.SQL()); err != nil {
+		t.Fatalf("negative literals do not round-trip: %v (%s)", err, sel.SQL())
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel, err := Parse("SELECT * FROM t WHERE a = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sel.Where.(*Compare).Value.Str(); got != "it's" {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a BETWEEN 'x' AND 2",
+		"SELECT * FROM t WHERE a LIKE 5",
+		"SELECT * FROM t WHERE a IN (1, 2)",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t trailing garbage",
+		"SELECT * FROM t WHERE a = 1 !",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestSQLRoundTrip(t *testing.T) {
+	// Render → parse → render must be a fixed point.
+	queries := []string{
+		"SELECT * FROM car_ads WHERE make = 'honda' AND model = 'accord' LIMIT 30",
+		"SELECT * FROM car_ads WHERE (make = 'toyota' AND model = 'corolla') OR (color = 'silver' AND NOT (transmission = 'manual'))",
+		"SELECT * FROM car_ads WHERE price BETWEEN 2000 AND 7000 ORDER BY price LIMIT 5",
+		"SELECT * FROM car_ads WHERE model LIKE '%cor%' ORDER BY year DESC",
+	}
+	for _, q := range queries {
+		sel, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		rendered := sel.SQL()
+		sel2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", rendered, err)
+		}
+		if sel2.SQL() != rendered {
+			t.Errorf("round trip unstable:\n  %s\n  %s", rendered, sel2.SQL())
+		}
+	}
+}
+
+func TestLiteralRendering(t *testing.T) {
+	c := &Compare{Column: "a", Op: OpEq, Value: sqldb.String("it's")}
+	if !strings.Contains(c.SQL(), "''") {
+		t.Errorf("quote not escaped: %s", c.SQL())
+	}
+}

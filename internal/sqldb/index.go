@@ -1,0 +1,220 @@
+package sqldb
+
+import (
+	"sort"
+)
+
+// RowID identifies a record within a table. RowIDs are dense and
+// assigned in insertion order starting at 0.
+type RowID int
+
+// hashIndex is an equality index from value key to the posting list of
+// rows holding that value. It backs both the primary index on Type I
+// attributes and the secondary indexes on Type II attributes.
+type hashIndex struct {
+	postings map[string][]RowID
+}
+
+func newHashIndex() *hashIndex {
+	return &hashIndex{postings: make(map[string][]RowID)}
+}
+
+// key renders a value into its index key. Numbers and numeric strings
+// share a key so that year=2004 matches the string "2004".
+func indexKey(v Value) string {
+	if n, ok := v.tryNum(); ok {
+		return "n:" + Number(n).String()
+	}
+	return "s:" + v.Str()
+}
+
+func (ix *hashIndex) insert(v Value, id RowID) {
+	if v.IsNull() {
+		return
+	}
+	k := indexKey(v)
+	ix.postings[k] = append(ix.postings[k], id)
+}
+
+// lookup returns the posting list for v. The returned slice is shared;
+// callers must not mutate it.
+func (ix *hashIndex) lookup(v Value) []RowID {
+	return ix.postings[indexKey(v)]
+}
+
+// orderedIndex keeps (value, row) pairs sorted by numeric value,
+// supporting range scans and min/max queries for boundaries and
+// superlatives (Sec. 4.3 steps 3-4).
+type orderedIndex struct {
+	entries []orderedEntry
+	sorted  bool
+}
+
+type orderedEntry struct {
+	val float64
+	id  RowID
+}
+
+func (ix *orderedIndex) insert(v Value, id RowID) {
+	n, ok := v.tryNum()
+	if !ok {
+		return
+	}
+	ix.entries = append(ix.entries, orderedEntry{val: n, id: id})
+	ix.sorted = false
+}
+
+func (ix *orderedIndex) ensureSorted() {
+	if ix.sorted {
+		return
+	}
+	sort.Slice(ix.entries, func(i, j int) bool {
+		if ix.entries[i].val != ix.entries[j].val {
+			return ix.entries[i].val < ix.entries[j].val
+		}
+		return ix.entries[i].id < ix.entries[j].id
+	})
+	ix.sorted = true
+}
+
+// scanRange returns the rows whose value lies in [lo,hi] with the
+// given inclusivity. Use math.Inf bounds for open ends.
+func (ix *orderedIndex) scanRange(lo, hi float64, includeLo, includeHi bool) []RowID {
+	ix.ensureSorted()
+	// Find first entry >= lo (or > lo when exclusive).
+	start := sort.Search(len(ix.entries), func(i int) bool {
+		if includeLo {
+			return ix.entries[i].val >= lo
+		}
+		return ix.entries[i].val > lo
+	})
+	var out []RowID
+	for i := start; i < len(ix.entries); i++ {
+		v := ix.entries[i].val
+		if includeHi {
+			if v > hi {
+				break
+			}
+		} else if v >= hi {
+			break
+		}
+		out = append(out, ix.entries[i].id)
+	}
+	return out
+}
+
+// trigramIndex is the paper's "primary MySQL substring index of
+// length 3 on all the attributes" (Sec. 4.5): each column value is
+// indexed under every length-3 substring of its text, allowing
+// candidate rows for a substring match to be found without a full
+// scan. Values shorter than 3 characters are indexed whole.
+type trigramIndex struct {
+	postings map[string][]RowID
+}
+
+func newTrigramIndex() *trigramIndex {
+	return &trigramIndex{postings: make(map[string][]RowID)}
+}
+
+// trigrams returns the distinct length-3 substrings of s, or {s}
+// when len(s) < 3.
+func trigrams(s string) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	if len(s) < 3 {
+		return []string{s}
+	}
+	seen := make(map[string]struct{}, len(s))
+	out := make([]string, 0, len(s)-2)
+	for i := 0; i+3 <= len(s); i++ {
+		g := s[i : i+3]
+		if _, dup := seen[g]; dup {
+			continue
+		}
+		seen[g] = struct{}{}
+		out = append(out, g)
+	}
+	return out
+}
+
+func (ix *trigramIndex) insert(v Value, id RowID) {
+	if !v.IsString() {
+		return
+	}
+	for _, g := range trigrams(v.Str()) {
+		ids := ix.postings[g]
+		if n := len(ids); n > 0 && ids[n-1] == id {
+			continue // same row already posted under this gram
+		}
+		ix.postings[g] = append(ix.postings[g], id)
+	}
+}
+
+// candidates returns rows that may contain sub as a substring: the
+// intersection of the posting lists of sub's trigrams. Callers must
+// verify the match against the stored value (trigram intersection is
+// a superset of the true result).
+func (ix *trigramIndex) candidates(sub string) []RowID {
+	grams := trigrams(sub)
+	if len(grams) == 0 {
+		return nil
+	}
+	// Start from the rarest gram to keep the intersection small.
+	sort.Slice(grams, func(i, j int) bool {
+		return len(ix.postings[grams[i]]) < len(ix.postings[grams[j]])
+	})
+	result := ix.postings[grams[0]]
+	if len(result) == 0 {
+		return nil
+	}
+	for _, g := range grams[1:] {
+		result = intersectSorted(result, ix.postings[g])
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	return result
+}
+
+// intersectSorted intersects two ascending RowID slices.
+func intersectSorted(a, b []RowID) []RowID {
+	var out []RowID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// unionSorted unions two ascending RowID slices.
+func unionSorted(a, b []RowID) []RowID {
+	out := make([]RowID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,75 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// TableStats summarizes a table's contents: row count and
+// per-column cardinality, null count and numeric extrema. The stats
+// back the EXPLAIN output and the datagen inspection tooling.
+type TableStats struct {
+	Table   string
+	Rows    int
+	Columns []ColumnStats
+}
+
+// ColumnStats describes one column.
+type ColumnStats struct {
+	Name     string
+	Type     schema.AttrType
+	Distinct int
+	Nulls    int
+	// Min/Max are set for numeric columns with at least one value.
+	Min, Max   float64
+	HasNumeric bool
+}
+
+// Stats scans the table once and computes its statistics.
+func (t *Table) Stats() *TableStats {
+	st := &TableStats{Table: t.name, Rows: t.Len()}
+	for _, a := range t.schema.Attrs {
+		col := ColumnStats{Name: a.Name, Type: a.Type}
+		i := t.colIdx[a.Name]
+		distinct := map[string]struct{}{}
+		for r := range t.rows {
+			v := t.rows[r].Values[i]
+			if v.IsNull() {
+				col.Nulls++
+				continue
+			}
+			distinct[v.String()] = struct{}{}
+			if n, ok := v.tryNum(); ok {
+				if !col.HasNumeric || n < col.Min {
+					col.Min = n
+				}
+				if !col.HasNumeric || n > col.Max {
+					col.Max = n
+				}
+				col.HasNumeric = true
+			}
+		}
+		col.Distinct = len(distinct)
+		st.Columns = append(st.Columns, col)
+	}
+	return st
+}
+
+// String renders the stats as an aligned table.
+func (st *TableStats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "table %s: %d rows\n", st.Table, st.Rows)
+	cols := append([]ColumnStats{}, st.Columns...)
+	sort.SliceStable(cols, func(i, j int) bool { return cols[i].Type < cols[j].Type })
+	for _, c := range cols {
+		fmt.Fprintf(&sb, "  %-14s %-9v distinct=%-5d nulls=%-4d", c.Name, c.Type, c.Distinct, c.Nulls)
+		if c.HasNumeric {
+			fmt.Fprintf(&sb, " range=[%g, %g]", c.Min, c.Max)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

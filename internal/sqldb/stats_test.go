@@ -1,0 +1,45 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableStats(t *testing.T) {
+	tbl := carsTable(t)
+	st := tbl.Stats()
+	if st.Rows != 4 || st.Table != "car_ads" {
+		t.Fatalf("stats = %+v", st)
+	}
+	byName := map[string]ColumnStats{}
+	for _, c := range st.Columns {
+		byName[c.Name] = c
+	}
+	if byName["make"].Distinct != 3 {
+		t.Errorf("make distinct = %d", byName["make"].Distinct)
+	}
+	price := byName["price"]
+	if !price.HasNumeric || price.Min != 8000 || price.Max != 22000 {
+		t.Errorf("price stats = %+v", price)
+	}
+	// Insert a record with nulls and re-check.
+	if _, err := tbl.Insert(map[string]Value{"make": String("kia")}); err != nil {
+		t.Fatal(err)
+	}
+	st = tbl.Stats()
+	for _, c := range st.Columns {
+		if c.Name == "price" && c.Nulls != 1 {
+			t.Errorf("price nulls = %d", c.Nulls)
+		}
+	}
+}
+
+func TestTableStatsString(t *testing.T) {
+	tbl := carsTable(t)
+	out := tbl.Stats().String()
+	for _, want := range []string{"car_ads: 4 rows", "make", "range=[8000, 22000]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Record is one stored ad: a row id plus one Value per column in the
+// table's declaration order.
+type Record struct {
+	ID     RowID
+	Values []Value
+}
+
+// Table is a single relation with its indexes. The index layout
+// follows Sec. 4.3: Type I attributes get the primary (hash) index,
+// Type II attributes get secondary hash indexes, Type III attributes
+// get ordered indexes, and every string column additionally gets a
+// length-3 substring index (Sec. 4.5).
+type Table struct {
+	name    string
+	schema  *schema.Schema
+	colIdx  map[string]int
+	rows    []Record
+	hash    map[string]*hashIndex    // Type I + Type II columns
+	ordered map[string]*orderedIndex // Type III columns
+	substr  map[string]*trigramIndex // all string columns
+}
+
+// NewTable creates an empty table for the given schema.
+func NewTable(s *schema.Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sqldb: %w", err)
+	}
+	t := &Table{
+		name:    s.Table,
+		schema:  s,
+		colIdx:  make(map[string]int, len(s.Attrs)),
+		hash:    make(map[string]*hashIndex),
+		ordered: make(map[string]*orderedIndex),
+		substr:  make(map[string]*trigramIndex),
+	}
+	for i, a := range s.Attrs {
+		t.colIdx[a.Name] = i
+		switch a.Type {
+		case schema.TypeI, schema.TypeII:
+			t.hash[a.Name] = newHashIndex()
+			t.substr[a.Name] = newTrigramIndex()
+		case schema.TypeIII:
+			t.ordered[a.Name] = &orderedIndex{}
+		}
+	}
+	return t, nil
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// Len returns the number of stored records.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a record built from the column→value map and returns
+// its RowID. Missing columns store NULL; unknown columns error.
+func (t *Table) Insert(values map[string]Value) (RowID, error) {
+	row := make([]Value, len(t.schema.Attrs))
+	for col, v := range values {
+		i, ok := t.colIdx[col]
+		if !ok {
+			return 0, fmt.Errorf("sqldb: table %s has no column %q", t.name, col)
+		}
+		row[i] = v
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, Record{ID: id, Values: row})
+	for col, i := range t.colIdx {
+		v := row[i]
+		if ix, ok := t.hash[col]; ok {
+			ix.insert(v, id)
+		}
+		if ix, ok := t.ordered[col]; ok {
+			ix.insert(v, id)
+		}
+		if ix, ok := t.substr[col]; ok {
+			ix.insert(v, id)
+		}
+	}
+	return id, nil
+}
+
+// Get returns the record with the given id.
+func (t *Table) Get(id RowID) (Record, bool) {
+	if id < 0 || int(id) >= len(t.rows) {
+		return Record{}, false
+	}
+	return t.rows[id], true
+}
+
+// Value returns record id's value in the named column.
+func (t *Table) Value(id RowID, col string) Value {
+	i, ok := t.colIdx[col]
+	if !ok || id < 0 || int(id) >= len(t.rows) {
+		return Null
+	}
+	return t.rows[id].Values[i]
+}
+
+// AllRowIDs returns every row id in ascending order.
+func (t *Table) AllRowIDs() []RowID {
+	out := make([]RowID, len(t.rows))
+	for i := range t.rows {
+		out[i] = RowID(i)
+	}
+	return out
+}
+
+// LookupEqual returns the rows whose col equals v, using the hash
+// index when one exists and falling back to a scan otherwise. The
+// returned slice is sorted ascending and owned by the caller.
+func (t *Table) LookupEqual(col string, v Value) []RowID {
+	if ix, ok := t.hash[col]; ok {
+		ids := ix.lookup(v)
+		out := make([]RowID, len(ids))
+		copy(out, ids)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	i, ok := t.colIdx[col]
+	if !ok {
+		return nil
+	}
+	var out []RowID
+	for id := range t.rows {
+		if t.rows[id].Values[i].Equal(v) {
+			out = append(out, RowID(id))
+		}
+	}
+	return out
+}
+
+// LookupRange returns rows whose numeric col lies within the bounds.
+// Use math.Inf for open ends.
+func (t *Table) LookupRange(col string, lo, hi float64, incLo, incHi bool) []RowID {
+	if ix, ok := t.ordered[col]; ok {
+		ids := ix.scanRange(lo, hi, incLo, incHi)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	i, ok := t.colIdx[col]
+	if !ok {
+		return nil
+	}
+	var out []RowID
+	for id := range t.rows {
+		n, isNum := t.rows[id].Values[i].tryNum()
+		if !isNum {
+			continue
+		}
+		okLo := n > lo || (incLo && n == lo)
+		okHi := n < hi || (incHi && n == hi)
+		if okLo && okHi {
+			out = append(out, RowID(id))
+		}
+	}
+	return out
+}
+
+// LookupSubstring returns rows whose string col contains sub,
+// accelerated by the trigram index and verified against stored values.
+func (t *Table) LookupSubstring(col, sub string) []RowID {
+	sub = strings.ToLower(sub)
+	i, ok := t.colIdx[col]
+	if !ok {
+		return nil
+	}
+	verify := func(ids []RowID) []RowID {
+		var out []RowID
+		for _, id := range ids {
+			if strings.Contains(t.rows[id].Values[i].Str(), sub) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	// Patterns shorter than the trigram length cannot use the index
+	// (stored keys are length-3 grams); scan instead, as MySQL's
+	// length-3 substring index would.
+	if ix, ok := t.substr[col]; ok && len(sub) >= 3 {
+		return verify(ix.candidates(sub))
+	}
+	return verify(t.AllRowIDs())
+}
+
+// MinMax returns the smallest and largest values of numeric col over
+// rows in ids (or all rows when ids is nil). ok is false when no row
+// has a numeric value in col.
+func (t *Table) MinMax(col string, ids []RowID) (minV, maxV float64, ok bool) {
+	i, exists := t.colIdx[col]
+	if !exists {
+		return 0, 0, false
+	}
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	consider := func(id RowID) {
+		if n, isNum := t.rows[id].Values[i].tryNum(); isNum {
+			if n < minV {
+				minV = n
+			}
+			if n > maxV {
+				maxV = n
+			}
+			ok = true
+		}
+	}
+	if ids == nil {
+		for id := range t.rows {
+			consider(RowID(id))
+		}
+	} else {
+		for _, id := range ids {
+			consider(id)
+		}
+	}
+	return minV, maxV, ok
+}
+
+// SortByColumn orders ids by the numeric column col, ascending or
+// descending, with RowID as a deterministic tie-breaker. It sorts in
+// place and returns ids for chaining.
+func (t *Table) SortByColumn(ids []RowID, col string, descending bool) []RowID {
+	i, ok := t.colIdx[col]
+	if !ok {
+		return ids
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		va := t.rows[ids[a]].Values[i]
+		vb := t.rows[ids[b]].Values[i]
+		c := va.Compare(vb)
+		if c == 0 {
+			return ids[a] < ids[b]
+		}
+		if descending {
+			return c > 0
+		}
+		return c < 0
+	})
+	return ids
+}
+
+// RecordMap renders record id as a column→Value map (for display and
+// for rankers that want named access).
+func (t *Table) RecordMap(id RowID) map[string]Value {
+	rec, ok := t.Get(id)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]Value, len(t.schema.Attrs))
+	for col, i := range t.colIdx {
+		out[col] = rec.Values[i]
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package text
+
+import "testing"
+
+// FuzzTokenize checks tokenizer invariants on arbitrary input: no
+// panics, no empty tokens, offsets within bounds and increasing.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"Do you have a 2 door red BMW?",
+		"$5,000 20k 1.5m 2dr 4-door",
+		"", "   ", "...", "日本語 question",
+		"a$b$c", "$", "$$", "1.2.3", "-5", "2-", "2-x-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks := Tokenize(input)
+		last := -1
+		for i, tok := range toks {
+			if tok.Text == "" {
+				t.Fatalf("token %d empty for input %q", i, input)
+			}
+			if tok.Start < 0 {
+				t.Fatalf("token %d negative offset for %q", i, input)
+			}
+			if tok.Start <= last && i > 0 {
+				t.Fatalf("offsets not increasing for %q: %d then %d", input, last, tok.Start)
+			}
+			last = tok.Start
+		}
+	})
+}
+
+// FuzzStem checks the stemmer never panics and always returns a
+// non-empty stem no longer than its input (for ASCII words).
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"running", "caresses", "sky", "a", "", "relational",
+		"agreeement", "yyyyy", "bbbb",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, word string) {
+		got := Stem(word)
+		if len(word) > 0 && len(got) == 0 {
+			t.Fatalf("Stem(%q) = empty", word)
+		}
+		if len(got) > len(word) {
+			t.Fatalf("Stem(%q) = %q grew", word, got)
+		}
+	})
+}
+
+// FuzzSimilarText checks the score stays in [0,1] for any byte pair.
+func FuzzSimilarText(f *testing.F) {
+	f.Add("accord", "accorr")
+	f.Add("", "")
+	f.Add("a", "aaaa")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 64 || len(b) > 64 {
+			return // keep the quadratic LCS bounded
+		}
+		s := SimilarText(a, b)
+		if s < 0 || s > 1 {
+			t.Fatalf("SimilarText(%q,%q) = %g", a, b, s)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package text
+
+// SimilarText computes the percentage similarity of two strings using
+// the classic PHP similar_text algorithm: it finds the longest common
+// substring, recurses on the unmatched prefixes and suffixes, and
+// reports 2*matched / (len(a)+len(b)). CQAds uses this to pick the
+// best replacement for a misspelled keyword (Sec. 4.2.1): the
+// "similar text function which calculates their similarity based on
+// the number of common characters and their corresponding positions".
+//
+// The result is in [0,1]; identical non-empty strings score 1.
+func SimilarText(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sim := similarChars(a, b)
+	return 2 * float64(sim) / float64(len(a)+len(b))
+}
+
+// similarChars returns the number of matching characters found by the
+// similar_text recursion.
+func similarChars(a, b string) int {
+	posA, posB, max := longestCommonSubstring(a, b)
+	if max == 0 {
+		return 0
+	}
+	sum := max
+	if posA > 0 && posB > 0 {
+		sum += similarChars(a[:posA], b[:posB])
+	}
+	if posA+max < len(a) && posB+max < len(b) {
+		sum += similarChars(a[posA+max:], b[posB+max:])
+	}
+	return sum
+}
+
+// longestCommonSubstring finds the longest run of bytes common to a
+// and b, returning its start positions and length.
+func longestCommonSubstring(a, b string) (posA, posB, max int) {
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(b); j++ {
+			k := 0
+			for i+k < len(a) && j+k < len(b) && a[i+k] == b[j+k] {
+				k++
+			}
+			if k > max {
+				posA, posB, max = i, j, k
+			}
+		}
+	}
+	return posA, posB, max
+}
+
+// Levenshtein returns the edit distance between a and b (insertions,
+// deletions, substitutions all cost 1). Used as a tie-breaker when two
+// trie alternatives have equal SimilarText scores.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	curr := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// IsSubsequence reports whether needle's characters all appear in
+// haystack in the same order (not necessarily contiguously). This is
+// the core rule of the shorthand detector (Sec. 4.2.3): "any shorthand
+// notation N of a data value V only includes characters from V, and
+// the characters in N should have the same order as characters in V".
+func IsSubsequence(needle, haystack string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	i := 0
+	for j := 0; j < len(haystack) && i < len(needle); j++ {
+		if needle[i] == haystack[j] {
+			i++
+		}
+	}
+	return i == len(needle)
+}

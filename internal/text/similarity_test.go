@@ -1,0 +1,154 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSimilarTextBasics(t *testing.T) {
+	if got := SimilarText("accord", "accord"); got != 1 {
+		t.Errorf("identical strings = %g, want 1", got)
+	}
+	if got := SimilarText("", ""); got != 1 {
+		t.Errorf("empty strings = %g, want 1", got)
+	}
+	if got := SimilarText("abc", ""); got != 0 {
+		t.Errorf("one empty = %g, want 0", got)
+	}
+	if got := SimilarText("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %g, want 0", got)
+	}
+}
+
+func TestSimilarTextTypoScoresHigh(t *testing.T) {
+	// The paper's example: "accorr" should be repaired to "accord".
+	typo := SimilarText("accorr", "accord")
+	other := SimilarText("accorr", "camry")
+	if typo <= other {
+		t.Errorf("typo %g should beat unrelated %g", typo, other)
+	}
+	if typo < 0.7 {
+		t.Errorf("typo similarity = %g, want >= 0.7", typo)
+	}
+}
+
+func TestSimilarTextProperties(t *testing.T) {
+	// The score is bounded in [0,1] and maximal exactly on equal
+	// strings. (Like PHP's similar_text, the score is not strictly
+	// symmetric when different LCS tie-breaks are possible, so
+	// symmetry is not asserted.)
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		s := SimilarText(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if a == b && s != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"kitten", "sitting", 3},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"same", "same", 0},
+		{"honda", "hondda", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	sym := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false
+		}
+		// Distance bounded by the longer string's length.
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		// Identity of indiscernibles.
+		if (d == 0) != (a == b) {
+			return false
+		}
+		return d <= max
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		for _, s := range []*string{&a, &b, &c} {
+			if len(*s) > 15 {
+				*s = (*s)[:15]
+			}
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSubsequence(t *testing.T) {
+	cases := []struct {
+		n, h string
+		want bool
+	}{
+		{"2dr", "2 door", true},
+		{"4wd", "4 wheel drive", true},
+		{"", "anything", true},
+		{"abc", "abc", true},
+		{"acb", "abc", false},
+		{"abc", "ab", false},
+	}
+	for _, c := range cases {
+		if got := IsSubsequence(c.n, c.h); got != c.want {
+			t.Errorf("IsSubsequence(%q,%q) = %v, want %v", c.n, c.h, got, c.want)
+		}
+	}
+}
+
+func TestIsSubsequenceProperties(t *testing.T) {
+	// Every prefix of s is a subsequence of s; s is one of itself.
+	f := func(s string) bool {
+		if len(s) > 30 {
+			s = s[:30]
+		}
+		if !IsSubsequence(s, s) {
+			return false
+		}
+		return IsSubsequence(s[:len(s)/2], s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+package text
+
+import "strings"
+
+// stopwords is the stopword list used when simplifying questions
+// (Sec. 4.1.4: "CQAds eliminates all the non-essential keywords, which
+// are stopwords, which carry little meaning"). It is the classic
+// English function-word list extended with question-formulaic words
+// that appear in ads questions ("find", "want", "show", ...).
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range strings.Fields(stopwordList) {
+		stopwords[w] = struct{}{}
+	}
+}
+
+const stopwordList = `
+a about above after again against all am an and any are aren as at be
+because been before being below between both but by can cannot could
+couldn did didn do does doesn doing don down during each few for from
+further had hadn has hasn have haven having he her here hers herself
+him himself his how i if in into is isn it its itself let me more most
+mustn my myself no nor not of off on once only or other ought our ours
+ourselves out over own same shan she should shouldn so some such than
+that the their theirs them themselves then there these they this those
+through to too under until up very was wasn we were weren what when
+where which while who whom why with won would wouldn you your yours
+yourself yourselves
+do you have want looking look seeking seek need needs please show give
+get find me i am anyone any got sell selling buy buying interested
+hi hello thanks thank
+car cars vehicle vehicles item items thing things ad ads listing
+listings one ones priced
+`
+
+// IsStopword reports whether w (already lower-cased) is a stopword.
+//
+// Note that comparison words such as "between", "under", "above" ARE
+// in the classic stopword list but are load-bearing in ads questions
+// (they are boundary keywords, Sec. 4.1.2). Callers that tag questions
+// must consult the trie/boundary tables BEFORE dropping stopwords;
+// RemoveStopwords below preserves them.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}
+
+// preserved are words that are formally stopwords but carry selection
+// semantics in ads questions: boundary and negation keywords.
+var preserved = map[string]struct{}{
+	"between": {}, "under": {}, "above": {}, "below": {}, "over": {},
+	"not": {}, "no": {}, "without": {}, "more": {}, "most": {},
+	"than": {}, "within": {}, "or": {}, "and": {}, "except": {},
+}
+
+// RemoveStopwords filters stopwords out of words, preserving boundary,
+// negation and Boolean keywords that the question evaluator needs.
+func RemoveStopwords(words []string) []string {
+	out := words[:0:0]
+	for _, w := range words {
+		if _, keep := preserved[w]; keep {
+			out = append(out, w)
+			continue
+		}
+		if IsStopword(w) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "a", "do", "have", "want", "car"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"honda", "red", "cheapest", "mileage"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestRemoveStopwordsPreservesBoundaries(t *testing.T) {
+	// Boundary/negation keywords are formally stopwords but must
+	// survive the filter (Sec. 4.1.2 needs them).
+	in := []string{"do", "you", "have", "a", "red", "bmw", "under", "5000", "not", "manual", "or", "between"}
+	want := []string{"red", "bmw", "under", "5000", "not", "manual", "or", "between"}
+	got := RemoveStopwords(in)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RemoveStopwords = %v, want %v", got, want)
+	}
+}
+
+func TestRemoveStopwordsEmpty(t *testing.T) {
+	if got := RemoveStopwords(nil); len(got) != 0 {
+		t.Errorf("RemoveStopwords(nil) = %v", got)
+	}
+}

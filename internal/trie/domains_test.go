@@ -1,0 +1,90 @@
+package trie
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestTaggingAcrossAllDomains runs one canonical question per domain
+// through its tagger, ensuring every domain trie resolves its own
+// vocabulary (the paper's scalability claim, Sec. 6).
+func TestTaggingAcrossAllDomains(t *testing.T) {
+	cases := map[string]struct {
+		question string
+		wantAttr map[string]string // attr -> value expected among tags
+	}{
+		"cars": {
+			"red honda accord under $9000",
+			map[string]string{"make": "honda", "model": "accord", "color": "red"},
+		},
+		"motorcycles": {
+			"used kawasaki ninja less than 5000 miles",
+			map[string]string{"make": "kawasaki", "model": "ninja", "condition": "used"},
+		},
+		"clothing": {
+			"black leather jacket from zara medium",
+			map[string]string{"brand": "zara", "item": "jacket", "color": "black", "material": "leather", "size": "medium"},
+		},
+		"csjobs": {
+			"senior python software engineer above 120000 dollars",
+			map[string]string{"title": "software engineer", "language": "python", "level": "senior"},
+		},
+		"furniture": {
+			"antique oak table under $400",
+			map[string]string{"piece": "table", "material": "oak", "condition": "antique"},
+		},
+		"foodcoupons": {
+			"dominos pizza free delivery",
+			map[string]string{"vendor": "dominos", "cuisine": "pizza", "coupon": "free delivery"},
+		},
+		"instruments": {
+			"vintage fender electric guitar sunburst",
+			map[string]string{"brand": "fender", "instrument": "guitar", "condition": "vintage", "finish": "sunburst", "kind": "electric"},
+		},
+		"jewellery": {
+			"womens platinum ring with sapphire",
+			map[string]string{"piece": "ring", "metal": "platinum", "stone": "sapphire", "gender": "womens"},
+		},
+	}
+	for domain, c := range cases {
+		tagger := NewTagger(schema.ByName(domain))
+		tags := tagger.Tag(c.question)
+		got := map[string]string{}
+		for _, tag := range tags {
+			if tag.Value != "" {
+				got[tag.Attr] = tag.Value
+			}
+		}
+		for attr, want := range c.wantAttr {
+			if got[attr] != want {
+				t.Errorf("%s: attr %s = %q, want %q (tags: %+v)",
+					domain, attr, got[attr], want, tags)
+			}
+		}
+	}
+}
+
+// TestTrieSuggest pins the autocomplete behavior.
+func TestTrieSuggest(t *testing.T) {
+	tg := NewTagger(schema.Cars())
+	got := tg.Trie.Suggest("ho", 10)
+	found := false
+	for _, s := range got {
+		if s == "honda" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Suggest(ho) = %v", got)
+	}
+	if got := tg.Trie.Suggest("zzz", 10); got != nil {
+		t.Errorf("Suggest(zzz) = %v", got)
+	}
+	if got := tg.Trie.Suggest("h", 0); got != nil {
+		t.Errorf("Suggest with limit 0 = %v", got)
+	}
+	if got := tg.Trie.Suggest("", 3); len(got) != 3 {
+		t.Errorf("Suggest(\"\") with limit 3 = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package trie implements the per-domain tagging tries of Sec. 4.1.3:
+// ordered character trees whose keyword nodes carry the identifiers of
+// Table 1. The trie drives keyword tagging, missing-space repair and
+// spelling correction (Sec. 4.2.1).
+package trie
+
+import "fmt"
+
+// Kind classifies a keyword entry, following the identifiers table
+// (Table 1) and the superlative/boundary taxonomy of Sec. 4.1.2.
+type Kind int
+
+const (
+	// KindTypeIValue is a Type I attribute value ("honda").
+	KindTypeIValue Kind = iota + 1
+	// KindTypeIIValue is a Type II attribute value ("automatic").
+	KindTypeIIValue
+	// KindTypeIIIAttr is a Type III attribute name keyword ("price").
+	KindTypeIIIAttr
+	// KindUnit is a unit keyword that identifies a Type III attribute
+	// ("dollars", "miles"); per Sec. 4.1.1 units are themselves
+	// Type III attribute values.
+	KindUnit
+	// KindLess is a "<" comparison keyword (Table 1: below, fewer,
+	// less, lower, max, most, smaller, under).
+	KindLess
+	// KindGreater is a ">" comparison keyword (Table 1: above,
+	// greater, higher, least, min, over).
+	KindGreater
+	// KindEqual is an "=" comparison keyword (equal, equals, exactly).
+	KindEqual
+	// KindBetween introduces a range (between, range, within).
+	KindBetween
+	// KindSuperlative is a complete superlative (Sec. 4.1.2 S-C):
+	// a stand-alone extreme such as "cheapest" that resolves to a
+	// specific attribute and direction in the domain schema.
+	KindSuperlative
+	// KindSuperlativePartial is a partial superlative (S-P): a term
+	// comparing extreme values ("lowest", "highest", "max", "min")
+	// that needs a Type III attribute from context.
+	KindSuperlativePartial
+	// KindNegation marks NOT semantics (not, no, without, except,
+	// excluding, remove).
+	KindNegation
+	// KindOr is an explicit Boolean OR.
+	KindOr
+	// KindAnd is an explicit Boolean AND.
+	KindAnd
+	// KindGlue is a connective consumed during context switching
+	// ("than", "to") that carries no identifier of its own.
+	KindGlue
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTypeIValue:
+		return "TypeI"
+	case KindTypeIIValue:
+		return "TypeII"
+	case KindTypeIIIAttr:
+		return "TypeIIIAttr"
+	case KindUnit:
+		return "Unit"
+	case KindLess:
+		return "<"
+	case KindGreater:
+		return ">"
+	case KindEqual:
+		return "="
+	case KindBetween:
+		return "between"
+	case KindSuperlative:
+		return "Superlative"
+	case KindSuperlativePartial:
+		return "SuperlativePartial"
+	case KindNegation:
+		return "Negation"
+	case KindOr:
+		return "OR"
+	case KindAnd:
+		return "AND"
+	case KindGlue:
+		return "Glue"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Entry is the identifier attached to a keyword node: the trie's
+// pre-programmed interpretation of the keyword's functionality
+// (Sec. 4.1.3).
+type Entry struct {
+	Kind Kind
+	// Attr names the attribute the keyword belongs to (the Type I/II
+	// attribute of a value, the Type III attribute of a name/unit/
+	// complete superlative).
+	Attr string
+	// Value is the canonical attribute value for Type I/II entries.
+	Value string
+	// Descending is the superlative direction (true = wants maximum).
+	Descending bool
+}

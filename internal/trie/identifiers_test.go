@@ -1,0 +1,110 @@
+package trie
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// TestTable1Identifiers asserts the identifier classes of Table 1:
+// every keyword row of the identifiers table maps to the expected
+// trie entry in the cars-domain tagger. This is experiment E7 of
+// DESIGN.md — the identifiers table is a specification, so it is
+// verified as data.
+func TestTable1Identifiers(t *testing.T) {
+	tg := NewTagger(schema.Cars())
+	cases := []struct {
+		keyword string
+		kind    Kind
+		attr    string
+		desc    bool
+	}{
+		// Type I attribute values.
+		{"toyota", KindTypeIValue, "make", false},
+		{"camry", KindTypeIValue, "model", false},
+		// Type II attribute values.
+		{"blue", KindTypeIIValue, "color", false},
+		{"automatic", KindTypeIIValue, "transmission", false},
+		{"4 wheel drive", KindTypeIIValue, "drivetrain", false},
+		// Type III attribute name keywords.
+		{"price", KindTypeIIIAttr, "price", false},
+		{"mileage", KindTypeIIIAttr, "mileage", false},
+		{"year", KindTypeIIIAttr, "year", false},
+		// Unit keywords (Type III attribute values per Sec. 4.1.1).
+		{"$", KindUnit, "price", false},
+		{"usd", KindUnit, "price", false},
+		{"dollars", KindUnit, "price", false},
+		{"miles", KindUnit, "mileage", false},
+		// "<" row: below, fewer, less, lower, smaller.
+		{"below", KindLess, "", false},
+		{"fewer", KindLess, "", false},
+		{"less", KindLess, "", false},
+		{"lower", KindLess, "", false},
+		{"smaller", KindLess, "", false},
+		{"under", KindLess, "", false},
+		// ">" row: above, greater, higher.
+		{"above", KindGreater, "", false},
+		{"greater", KindGreater, "", false},
+		{"higher", KindGreater, "", false},
+		{"more", KindGreater, "", false},
+		// "=" row.
+		{"equal", KindEqual, "", false},
+		{"equals", KindEqual, "", false},
+		// Superlative rows: "Newest, latest → group by year DESC",
+		// "Oldest, earliest → group by year", "Cheapest, inexpensive
+		// → group by price".
+		{"newest", KindSuperlative, "year", true},
+		{"latest", KindSuperlative, "year", true},
+		{"oldest", KindSuperlative, "year", false},
+		{"earliest", KindSuperlative, "year", false},
+		{"cheapest", KindSuperlative, "price", false},
+		{"inexpensive", KindSuperlative, "price", false},
+		// "Lowest → group by" (partial superlative, attr from context).
+		{"lowest", KindSuperlativePartial, "", false},
+		{"highest", KindSuperlativePartial, "", true},
+		{"max", KindSuperlativePartial, "", true},
+		{"min", KindSuperlativePartial, "", false},
+		// "Between, range, within" row.
+		{"between", KindBetween, "", false},
+		{"range", KindBetween, "", false},
+		{"within", KindBetween, "", false},
+		// Negations (Sec. 4.4.1 footnote 1).
+		{"not", KindNegation, "", false},
+		{"no", KindNegation, "", false},
+		{"without", KindNegation, "", false},
+		{"except", KindNegation, "", false},
+		{"excluding", KindNegation, "", false},
+		{"remove", KindNegation, "", false},
+		{"nothing", KindNegation, "", false},
+		// Boolean operators.
+		{"and", KindAnd, "", false},
+		{"or", KindOr, "", false},
+	}
+	for _, c := range cases {
+		e, ok := tg.Trie.Lookup(c.keyword)
+		if !ok {
+			t.Errorf("keyword %q not in trie", c.keyword)
+			continue
+		}
+		if e.Kind != c.kind {
+			t.Errorf("keyword %q kind = %v, want %v", c.keyword, e.Kind, c.kind)
+		}
+		if c.attr != "" && e.Attr != c.attr {
+			t.Errorf("keyword %q attr = %q, want %q", c.keyword, e.Attr, c.attr)
+		}
+		if e.Descending != c.desc {
+			t.Errorf("keyword %q desc = %v, want %v", c.keyword, e.Descending, c.desc)
+		}
+	}
+}
+
+// TestTable1OtherKeyword asserts the catch-all row: unknown words get
+// no identifier (dropped as non-essential).
+func TestTable1OtherKeyword(t *testing.T) {
+	tg := NewTagger(schema.Cars())
+	for _, w := range []string{"wonderful", "xylophone", "asdf"} {
+		if _, ok := tg.Trie.Lookup(w); ok {
+			t.Errorf("non-keyword %q has an identifier", w)
+		}
+	}
+}

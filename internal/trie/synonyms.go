@@ -1,0 +1,104 @@
+package trie
+
+import "repro/internal/schema"
+
+// This file implements the third future-work item of Sec. 6:
+// "transformation rules to enhance the accuracy of matching records
+// to questions". A transformation rule maps a surface phrase users
+// write to a canonical attribute value stored in the DB ("stick
+// shift" → transmission = manual). Rules are inserted into the same
+// tagging trie, so they compose with combined-keyword matching,
+// spelling repair and Boolean interpretation for free.
+
+// Synonyms maps surface phrases to canonical attribute values of one
+// domain. The canonical value must exist in the domain schema; rules
+// whose target is unknown are skipped (reported by AddSynonyms).
+type Synonyms map[string]string
+
+// DefaultCarSynonyms is the rule set shipped for the cars domain,
+// covering the paraphrases observed in the survey questions.
+func DefaultCarSynonyms() Synonyms {
+	return Synonyms{
+		"stick shift":           "manual",
+		"stick":                 "manual",
+		"standard transmission": "manual",
+		"auto":                  "automatic",
+		"awd":                   "all wheel drive",
+		"4x4":                   "4 wheel drive",
+		"four by four":          "4 wheel drive",
+		"fwd":                   "2 wheel drive",
+		"coupe":                 "2 door",
+		"sedan":                 "4 door",
+		"grey":                  "grey",
+		"gray":                  "grey",
+		"vw":                    "volkswagen",
+		"chevrolet":             "chevy",
+		"beamer":                "bmw",
+		"bimmer":                "bmw",
+	}
+}
+
+// DefaultSynonyms returns the shipped rule set for a domain (empty
+// for domains without one).
+func DefaultSynonyms(domain string) Synonyms {
+	switch domain {
+	case "cars":
+		return DefaultCarSynonyms()
+	case "csjobs":
+		return Synonyms{
+			"swe":         "software engineer",
+			"dba":         "database administrator",
+			"golang":      "go",
+			"fulltime":    "full time",
+			"part-time":   "part time",
+			"entry level": "junior",
+		}
+	case "jewellery":
+		return Synonyms{
+			"18k gold": "gold",
+			"sterling": "silver",
+		}
+	}
+	return nil
+}
+
+// AddSynonyms installs transformation rules into the tagger's trie:
+// each surface phrase becomes a keyword node carrying the canonical
+// value's entry. It returns the rules that could not be resolved to a
+// schema value.
+func (t *Tagger) AddSynonyms(rules Synonyms) (skipped []string) {
+	for phrase, canonical := range rules {
+		entry, ok := t.lookupValueEntry(canonical)
+		if !ok {
+			skipped = append(skipped, phrase)
+			continue
+		}
+		// Never shadow a real schema keyword ("grey" maps to itself
+		// harmlessly; "manual" must keep its own entry).
+		if _, exists := t.Trie.Lookup(phrase); exists {
+			continue
+		}
+		t.Trie.Insert(phrase, entry)
+	}
+	return skipped
+}
+
+// lookupValueEntry finds the Type I/II entry for a canonical value.
+func (t *Tagger) lookupValueEntry(canonical string) (Entry, bool) {
+	e, ok := t.Trie.Lookup(canonical)
+	if !ok {
+		return Entry{}, false
+	}
+	if e.Kind != KindTypeIValue && e.Kind != KindTypeIIValue {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// NewTaggerWithSynonyms builds a tagger and installs the domain's
+// default transformation rules.
+func NewTaggerWithSynonyms(s *schema.Schema) *Tagger {
+	t := NewTagger(s)
+	t.AddSynonyms(DefaultSynonyms(s.Domain))
+	return t
+}

@@ -1,0 +1,85 @@
+package trie
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestSynonymsResolveToCanonicalValues(t *testing.T) {
+	tg := NewTaggerWithSynonyms(schema.Cars())
+	cases := map[string]struct {
+		attr  string
+		value string
+	}{
+		"stick shift": {"transmission", "manual"},
+		"4x4":         {"drivetrain", "4 wheel drive"},
+		"awd":         {"drivetrain", "all wheel drive"},
+		"sedan":       {"doors", "4 door"},
+		"chevrolet":   {"make", "chevy"},
+		"vw":          {"make", "volkswagen"},
+	}
+	for phrase, want := range cases {
+		tags := tg.Tag(phrase)
+		if len(tags) != 1 {
+			t.Errorf("Tag(%q) = %+v, want one tag", phrase, tags)
+			continue
+		}
+		if tags[0].Attr != want.attr || tags[0].Value != want.value {
+			t.Errorf("Tag(%q) = %s=%s, want %s=%s",
+				phrase, tags[0].Attr, tags[0].Value, want.attr, want.value)
+		}
+	}
+}
+
+func TestSynonymsComposeWithPipelinePhrases(t *testing.T) {
+	tg := NewTaggerWithSynonyms(schema.Cars())
+	tags := tg.Tag("blue 4x4 jeep wrangler with stick shift under $20000")
+	var drivetrain, transmission bool
+	for _, tag := range tags {
+		if tag.Attr == "drivetrain" && tag.Value == "4 wheel drive" {
+			drivetrain = true
+		}
+		if tag.Attr == "transmission" && tag.Value == "manual" {
+			transmission = true
+		}
+	}
+	if !drivetrain || !transmission {
+		t.Errorf("tags = %+v", tags)
+	}
+}
+
+func TestAddSynonymsSkipsUnknownTargets(t *testing.T) {
+	tg := NewTagger(schema.Cars())
+	skipped := tg.AddSynonyms(Synonyms{
+		"hovercraft": "antigravity", // no such value
+		"auto":       "automatic",
+	})
+	if len(skipped) != 1 || skipped[0] != "hovercraft" {
+		t.Errorf("skipped = %v", skipped)
+	}
+	if _, ok := tg.Trie.Lookup("auto"); !ok {
+		t.Error("valid rule not installed")
+	}
+}
+
+func TestSynonymsNeverShadowSchemaKeywords(t *testing.T) {
+	tg := NewTagger(schema.Cars())
+	tg.AddSynonyms(Synonyms{"manual": "automatic"}) // malicious rule
+	e, ok := tg.Trie.Lookup("manual")
+	if !ok || e.Value != "manual" {
+		t.Errorf("schema keyword shadowed: %+v", e)
+	}
+}
+
+func TestDefaultSynonymsDomains(t *testing.T) {
+	if len(DefaultSynonyms("cars")) == 0 {
+		t.Error("cars rules missing")
+	}
+	if len(DefaultSynonyms("csjobs")) == 0 {
+		t.Error("csjobs rules missing")
+	}
+	if DefaultSynonyms("furniture") != nil {
+		t.Error("unexpected rules for furniture")
+	}
+}

@@ -1,0 +1,279 @@
+package trie
+
+import (
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/shorthand"
+	"repro/internal/text"
+)
+
+// Tag is one tagged keyword of a question: the trie entry that matched
+// plus the matched source text (Sec. 4.1.3's identifier list, in
+// detection order).
+type Tag struct {
+	Kind       Kind
+	Attr       string  // attribute the keyword resolves to, if known
+	Value      string  // canonical categorical value
+	Num        float64 // numeric payload for KindNumber tags
+	Unit       string  // unit hint attached to a number ("$")
+	Descending bool    // superlative direction
+	Source     string  // original question text that produced the tag
+	Corrected  bool    // true when spelling repair or shorthand fired
+}
+
+// KindNumber tags a numeric token; it is produced by the tagger, not
+// stored in the trie.
+const KindNumber Kind = 100
+
+// maxPhraseTokens bounds combined-keyword matching ("buy one get one"
+// is the longest phrase in the shipped schemas).
+const maxPhraseTokens = 4
+
+// Tagger tags questions for one ads domain. It owns the domain trie
+// built from the schema plus the domain-independent identifiers table.
+type Tagger struct {
+	Schema *schema.Schema
+	Trie   *Trie
+	// NoRepair disables spelling correction, missing-space repair and
+	// shorthand detection (the Sec. 4.2 machinery); unknown tokens are
+	// simply dropped. Exists for the repair ablation experiment.
+	NoRepair bool
+	// valueWords are the categorical values, used as the shorthand
+	// candidate pool.
+	valueWords []string
+}
+
+// genericEntries is the domain-independent part of the identifiers
+// table (Table 1): comparison keywords, range keywords, negations,
+// Boolean operators, partial superlatives, and glue.
+var genericEntries = map[string]Entry{
+	// "<" group (Table 1: Below, fewer, less, lower, max, most,
+	// smaller).
+	"below": {Kind: KindLess}, "fewer": {Kind: KindLess},
+	"less": {Kind: KindLess}, "lower": {Kind: KindLess},
+	"smaller": {Kind: KindLess}, "under": {Kind: KindLess},
+	"at most": {Kind: KindLess},
+	// ">" group (Table 1: Above, greater, higher, least, min).
+	"above": {Kind: KindGreater}, "greater": {Kind: KindGreater},
+	"higher": {Kind: KindGreater}, "more": {Kind: KindGreater},
+	"over": {Kind: KindGreater}, "at least": {Kind: KindGreater},
+	// "=" group.
+	"equal": {Kind: KindEqual}, "equals": {Kind: KindEqual},
+	"exactly": {Kind: KindEqual},
+	// Range group.
+	"between": {Kind: KindBetween}, "range": {Kind: KindBetween},
+	"within": {Kind: KindBetween},
+	// Partial superlatives (Sec. 4.1.2 S-P): need an attribute from
+	// context.
+	"lowest":   {Kind: KindSuperlativePartial},
+	"min":      {Kind: KindSuperlativePartial},
+	"minimum":  {Kind: KindSuperlativePartial},
+	"highest":  {Kind: KindSuperlativePartial, Descending: true},
+	"max":      {Kind: KindSuperlativePartial, Descending: true},
+	"maximum":  {Kind: KindSuperlativePartial, Descending: true},
+	"greatest": {Kind: KindSuperlativePartial, Descending: true},
+	"fewest":   {Kind: KindSuperlativePartial},
+	"least":    {Kind: KindSuperlativePartial},
+	// Negations (Sec. 4.4.1 footnote).
+	"not": {Kind: KindNegation}, "no": {Kind: KindNegation},
+	"without": {Kind: KindNegation}, "except": {Kind: KindNegation},
+	"excluding": {Kind: KindNegation}, "exclude": {Kind: KindNegation},
+	"remove": {Kind: KindNegation}, "nothing": {Kind: KindNegation},
+	"leave out": {Kind: KindNegation},
+	// Boolean operators.
+	"or": {Kind: KindOr}, "and": {Kind: KindAnd},
+	// Glue words consumed by context switching.
+	"than": {Kind: KindGlue}, "to": {Kind: KindGlue},
+	"expensive": {Kind: KindGlue},
+}
+
+// NewTagger builds the tagging trie for a domain schema: Type I/II
+// attribute values, Type III attribute names and units, the schema's
+// complete superlatives, and the generic identifiers table.
+func NewTagger(s *schema.Schema) *Tagger {
+	t := &Tagger{Schema: s, Trie: New()}
+	for _, a := range s.Attrs {
+		switch a.Type {
+		case schema.TypeI:
+			for _, v := range a.Values {
+				t.Trie.Insert(v, Entry{Kind: KindTypeIValue, Attr: a.Name, Value: v})
+				t.valueWords = append(t.valueWords, v)
+			}
+		case schema.TypeII:
+			for _, v := range a.Values {
+				t.Trie.Insert(v, Entry{Kind: KindTypeIIValue, Attr: a.Name, Value: v})
+				t.valueWords = append(t.valueWords, v)
+			}
+		case schema.TypeIII:
+			t.Trie.Insert(a.Name, Entry{Kind: KindTypeIIIAttr, Attr: a.Name})
+			// Common plural form ("years", "dollars" handled by Unit).
+			t.Trie.Insert(a.Name+"s", Entry{Kind: KindTypeIIIAttr, Attr: a.Name})
+			for _, u := range a.Unit {
+				t.Trie.Insert(u, Entry{Kind: KindUnit, Attr: a.Name})
+			}
+		}
+	}
+	for kw, sup := range s.SuperlativeAttr {
+		t.Trie.Insert(kw, Entry{
+			Kind: KindSuperlative, Attr: sup.Attr, Descending: sup.Descending,
+		})
+	}
+	// Complete boundaries (Sec. 4.1.2 B-C): comparative forms of the
+	// domain's superlatives carry their attribute ("cheaper than" →
+	// price <, "newer than" → year >, "longer than" → length >). The
+	// comparative is derived from the "-est" superlative; its
+	// direction follows the superlative's (a max-seeking superlative
+	// yields a ">" comparative).
+	for kw, sup := range s.SuperlativeAttr {
+		if !strings.HasSuffix(kw, "est") || len(kw) < 5 {
+			continue
+		}
+		comp := kw[:len(kw)-3] + "er"
+		kind := KindLess
+		if sup.Descending {
+			kind = KindGreater
+		}
+		if _, exists := t.Trie.Lookup(comp); !exists {
+			t.Trie.Insert(comp, Entry{Kind: kind, Attr: sup.Attr})
+		}
+	}
+	for kw, e := range genericEntries {
+		// Domain schemas may shadow a generic keyword (e.g. "gold" as
+		// a value); values win because they were inserted first only
+		// if the keyword is absent. Generic keywords never overwrite
+		// schema entries.
+		if _, exists := t.Trie.Lookup(kw); !exists {
+			t.Trie.Insert(kw, e)
+		}
+	}
+	return t
+}
+
+// Tag tokenizes question and produces the identifier list: combined
+// keywords are matched greedily (longest phrase first), numeric tokens
+// become KindNumber tags carrying their unit hints, misspelled or
+// space-damaged keywords are repaired against the trie, unknown
+// alphanumeric tokens are tried as shorthand notations, and remaining
+// non-essential keywords are dropped (Sec. 4.1.4).
+func (t *Tagger) Tag(question string) []Tag {
+	toks := text.Tokenize(question)
+	var tags []Tag
+	i := 0
+	for i < len(toks) {
+		// Longest combined-keyword match over token texts.
+		if n, tag, ok := t.matchPhrase(toks, i); ok {
+			tags = append(tags, tag)
+			i += n
+			continue
+		}
+		tok := toks[i]
+		if tok.IsNumber {
+			// "2 dr": a number followed by an unknown short word may
+			// jointly be a shorthand notation of a categorical value.
+			if !t.NoRepair && i+1 < len(toks) && !toks[i+1].IsNumber {
+				joined := tok.Text + toks[i+1].Text
+				if _, known := t.Trie.Lookup(toks[i+1].Text); !known {
+					if best, ok := shorthand.BestMatch(joined, t.valueWords); ok {
+						if e, found := t.Trie.Lookup(best); found {
+							tags = append(tags, tagFromEntry(e, joined, true))
+							i += 2
+							continue
+						}
+					}
+				}
+			}
+			tags = append(tags, t.numberTag(tok))
+			i++
+			continue
+		}
+		if text.IsStopword(tok.Text) {
+			i++
+			continue
+		}
+		if !t.NoRepair {
+			if tag, ok := t.repair(tok.Text); ok {
+				tags = append(tags, tag...)
+				i++
+				continue
+			}
+		}
+		// Non-essential keyword: neither superlative/boundary nor an
+		// attribute value in the domain — dropped.
+		i++
+	}
+	return tags
+}
+
+// matchPhrase finds the longest phrase starting at toks[i] stored in
+// the trie, returning the number of tokens consumed.
+func (t *Tagger) matchPhrase(toks []text.Token, i int) (int, Tag, bool) {
+	limit := i + maxPhraseTokens
+	if limit > len(toks) {
+		limit = len(toks)
+	}
+	for j := limit; j > i; j-- {
+		phrase := joinTokens(toks[i:j])
+		e, ok := t.Trie.Lookup(phrase)
+		if !ok {
+			continue
+		}
+		// Single numeric tokens must stay numbers ("2000" is a year
+		// value, not a phrase), unless the phrase is multi-token
+		// ("2 door") or the entry is a categorical value.
+		if j == i+1 && toks[i].IsNumber {
+			continue
+		}
+		return j - i, tagFromEntry(e, phrase, false), true
+	}
+	return 0, Tag{}, false
+}
+
+func joinTokens(toks []text.Token) string {
+	parts := make([]string, len(toks))
+	for i, tok := range toks {
+		parts[i] = tok.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+func (t *Tagger) numberTag(tok text.Token) Tag {
+	tag := Tag{Kind: KindNumber, Num: tok.Value, Source: tok.Text}
+	if strings.HasPrefix(tok.Text, "$") {
+		tag.Unit = "$"
+	}
+	return tag
+}
+
+// repair attempts spelling correction and shorthand detection for an
+// unknown token, returning the tags of the repaired keyword(s).
+func (t *Tagger) repair(word string) ([]Tag, bool) {
+	if corr, ok := t.Trie.Correct(word); ok {
+		var tags []Tag
+		for _, part := range corr.Parts {
+			if e, found := t.Trie.Lookup(part); found {
+				tags = append(tags, tagFromEntry(e, word, true))
+			}
+		}
+		if len(tags) > 0 {
+			return tags, true
+		}
+	}
+	if best, ok := shorthand.BestMatch(word, t.valueWords); ok {
+		if e, found := t.Trie.Lookup(best); found {
+			return []Tag{tagFromEntry(e, word, true)}, true
+		}
+	}
+	return nil, false
+}
+
+func tagFromEntry(e Entry, source string, corrected bool) Tag {
+	return Tag{
+		Kind:       e.Kind,
+		Attr:       e.Attr,
+		Value:      e.Value,
+		Descending: e.Descending,
+		Source:     source,
+		Corrected:  corrected,
+	}
+}

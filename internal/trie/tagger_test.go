@@ -1,0 +1,176 @@
+package trie
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func carsTagger() *Tagger { return NewTagger(schema.Cars()) }
+
+// kinds extracts the Kind sequence of a tag list.
+func kinds(tags []Tag) []Kind {
+	out := make([]Kind, len(tags))
+	for i, tg := range tags {
+		out[i] = tg.Kind
+	}
+	return out
+}
+
+func TestTagExample2Q1(t *testing.T) {
+	// Paper Example 2, Q1: '2 door'/TII 'red'/TII 'BMW'/TI.
+	tags := carsTagger().Tag("Do you have a 2 door red BMW?")
+	if len(tags) != 3 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Kind != KindTypeIIValue || tags[0].Value != "2 door" {
+		t.Errorf("tag0 = %+v", tags[0])
+	}
+	if tags[1].Kind != KindTypeIIValue || tags[1].Value != "red" {
+		t.Errorf("tag1 = %+v", tags[1])
+	}
+	if tags[2].Kind != KindTypeIValue || tags[2].Value != "bmw" {
+		t.Errorf("tag2 = %+v", tags[2])
+	}
+}
+
+func TestTagExample2Q2(t *testing.T) {
+	// 'Cheapest'/TIII-CS '2dr'/TII 'mazda'/TI 'automatic'/TII.
+	tags := carsTagger().Tag("Cheapest 2dr mazda automatic")
+	if len(tags) != 4 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Kind != KindSuperlative || tags[0].Attr != "price" {
+		t.Errorf("superlative = %+v", tags[0])
+	}
+	if tags[1].Kind != KindTypeIIValue || tags[1].Value != "2 door" || !tags[1].Corrected {
+		t.Errorf("shorthand 2dr = %+v", tags[1])
+	}
+	if tags[2].Value != "mazda" || tags[3].Value != "automatic" {
+		t.Errorf("tags = %+v", tags[2:])
+	}
+}
+
+func TestTagExample2Q3(t *testing.T) {
+	// '4 wheel drive'/TII 'less than'/TIII-PB '20k mi.'/TIII-CB.
+	tags := carsTagger().Tag("I want a 4 wheel drive with less than 20K miles")
+	want := []Kind{KindTypeIIValue, KindLess, KindGlue, KindNumber, KindUnit}
+	got := kinds(tags)
+	if len(got) != len(want) {
+		t.Fatalf("tags = %+v", tags)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if tags[3].Num != 20000 {
+		t.Errorf("number = %g", tags[3].Num)
+	}
+	if tags[4].Attr != "mileage" {
+		t.Errorf("unit attr = %q", tags[4].Attr)
+	}
+}
+
+func TestTagSpellingRepair(t *testing.T) {
+	tags := carsTagger().Tag("honda accorr")
+	if len(tags) != 2 || tags[1].Value != "accord" || !tags[1].Corrected {
+		t.Fatalf("tags = %+v", tags)
+	}
+}
+
+func TestTagSpaceRepair(t *testing.T) {
+	tags := carsTagger().Tag("Hondaaccord less than $2000")
+	if len(tags) < 4 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Value != "honda" || tags[1].Value != "accord" {
+		t.Errorf("space repair failed: %+v", tags[:2])
+	}
+	last := tags[len(tags)-1]
+	if last.Kind != KindNumber || last.Num != 2000 || last.Unit != "$" {
+		t.Errorf("number tag = %+v", last)
+	}
+}
+
+func TestTagNumberPlusShortWordShorthand(t *testing.T) {
+	tags := carsTagger().Tag("2 dr honda")
+	if len(tags) != 2 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Value != "2 door" || !tags[0].Corrected {
+		t.Errorf("'2 dr' = %+v", tags[0])
+	}
+}
+
+func TestTagNegationAndBoolean(t *testing.T) {
+	tags := carsTagger().Tag("not manual or blue")
+	want := []Kind{KindNegation, KindTypeIIValue, KindOr, KindTypeIIValue}
+	got := kinds(tags)
+	if len(got) != 4 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTagNonEssentialDropped(t *testing.T) {
+	tags := carsTagger().Tag("please find me a wonderful shiny zebra")
+	if len(tags) != 0 {
+		t.Errorf("non-essential keywords survived: %+v", tags)
+	}
+}
+
+func TestTagComparativeBoundary(t *testing.T) {
+	tags := carsTagger().Tag("newer than 2005")
+	if len(tags) != 3 { // newer, than (glue), 2005
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Kind != KindGreater || tags[0].Attr != "year" {
+		t.Errorf("'newer' = %+v", tags[0])
+	}
+	tags = carsTagger().Tag("cheaper than 8000 dollars")
+	if tags[0].Kind != KindLess || tags[0].Attr != "price" {
+		t.Errorf("'cheaper' = %+v", tags[0])
+	}
+}
+
+func TestTagBetween(t *testing.T) {
+	tags := carsTagger().Tag("between $2000 and $7000")
+	got := kinds(tags)
+	want := []Kind{KindBetween, KindNumber, KindAnd, KindNumber}
+	if len(got) != len(want) {
+		t.Fatalf("tags = %+v", tags)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("kind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTaggerSharedKeywordsAcrossDomains(t *testing.T) {
+	// "honda" is a make in both cars and motorcycles; each tagger
+	// resolves it within its own domain.
+	moto := NewTagger(schema.Motorcycles())
+	tags := moto.Tag("honda cbr")
+	if len(tags) != 2 || tags[0].Attr != "make" || tags[1].Attr != "model" {
+		t.Fatalf("moto tags = %+v", tags)
+	}
+}
+
+func TestTaggerYearEquality(t *testing.T) {
+	tags := carsTagger().Tag("year 2004 honda")
+	if len(tags) != 3 {
+		t.Fatalf("tags = %+v", tags)
+	}
+	if tags[0].Kind != KindTypeIIIAttr || tags[0].Attr != "year" {
+		t.Errorf("attr keyword = %+v", tags[0])
+	}
+	if tags[1].Kind != KindNumber || tags[1].Num != 2004 {
+		t.Errorf("number = %+v", tags[1])
+	}
+}

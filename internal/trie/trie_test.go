@@ -1,0 +1,150 @@
+package trie
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrie() *Trie {
+	t := New()
+	for _, w := range []string{"honda", "accord", "civic", "camry", "toyota", "red", "blue", "automatic", "4 wheel drive"} {
+		t.Insert(w, Entry{Kind: KindTypeIValue, Value: w})
+	}
+	return t
+}
+
+func TestInsertLookup(t *testing.T) {
+	tr := sampleTrie()
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if e, ok := tr.Lookup("honda"); !ok || e.Value != "honda" {
+		t.Errorf("Lookup(honda) = %+v, %v", e, ok)
+	}
+	if _, ok := tr.Lookup("hond"); ok {
+		t.Error("prefix should not match")
+	}
+	if _, ok := tr.Lookup("hondas"); ok {
+		t.Error("extension should not match")
+	}
+	// Multi-word phrase through the space child.
+	if _, ok := tr.Lookup("4 wheel drive"); !ok {
+		t.Error("combined keyword lookup failed")
+	}
+}
+
+func TestInsertOverwrite(t *testing.T) {
+	tr := New()
+	tr.Insert("x", Entry{Kind: KindTypeIValue})
+	tr.Insert("x", Entry{Kind: KindTypeIIValue})
+	if tr.Len() != 1 {
+		t.Errorf("Len after overwrite = %d", tr.Len())
+	}
+	if e, _ := tr.Lookup("x"); e.Kind != KindTypeIIValue {
+		t.Errorf("overwrite failed: %+v", e)
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	tr := sampleTrie()
+	if !tr.HasPrefix("hon") || !tr.HasPrefix("") {
+		t.Error("HasPrefix failed on valid prefixes")
+	}
+	if tr.HasPrefix("xyz") {
+		t.Error("HasPrefix(xyz) = true")
+	}
+}
+
+func TestWordsSorted(t *testing.T) {
+	tr := sampleTrie()
+	ws := tr.Words()
+	if len(ws) != 9 {
+		t.Fatalf("Words = %v", ws)
+	}
+	if !reflect.DeepEqual(ws[:2], []string{"4 wheel drive", "accord"}) {
+		t.Errorf("Words not sorted: %v", ws[:2])
+	}
+}
+
+func TestSegment(t *testing.T) {
+	tr := sampleTrie()
+	parts, ok := tr.Segment("hondaaccord")
+	if !ok || !reflect.DeepEqual(parts, []string{"honda", "accord"}) {
+		t.Errorf("Segment(hondaaccord) = %v, %v", parts, ok)
+	}
+	if _, ok := tr.Segment("honda"); ok {
+		t.Error("single word should not segment")
+	}
+	if _, ok := tr.Segment("hondaxyz"); ok {
+		t.Error("unknown remainder should not segment")
+	}
+	parts, ok = tr.Segment("redbluecamry")
+	if !ok || len(parts) != 3 {
+		t.Errorf("three-way segment = %v, %v", parts, ok)
+	}
+}
+
+func TestCorrect(t *testing.T) {
+	tr := sampleTrie()
+	// Exact.
+	c, ok := tr.Correct("honda")
+	if !ok || c.Score != 1 || c.Parts[0] != "honda" {
+		t.Errorf("Correct(honda) = %+v, %v", c, ok)
+	}
+	// Space repair.
+	c, ok = tr.Correct("hondaaccord")
+	if !ok || len(c.Parts) != 2 {
+		t.Errorf("Correct(hondaaccord) = %+v, %v", c, ok)
+	}
+	// Fuzzy: paper's "accorr" example.
+	c, ok = tr.Correct("accorr")
+	if !ok || c.Parts[0] != "accord" {
+		t.Errorf("Correct(accorr) = %+v, %v", c, ok)
+	}
+	// Too short for fuzzy.
+	if _, ok := tr.Correct("ca"); ok {
+		t.Error("short garbage should not correct")
+	}
+	// Too dissimilar.
+	if _, ok := tr.Correct("zzzzzzz"); ok {
+		t.Error("garbage should not correct")
+	}
+}
+
+func TestCorrectPrefersSharedPrefix(t *testing.T) {
+	tr := New()
+	tr.Insert("mustang", Entry{Kind: KindTypeIValue})
+	tr.Insert("mazda", Entry{Kind: KindTypeIValue})
+	c, ok := tr.Correct("mustnag")
+	if !ok || c.Parts[0] != "mustang" {
+		t.Errorf("Correct(mustnag) = %+v, %v", c, ok)
+	}
+}
+
+func TestTrieProperties(t *testing.T) {
+	// Inserted strings always look up; Words() returns each once.
+	f := func(words []string) bool {
+		tr := New()
+		seen := map[string]bool{}
+		for _, w := range words {
+			if len(w) == 0 || len(w) > 20 {
+				continue
+			}
+			tr.Insert(w, Entry{Kind: KindTypeIValue, Value: w})
+			seen[w] = true
+		}
+		if tr.Len() != len(seen) {
+			return false
+		}
+		for w := range seen {
+			if _, ok := tr.Lookup(w); !ok {
+				return false
+			}
+		}
+		return len(tr.Words()) == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package webui provides the HTML front end the paper describes in
+// Sec. 4.5: "The answers are displayed on an HTML interface in a
+// tabular manner." It wraps a core.System in an http.Handler with a
+// question form, a tabular answer view that distinguishes exact from
+// ranked partial matches (showing Rank_Sim and the similarity measure
+// used, as in Table 2), and a JSON API for programmatic use.
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/sql"
+)
+
+// Server is the HTTP front end over a running CQAds instance.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+	tpl *template.Template
+}
+
+// NewServer wraps sys. The handler serves:
+//
+//	GET /              the question form
+//	GET /ask?q=...     HTML answer table (optional &domain=...)
+//	GET /api/ask?q=... JSON answers
+func NewServer(sys *core.System) *Server {
+	s := &Server{
+		sys: sys,
+		mux: http.NewServeMux(),
+		tpl: template.Must(template.New("page").Parse(pageTemplate)),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/ask", s.handleAsk)
+	s.mux.HandleFunc("/api/ask", s.handleAPI)
+	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
+	return s
+}
+
+// handleSuggest serves keyword autocompletion from the domain trie:
+// GET /api/suggest?domain=cars&prefix=ho → ["honda", ...].
+func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	prefix := strings.ToLower(strings.TrimSpace(r.URL.Query().Get("prefix")))
+	w.Header().Set("Content-Type", "application/json")
+	tagger := s.sys.Tagger(domain)
+	if tagger == nil || prefix == "" {
+		_, _ = w.Write([]byte("[]"))
+		return
+	}
+	suggestions := tagger.Trie.Suggest(prefix, 10)
+	if suggestions == nil {
+		suggestions = []string{}
+	}
+	_ = json.NewEncoder(w).Encode(suggestions)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// page is the template payload.
+type page struct {
+	Domains  []string
+	Question string
+	Domain   string
+	Result   *resultView
+	Error    string
+}
+
+type resultView struct {
+	Domain         string
+	Interpretation string
+	SQL            string
+	Plan           string // EXPLAIN output when &explain=1
+	ExactCount     int
+	PartialCount   int
+	ElapsedMS      float64
+	Columns        []string
+	Rows           []answerRow
+}
+
+type answerRow struct {
+	Kind    string // "exact" or "partial"
+	RankSim string
+	Measure string
+	Cells   []string
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.render(w, page{Domains: s.sys.Domains()})
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	domain := r.URL.Query().Get("domain")
+	p := page{Domains: s.sys.Domains(), Question: q, Domain: domain}
+	if q == "" {
+		s.render(w, p)
+		return
+	}
+	res, err := s.ask(domain, q)
+	if err != nil {
+		p.Error = err.Error()
+		s.render(w, p)
+		return
+	}
+	p.Result = s.view(res)
+	if r.URL.Query().Get("explain") != "" && res.SQL != "" {
+		if plan, err := sql.ExplainString(s.sys.DB(), res.SQL); err == nil {
+			p.Result.Plan = plan
+		}
+	}
+	s.render(w, p)
+}
+
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
+		return
+	}
+	res, err := s.ask(r.URL.Query().Get("domain"), q)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	type apiAnswer struct {
+		Exact          bool              `json:"exact"`
+		RankSim        float64           `json:"rank_sim"`
+		SimilarityUsed string            `json:"similarity_used,omitempty"`
+		Record         map[string]string `json:"record"`
+	}
+	out := struct {
+		Domain         string      `json:"domain"`
+		Interpretation string      `json:"interpretation"`
+		SQL            string      `json:"sql"`
+		ExactCount     int         `json:"exact_count"`
+		Answers        []apiAnswer `json:"answers"`
+	}{
+		Domain:         res.Domain,
+		Interpretation: res.Interpretation.String(),
+		SQL:            res.SQL,
+		ExactCount:     res.ExactCount,
+	}
+	for _, a := range res.Answers {
+		rec := make(map[string]string, len(a.Record))
+		for k, v := range a.Record {
+			rec[k] = v.String()
+		}
+		out.Answers = append(out.Answers, apiAnswer{
+			Exact:          a.Exact,
+			RankSim:        a.RankSim,
+			SimilarityUsed: a.SimilarityUsed,
+			Record:         rec,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) ask(domain, q string) (*core.Result, error) {
+	if domain != "" {
+		return s.sys.AskInDomain(domain, q)
+	}
+	return s.sys.Ask(q)
+}
+
+// view shapes a Result for the HTML table, ordering columns
+// Type I → Type II → Type III like the schema.
+func (s *Server) view(res *core.Result) *resultView {
+	v := &resultView{
+		Domain:         res.Domain,
+		Interpretation: res.Interpretation.String(),
+		SQL:            res.SQL,
+		ExactCount:     res.ExactCount,
+		PartialCount:   len(res.Answers) - res.ExactCount,
+		ElapsedMS:      float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	tbl, ok := s.sys.DB().TableForDomain(res.Domain)
+	if ok {
+		for _, a := range tbl.Schema().Attrs {
+			v.Columns = append(v.Columns, a.Name)
+		}
+	} else if len(res.Answers) > 0 {
+		for k := range res.Answers[0].Record {
+			v.Columns = append(v.Columns, k)
+		}
+		sort.Strings(v.Columns)
+	}
+	_ = schema.TypeI // documented ordering comes from the schema itself
+	for _, a := range res.Answers {
+		row := answerRow{Kind: "partial", Measure: a.SimilarityUsed}
+		if a.Exact {
+			row.Kind = "exact"
+		} else {
+			row.RankSim = fmt.Sprintf("%.2f", a.RankSim)
+		}
+		for _, col := range v.Columns {
+			row.Cells = append(row.Cells, a.Record[col].String())
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	return v
+}
+
+func (s *Server) render(w http.ResponseWriter, p page) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := s.tpl.Execute(w, p); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// pageTemplate is the single-page UI.
+const pageTemplate = `<!DOCTYPE html>
+<html>
+<head>
+<title>CQAds</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+input[type=text] { width: 32em; padding: .4em; }
+table { border-collapse: collapse; margin-top: 1em; }
+th, td { border: 1px solid #bbb; padding: .3em .6em; text-align: left; }
+tr.exact { background: #e8f5e9; }
+tr.partial { background: #fff8e1; }
+.meta { color: #666; font-size: .9em; margin: .4em 0; }
+code { background: #f3f3f3; padding: .1em .3em; }
+</style>
+</head>
+<body>
+<h1>CQAds — ads question answering</h1>
+<form action="/ask" method="get">
+  <input type="text" name="q" value="{{.Question}}"
+         placeholder="Find Honda Accord blue less than 15,000 dollars">
+  <select name="domain">
+    <option value="">auto-classify</option>
+    {{range .Domains}}<option value="{{.}}" {{if eq . $.Domain}}selected{{end}}>{{.}}</option>{{end}}
+  </select>
+  <button type="submit">Ask</button>
+</form>
+{{with .Error}}<p style="color:#b00">{{.}}</p>{{end}}
+{{with .Result}}
+<div class="meta">domain <b>{{.Domain}}</b> ·
+  {{.ExactCount}} exact + {{.PartialCount}} partial ·
+  {{printf "%.2f" .ElapsedMS}} ms</div>
+<div class="meta">interpretation: <code>{{.Interpretation}}</code></div>
+<div class="meta">SQL: <code>{{.SQL}}</code></div>
+{{with .Plan}}<pre class="meta">{{.}}</pre>{{end}}
+<table>
+<tr><th>#</th><th>match</th><th>Rank_Sim</th><th>measure</th>
+{{range .Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range $i, $r := .Rows}}
+<tr class="{{$r.Kind}}"><td>{{$i}}</td><td>{{$r.Kind}}</td>
+<td>{{$r.RankSim}}</td><td>{{$r.Measure}}</td>
+{{range $r.Cells}}<td>{{.}}</td>{{end}}</tr>
+{{end}}
+</table>
+{{end}}
+</body>
+</html>`

@@ -1,0 +1,241 @@
+package webui
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/adsgen"
+	"repro/internal/core"
+)
+
+var (
+	srvOnce sync.Once
+	srv     *Server
+	srvErr  error
+)
+
+func server(t *testing.T) *Server {
+	t.Helper()
+	srvOnce.Do(func() {
+		db, err := adsgen.PopulateAll(42, 200)
+		if err != nil {
+			srvErr = err
+			return
+		}
+		sys, err := core.New(core.Config{DB: db})
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srv = NewServer(sys)
+	})
+	if srvErr != nil {
+		t.Fatal(srvErr)
+	}
+	return srv
+}
+
+func get(t *testing.T, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	server(t).ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexServesForm(t *testing.T) {
+	rec := get(t, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"<form", "auto-classify", "cars", "jewellery"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %q", want)
+		}
+	}
+}
+
+func TestIndexNotFoundForOtherPaths(t *testing.T) {
+	if rec := get(t, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestAskRendersAnswerTable(t *testing.T) {
+	rec := get(t, "/ask?domain=cars&q=red+honda+under+%249000")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"interpretation:", "SQL:", "<table>", "make", "price",
+		"class=\"exact\"",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("answer page missing %q", want)
+		}
+	}
+}
+
+func TestAskPartialAnswersShowMeasure(t *testing.T) {
+	rec := get(t, "/ask?domain=cars&q=honda+accord+blue+less+than+15000+dollars")
+	body := rec.Body.String()
+	if !strings.Contains(body, "class=\"partial\"") {
+		t.Skip("no partial answers for this seed")
+	}
+	if !strings.Contains(body, "Sim") {
+		t.Error("partial rows missing similarity measure")
+	}
+}
+
+func TestAskEmptyQueryShowsForm(t *testing.T) {
+	rec := get(t, "/ask?q=")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "<form") {
+		t.Errorf("empty query should render the form (status %d)", rec.Code)
+	}
+}
+
+func TestAskUnknownDomainShowsError(t *testing.T) {
+	rec := get(t, "/ask?domain=ghost&q=anything")
+	if !strings.Contains(rec.Body.String(), "unknown domain") {
+		t.Error("error not surfaced")
+	}
+}
+
+func TestAPIAsk(t *testing.T) {
+	rec := get(t, "/api/ask?domain=cars&q=red+honda")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var out struct {
+		Domain     string `json:"domain"`
+		SQL        string `json:"sql"`
+		ExactCount int    `json:"exact_count"`
+		Answers    []struct {
+			Exact  bool              `json:"exact"`
+			Record map[string]string `json:"record"`
+		} `json:"answers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.Domain != "cars" || !strings.Contains(out.SQL, "SELECT") {
+		t.Errorf("payload = %+v", out)
+	}
+	if len(out.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	for _, a := range out.Answers[:out.ExactCount] {
+		if a.Record["make"] != "honda" || a.Record["color"] != "red" {
+			t.Errorf("exact answer mismatch: %v", a.Record)
+		}
+	}
+}
+
+func TestAPIMissingQuery(t *testing.T) {
+	rec := get(t, "/api/ask")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	rec := get(t, "/api/suggest?domain=cars&prefix=ho")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var out []string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range out {
+		if s == "honda" {
+			found = true
+		}
+		if !strings.HasPrefix(s, "ho") {
+			t.Errorf("suggestion %q lacks prefix", s)
+		}
+	}
+	if !found {
+		t.Errorf("suggestions = %v, want honda included", out)
+	}
+}
+
+func TestSuggestEmptyCases(t *testing.T) {
+	for _, path := range []string{
+		"/api/suggest",                        // no domain, no prefix
+		"/api/suggest?domain=ghost&prefix=x",  // unknown domain
+		"/api/suggest?domain=cars&prefix=zzz", // no matches
+	} {
+		rec := get(t, path)
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+		var out []string
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Errorf("%s: bad JSON %q", path, rec.Body.String())
+		}
+	}
+}
+
+func TestExplainPanel(t *testing.T) {
+	rec := get(t, "/ask?domain=cars&q=red+honda+under+%249000&explain=1")
+	body := rec.Body.String()
+	for _, want := range []string{
+		"primary hash index lookup",
+		"ordered index range scan",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("explain panel missing %q", want)
+		}
+	}
+	// Without explain=1 the plan is absent.
+	rec = get(t, "/ask?domain=cars&q=red+honda+under+%249000")
+	if strings.Contains(rec.Body.String(), "primary hash index lookup") {
+		t.Error("plan shown without explain=1")
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	rec := get(t, "/ask?domain=cars&q=%3Cscript%3Ealert(1)%3C/script%3E")
+	body := rec.Body.String()
+	if strings.Contains(body, "<script>alert") {
+		t.Error("unescaped question reflected into HTML")
+	}
+}
+
+// TestConcurrentRequests exercises the handler from many goroutines
+// (run with -race): the System behind it must be safe for the web
+// server's concurrency.
+func TestConcurrentRequests(t *testing.T) {
+	paths := []string{
+		"/ask?domain=cars&q=red+honda+under+%249000",
+		"/ask?domain=cars&q=honda+accord+blue+less+than+15000+dollars",
+		"/api/ask?domain=cars&q=cheapest+toyota",
+		"/api/suggest?domain=cars&prefix=ho",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				path := paths[(w+i)%len(paths)]
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				server(t).ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					t.Errorf("%s: status %d", path, rec.Code)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,73 @@
+package wsmatrix
+
+import (
+	"math/rand"
+
+	"repro/internal/schema"
+)
+
+// GenerateCorpus produces the synthetic topical corpus the WS-matrix
+// is built from: a stand-in for the Wikipedia collection of [11].
+// Each document describes a product scenario and mentions several
+// values of one Type II attribute together with shared context words,
+// so that values of the same property co-occur at short distances —
+// the signal the construction extracts. Values of unrelated
+// attributes land in different documents and thus correlate weakly,
+// mirroring how "blue" and "automatic" rarely co-occur in topical
+// prose while "blue" and "white" do.
+func GenerateCorpus(schemas []*schema.Schema, docsPerTopic int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	var corpus [][]string
+	context := []string{
+		"the", "product", "comes", "finished", "available", "style",
+		"buyers", "often", "choose", "option", "popular", "variant",
+		"offered", "listed", "sellers", "describe", "condition",
+	}
+	for _, s := range schemas {
+		for _, a := range s.AttrsOfType(schema.TypeII) {
+			for d := 0; d < docsPerTopic; d++ {
+				doc := make([]string, 0, 60)
+				// Mention 2-4 values of this attribute, interleaved
+				// with context words at varying distances.
+				k := 2 + rng.Intn(3)
+				for m := 0; m < k; m++ {
+					v := a.Values[rng.Intn(len(a.Values))]
+					doc = append(doc, splitWords(v)...)
+					pad := 1 + rng.Intn(4)
+					for p := 0; p < pad; p++ {
+						doc = append(doc, context[rng.Intn(len(context))])
+					}
+				}
+				// A sprinkle of Type I vocabulary so product names get
+				// weak, realistic cross-correlations.
+				for _, t1 := range s.AttrsOfType(schema.TypeI) {
+					if rng.Float64() < 0.5 {
+						doc = append(doc, splitWords(t1.Values[rng.Intn(len(t1.Values))])...)
+					}
+				}
+				corpus = append(corpus, doc)
+			}
+		}
+	}
+	return corpus
+}
+
+// BuildForDomains generates the default corpus over the given schemas
+// and constructs the matrix in one step.
+func BuildForDomains(schemas []*schema.Schema, docsPerTopic int, seed int64) *Matrix {
+	return Build(GenerateCorpus(schemas, docsPerTopic, seed))
+}
+
+func splitWords(v string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(v); i++ {
+		if i == len(v) || v[i] == ' ' {
+			if i > start {
+				out = append(out, v[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

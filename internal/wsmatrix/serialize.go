@@ -1,0 +1,75 @@
+package wsmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file persists the WS-matrix as JSON. Only non-zero pairs are
+// stored (the matrix is sparse in practice), keeping files small and
+// diffable.
+
+type wsMatrixJSON struct {
+	Max   float64      `json:"max"`
+	Words []string     `json:"words"`
+	Pairs []wsPairJSON `json:"pairs"`
+}
+
+type wsPairJSON struct {
+	A   int     `json:"a"` // index into Words
+	B   int     `json:"b"`
+	Sim float64 `json:"sim"`
+}
+
+// WriteJSON serializes the matrix.
+func (m *Matrix) WriteJSON(w io.Writer) error {
+	out := wsMatrixJSON{Max: m.max, Words: make([]string, len(m.idx))}
+	for word, i := range m.idx {
+		out.Words[i] = word
+	}
+	for i := range m.sim {
+		for j := i + 1; j < len(m.sim[i]); j++ {
+			if m.sim[i][j] != 0 {
+				out.Pairs = append(out.Pairs, wsPairJSON{A: i, B: j, Sim: m.sim[i][j]})
+			}
+		}
+	}
+	sort.Slice(out.Pairs, func(a, b int) bool {
+		if out.Pairs[a].A != out.Pairs[b].A {
+			return out.Pairs[a].A < out.Pairs[b].A
+		}
+		return out.Pairs[a].B < out.Pairs[b].B
+	})
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("wsmatrix: encoding: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON deserializes a matrix written by WriteJSON.
+func ReadJSON(r io.Reader) (*Matrix, error) {
+	var in wsMatrixJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("wsmatrix: decoding: %w", err)
+	}
+	m := &Matrix{idx: make(map[string]int, len(in.Words)), max: in.Max}
+	for i, w := range in.Words {
+		m.idx[w] = i
+	}
+	n := len(in.Words)
+	m.sim = make([][]float64, n)
+	for i := range m.sim {
+		m.sim[i] = make([]float64, n)
+	}
+	for _, p := range in.Pairs {
+		if p.A < 0 || p.A >= n || p.B < 0 || p.B >= n {
+			return nil, fmt.Errorf("wsmatrix: pair index out of range (%d,%d)", p.A, p.B)
+		}
+		m.sim[p.A][p.B] = p.Sim
+		m.sim[p.B][p.A] = p.Sim
+	}
+	return m, nil
+}

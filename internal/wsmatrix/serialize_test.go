@@ -1,0 +1,44 @@
+package wsmatrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func TestWSMatrixJSONRoundTrip(t *testing.T) {
+	m := BuildForDomains([]*schema.Schema{schema.Cars()}, 20, 3)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != m.Size() || got.Max() != m.Max() {
+		t.Fatalf("size/max differ: %d/%g vs %d/%g", got.Size(), got.Max(), m.Size(), m.Max())
+	}
+	// Every pair similarity must survive.
+	s := schema.Cars()
+	for _, a := range s.AttrsOfType(schema.TypeII) {
+		for _, v := range a.Values {
+			for _, w := range a.Values {
+				if got.PhraseSim(v, w) != m.PhraseSim(v, w) {
+					t.Fatalf("PhraseSim(%q,%q) differs", v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"max":1,"words":["a"],"pairs":[{"a":0,"b":5,"sim":1}]}`)); err == nil {
+		t.Error("out-of-range pair should error")
+	}
+}
