@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -146,6 +147,61 @@ func BenchmarkAskPartial(b *testing.B) {
 		if _, err := e.System.AskInDomain("cars", "Find Honda Accord blue less than 15,000 dollars"); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPartialAnswers isolates the partial-match pipeline: the
+// N−1 relaxation sweep plus Rank_Sim scoring and top-K selection.
+// MultiCond exercises the relaxed-query path of Sec. 4.3.1; SingleCond
+// exercises the whole-table similarity fallback, where candidate
+// selection dominates.
+func BenchmarkPartialAnswers(b *testing.B) {
+	e := env(b)
+	cases := map[string]string{
+		"MultiCond":  "Find Honda Accord blue less than 15,000 dollars",
+		"SingleCond": "blue car",
+	}
+	for name, q := range cases {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.System.AskInDomain("cars", q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAskBatchThroughput measures the parallel batch Ask API in
+// questions/sec across worker-pool sizes, over a mixed exact/partial
+// workload (the unit behind "serving heavy traffic").
+func BenchmarkAskBatchThroughput(b *testing.B) {
+	e := env(b)
+	base := []string{
+		"red automatic toyota camry",
+		"Find Honda Accord blue less than 15,000 dollars",
+		"blue car",
+		"cheapest 2 door mazda",
+		"red or blue toyota under $9000",
+		"4 wheel drive with less than 20k miles",
+	}
+	questions := make([]string, 0, 8*len(base))
+	for i := 0; i < 8; i++ {
+		questions = append(questions, base...)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, br := range e.System.AskInDomainBatch("cars", questions, workers) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(questions)*b.N)/b.Elapsed().Seconds(), "questions/sec")
+		})
 	}
 }
 

@@ -11,6 +11,22 @@
 //
 // Applications with their own data build a database per domain schema
 // and wire similarity matrices explicitly via New.
+//
+// # Performance architecture
+//
+// Question answering is engineered for interactive latency under
+// concurrent load. The N−1 relaxation sweep (Sec. 4.3.1) evaluates
+// each condition once into a reusable posting list and forms every
+// relaxed query by merging prefix/suffix intersections, rather than
+// re-executing one SQL query per dropped condition; ranked partial
+// answers are selected with a bounded top-K heap sized to MaxAnswers
+// instead of sorting the full candidate pool. For batch workloads,
+// System.AskBatch and System.AskInDomainBatch answer many questions on
+// a worker pool — Config.BatchWorkers (or Options.BatchWorkers) sets
+// the default pool size, 0 meaning GOMAXPROCS — and return results in
+// input order, bit-identical to a sequential sweep; the similarity
+// caches are lock-striped so workers contend only on colliding
+// stripes.
 package cqads
 
 import (
@@ -35,6 +51,9 @@ type (
 	Result = core.Result
 	// Answer is one retrieved ad.
 	Answer = core.Answer
+	// BatchResult pairs one question of an AskBatch call with its
+	// result or error.
+	BatchResult = core.BatchResult
 )
 
 // Schema types for callers defining their own ads domains.
@@ -80,6 +99,9 @@ type Options struct {
 	// Dedup filters near-duplicate listings out of answer lists;
 	// Sec. 6 extension (iv).
 	Dedup bool
+	// BatchWorkers is the default worker-pool size for AskBatch and
+	// AskInDomainBatch; 0 means GOMAXPROCS.
+	BatchWorkers int
 }
 
 // Open builds a ready-to-query System over the synthetic eight-domain
@@ -129,6 +151,7 @@ func Open(opts Options) (*System, error) {
 		UseSynonyms:   opts.UseSynonyms,
 		StrictBoolean: opts.StrictBoolean,
 		Dedup:         opts.Dedup,
+		BatchWorkers:  opts.BatchWorkers,
 	})
 }
 

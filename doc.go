@@ -6,4 +6,32 @@
 // under internal/. The root package holds the repository-level
 // benchmark suite (bench_test.go), one benchmark per table and figure
 // of the paper's evaluation.
+//
+// # Performance architecture
+//
+// The query pipeline is built around three mechanisms that keep the
+// hot path — Sec. 4.3.1 relaxation plus Eq. 5 ranking — algorithmically
+// cheap and safe to drive from many goroutines:
+//
+//   - Posting-list reuse. The N−1 (and N−2) relaxation sweep
+//     evaluates each condition of a conjunction exactly once into a
+//     sorted posting list, then assembles every drop set's result
+//     from prefix/suffix intersection arrays: O(N) merges instead of
+//     O(N²) condition evaluations, with no SQL statement round-trip
+//     per relaxed query (internal/core/partial.go).
+//
+//   - Bounded top-K selection. Ranked partial answers are selected
+//     with a K-bounded heap (K = Config.MaxAnswers, the paper's
+//     30-answer cutoff) rather than sorting the whole candidate pool,
+//     which for single-condition questions is the entire table
+//     (internal/topk).
+//
+//   - A parallel batch Ask API. System.AskBatch and
+//     System.AskInDomainBatch fan questions out to a worker pool
+//     (Config.BatchWorkers sets the default size; 0 means GOMAXPROCS).
+//     The per-domain similarity caches are lock-striped
+//     (internal/rank) and classifier fitting is synchronized, so any
+//     worker count is safe; results return in input order and are
+//     bit-identical to a sequential sweep. The 650-question
+//     experiment drivers (internal/experiments) run on this API.
 package repro

@@ -2,6 +2,8 @@ package classify
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // JBBSM is the Naive Bayes classifier whose class-conditional
@@ -20,6 +22,12 @@ import (
 type JBBSM struct {
 	classes map[string]*jbClass
 	total   int // total training documents across classes
+	// fitted/fitMu make the lazy Beta fitting safe for concurrent
+	// Classify calls (AskBatch worker pools, the web UI): the atomic
+	// flag is the lock-free fast path once fitting is published, the
+	// mutex serializes the first fit. Train resets the flag.
+	fitted atomic.Bool
+	fitMu  sync.Mutex
 
 	// BackgroundAlpha and BackgroundBeta are the Beta prior used for
 	// words never seen in a class (the "unseen words" handling the
@@ -80,6 +88,7 @@ func (m *JBBSM) Train(class string, docs [][]string) {
 		m.total++
 	}
 	c.fitted = false
+	m.fitted.Store(false)
 }
 
 // fit computes Beta parameters for every word of every class by the
@@ -87,6 +96,15 @@ func (m *JBBSM) Train(class string, docs [][]string) {
 // that do not contain the word contribute rate 0, which keeps alpha
 // small for rare words.
 func (m *JBBSM) fit() {
+	if m.fitted.Load() {
+		return
+	}
+	m.fitMu.Lock()
+	defer m.fitMu.Unlock()
+	if m.fitted.Load() {
+		return
+	}
+	defer m.fitted.Store(true)
 	for _, c := range m.classes {
 		if c.fitted || c.docs == 0 {
 			continue

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/pool"
+)
+
+// BatchResult pairs one question of a batch call with its outcome.
+// Exactly one of Result and Err is set.
+type BatchResult struct {
+	// Index is the question's position in the input slice.
+	Index int
+	// Question is the input question text.
+	Question string
+	// Result is the answer, nil when Err is set.
+	Result *Result
+	// Err is the per-question failure, nil on success.
+	Err error
+}
+
+// AskBatch answers many questions concurrently through the full
+// pipeline (classification included), using a pool of workers
+// goroutines. Results are returned in input order; each question
+// succeeds or fails independently. workers <= 0 uses
+// Config.BatchWorkers, and failing that GOMAXPROCS. The System is
+// read-only during question answering (the similarity and
+// classification caches are internally synchronized), so any worker
+// count is safe.
+func (s *System) AskBatch(questions []string, workers int) []BatchResult {
+	return s.runBatch(questions, workers, s.Ask)
+}
+
+// AskInDomainBatch is AskBatch with classification bypassed: every
+// question is answered against the named domain. The experiment
+// drivers use it to sweep their per-domain test sets.
+func (s *System) AskInDomainBatch(domain string, questions []string, workers int) []BatchResult {
+	return s.runBatch(questions, workers, func(q string) (*Result, error) {
+		return s.AskInDomain(domain, q)
+	})
+}
+
+// runBatch fans questions out to the shared worker pool, resolving
+// the configured default pool size first.
+func (s *System) runBatch(questions []string, workers int, ask func(string) (*Result, error)) []BatchResult {
+	if workers <= 0 {
+		workers = s.batchWorkers
+	}
+	return pool.Map(questions, workers, func(i int, q string) BatchResult {
+		res, err := ask(q)
+		return BatchResult{Index: i, Question: q, Result: res, Err: err}
+	})
+}

@@ -1,8 +1,13 @@
 package core
 
 import (
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/schema"
+	"repro/internal/text"
 )
 
 // TestConcurrentAsks exercises the System from many goroutines (the
@@ -36,6 +41,108 @@ func TestConcurrentAsks(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Fatal(err)
+	}
+}
+
+// TestAskBatchRace hammers the batch API from many workers over a mix
+// of exact, partial, single-condition and OR questions; run with -race
+// to validate the sharded similarity cache and classifier fitting.
+func TestAskBatchRace(t *testing.T) {
+	sys := testSystem(t)
+	base := []string{
+		"Find Honda Accord blue less than 15,000 dollars",
+		"cheapest 2 door mazda",
+		"red or blue toyota under $9000",
+		"Hondaaccord less than $2000",
+		"4 wheel drive with less than 20k miles",
+		"blue car",
+		"manual bmw m3 less than $9000",
+		"red automatic toyota camry",
+	}
+	questions := make([]string, 0, 8*len(base))
+	for i := 0; i < 8; i++ {
+		questions = append(questions, base...)
+	}
+	results := sys.AskInDomainBatch("cars", questions, 12)
+	if len(results) != len(questions) {
+		t.Fatalf("got %d results for %d questions", len(results), len(questions))
+	}
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("question %d (%q): %v", i, br.Question, br.Err)
+		}
+		if br.Index != i || br.Question != questions[i] {
+			t.Fatalf("result %d misplaced: index %d question %q", i, br.Index, br.Question)
+		}
+		if br.Result == nil {
+			t.Fatalf("question %d (%q): nil result", i, br.Question)
+		}
+	}
+}
+
+// TestAskBatchMatchesSequential: a batch run must return exactly the
+// answers a sequential sweep returns, per question.
+func TestAskBatchMatchesSequential(t *testing.T) {
+	sys := testSystem(t)
+	questions := []string{
+		"Find Honda Accord blue less than 15,000 dollars",
+		"blue car",
+		"red or blue toyota under $9000",
+		"cheapest 2 door mazda",
+	}
+	batch := sys.AskInDomainBatch("cars", questions, 8)
+	for i, q := range questions {
+		seq, err := sys.AskInDomain("cars", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := batch[i]
+		if br.Err != nil {
+			t.Fatalf("%q: batch error %v", q, br.Err)
+		}
+		if len(br.Result.Answers) != len(seq.Answers) {
+			t.Fatalf("%q: batch %d answers, sequential %d", q, len(br.Result.Answers), len(seq.Answers))
+		}
+		for j := range seq.Answers {
+			b, s := br.Result.Answers[j], seq.Answers[j]
+			if b.ID != s.ID || b.RankSim != s.RankSim || b.Exact != s.Exact {
+				t.Fatalf("%q: answer %d differs: batch {id %d sim %v exact %v}, sequential {id %d sim %v exact %v}",
+					q, j, b.ID, b.RankSim, b.Exact, s.ID, s.RankSim, s.Exact)
+			}
+		}
+	}
+}
+
+// TestAskBatchClassified drives AskBatch through the classifier (the
+// full Ask pipeline) with a quickly-trained model, checking routing
+// errors surface per question rather than aborting the batch.
+func TestAskBatchClassified(t *testing.T) {
+	sys := testSystem(t)
+	cls := classify.NewJBBSM()
+	for _, d := range schema.DomainNames {
+		tbl, _ := sys.db.TableForDomain(d)
+		sch := tbl.Schema()
+		var docs [][]string
+		for _, a := range sch.Attrs {
+			for _, v := range a.Values {
+				docs = append(docs, text.Words(strings.ToLower(d+" "+v)))
+			}
+		}
+		cls.Train(d, docs)
+	}
+	sys.classifier = cls
+	questions := []string{
+		"honda accord blue",
+		"cars red toyota",
+		"cars cheapest manual transmission",
+	}
+	for i, br := range sys.AskBatch(questions, 8) {
+		if br.Err != nil {
+			t.Fatalf("question %d (%q): %v", i, br.Question, br.Err)
+		}
+		if br.Result == nil || br.Result.Domain == "" {
+			t.Fatalf("question %d (%q): missing routed domain", i, br.Question)
+		}
 	}
 }
 

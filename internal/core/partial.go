@@ -10,6 +10,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/sqldb"
 	"repro/internal/text"
+	"repro/internal/topk"
 )
 
 // partialAnswers implements the N−1 strategy of Sec. 4.3.1: each
@@ -53,22 +54,24 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 		score   float64
 		dropped int
 	}
-	scoredCands := make([]scored, 0, len(candidates))
+	// Bounded top-K selection: (score desc, id asc) is a total order,
+	// so the K retained answers are identical — IDs, scores and order —
+	// to fully sorting the pool and truncating, without the O(C log C)
+	// sort over a pool that for single-condition questions is the
+	// whole table.
+	sel := topk.New(want, func(a, b scored) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id < b.id
+	})
 	for _, id := range candidates {
 		sc, dropped := sim.BestRankSimOverGroups(tbl, id, in.Groups)
-		scoredCands = append(scoredCands, scored{id: id, score: sc, dropped: dropped})
+		sel.Push(scored{id: id, score: sc, dropped: dropped})
 	}
-	sort.SliceStable(scoredCands, func(i, j int) bool {
-		if scoredCands[i].score != scoredCands[j].score {
-			return scoredCands[i].score > scoredCands[j].score
-		}
-		return scoredCands[i].id < scoredCands[j].id
-	})
-	if len(scoredCands) > want {
-		scoredCands = scoredCands[:want]
-	}
-	out := make([]Answer, 0, len(scoredCands))
-	for _, sc := range scoredCands {
+	top := sel.Sorted()
+	out := make([]Answer, 0, len(top))
+	for _, sc := range top {
 		a := Answer{
 			ID:          sc.id,
 			Record:      tbl.RecordMap(sc.id),
@@ -87,6 +90,14 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 // each group, each subset of up to RelaxationDepth conditions is
 // dropped and the remaining conjunction evaluated (the footnote-4
 // AND→OR replacement generalized). Records already seen are skipped.
+//
+// Instead of compiling and executing one relaxed SELECT per drop set
+// (O(N²) condition evaluations for the N−1 sweep), each condition is
+// evaluated exactly once into a posting list, and prefix/suffix
+// intersection arrays assemble every drop set's result by merging two
+// (or, for N−2 pairs, three) precomputed intersections — O(N) merges
+// for the N−1 sweep, one merge per drop set for N−2. The relaxed
+// queries never round-trip through SQL statements at all.
 func (s *System) relaxedCandidates(tbl *sqldb.Table, in *boolean.Interpretation, seen map[sqldb.RowID]bool) []sqldb.RowID {
 	var out []sqldb.RowID
 	emit := func(ids []sqldb.RowID) {
@@ -103,29 +114,110 @@ func (s *System) relaxedCandidates(tbl *sqldb.Table, in *boolean.Interpretation,
 		if n < 2 {
 			continue
 		}
-		for _, drop := range dropSets(n, s.depth) {
-			kept := make([]boolean.Condition, 0, n-len(drop))
-			for i := range g.Conds {
-				if !drop[i] {
-					kept = append(kept, g.Conds[i])
+		postings, ok := s.condPostings(tbl, g.Conds)
+		if !ok {
+			// A condition failed to evaluate (unknown column — cannot
+			// happen for schema-derived interpretations); fall back to
+			// the per-drop-set reference path, which skips exactly the
+			// drop sets whose kept conjunction fails.
+			s.relaxGroupByQueries(tbl, g, emit)
+			continue
+		}
+		// prefix[i] = ∩ postings[0..i), suffix[i] = ∩ postings[i..n).
+		prefix := make([]postingSet, n+1)
+		suffix := make([]postingSet, n+1)
+		prefix[0] = postingSet{universe: true}
+		for i := 0; i < n; i++ {
+			prefix[i+1] = prefix[i].intersect(postingSet{ids: postings[i]})
+		}
+		suffix[n] = postingSet{universe: true}
+		for i := n - 1; i >= 0; i-- {
+			suffix[i] = suffix[i+1].intersect(postingSet{ids: postings[i]})
+		}
+		// N−1 sweep: dropping condition i keeps prefix[i] ∩ suffix[i+1].
+		for i := 0; i < n; i++ {
+			emit(prefix[i].intersect(suffix[i+1]).ids)
+		}
+		// N−2 sweep (depth ≥ 2): dropping the pair (i, j) keeps
+		// prefix[i] ∩ postings(i..j) ∩ suffix[j+1]; the middle run is
+		// accumulated incrementally while j advances, so each pair
+		// costs one merge.
+		if s.depth >= 2 && n > 2 {
+			for i := 0; i < n; i++ {
+				acc := prefix[i]
+				for j := i + 1; j < n; j++ {
+					emit(acc.intersect(suffix[j+1]).ids)
+					acc = acc.intersect(postingSet{ids: postings[j]})
 				}
 			}
-			if len(kept) == 0 {
-				continue
-			}
-			relaxed := &boolean.Interpretation{Groups: []boolean.Group{{Conds: kept}}}
-			sel := BuildSelect(tbl.Schema(), relaxed, 0)
-			ids, err := sql.Exec(s.db, sel)
-			if err != nil {
-				continue
-			}
-			emit(ids)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	// Re-mark: seen was used as a dedup set; exact answers stay
 	// excluded because they were pre-seeded.
 	return out
+}
+
+// condPostings evaluates each condition of a group exactly once into a
+// sorted posting list, using the same expression evaluator the exact
+// path uses so relaxed results stay bit-identical to per-query
+// execution. ok is false if any condition fails to evaluate.
+func (s *System) condPostings(tbl *sqldb.Table, conds []boolean.Condition) ([][]sqldb.RowID, bool) {
+	out := make([][]sqldb.RowID, len(conds))
+	for i := range conds {
+		ids, err := sql.EvalExpr(s.db, tbl, condExpr(&conds[i]))
+		if err != nil {
+			return nil, false
+		}
+		out[i] = ids
+	}
+	return out, true
+}
+
+// postingSet is a sorted RowID list with a "universe" sentinel so that
+// empty prefix/suffix boundaries act as intersection identities.
+// Every emitted drop-set result intersects at least one real posting
+// list, so the sentinel never escapes the merge pipeline.
+type postingSet struct {
+	ids      []sqldb.RowID
+	universe bool
+}
+
+// intersect merges two posting sets.
+func (a postingSet) intersect(b postingSet) postingSet {
+	if a.universe {
+		return b
+	}
+	if b.universe {
+		return a
+	}
+	return postingSet{ids: sqldb.IntersectSorted(a.ids, b.ids)}
+}
+
+// relaxGroupByQueries is the reference relaxation path: one compiled
+// query per drop set. It survives as the fallback for groups whose
+// conditions cannot be evaluated standalone and as the behavioral
+// specification the incremental path is tested against.
+func (s *System) relaxGroupByQueries(tbl *sqldb.Table, g *boolean.Group, emit func([]sqldb.RowID)) {
+	n := len(g.Conds)
+	for _, drop := range dropSets(n, s.depth) {
+		kept := make([]boolean.Condition, 0, n-len(drop))
+		for i := range g.Conds {
+			if !drop[i] {
+				kept = append(kept, g.Conds[i])
+			}
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		relaxed := &boolean.Interpretation{Groups: []boolean.Group{{Conds: kept}}}
+		sel := BuildSelect(tbl.Schema(), relaxed, 0)
+		ids, err := sql.Exec(s.db, sel)
+		if err != nil {
+			continue
+		}
+		emit(ids)
+	}
 }
 
 // dropSets enumerates the index sets of size 1..depth to drop from n

@@ -53,6 +53,10 @@ type Config struct {
 	// Dedup removes near-duplicate listings from answer lists so the
 	// 30-answer cutoff shows distinct ads (Sec. 6 future work (iv)).
 	Dedup bool
+	// BatchWorkers is the default worker-pool size for AskBatch and
+	// AskInDomainBatch when the caller passes workers <= 0; 0 falls
+	// back to GOMAXPROCS.
+	BatchWorkers int
 }
 
 // System is a running CQAds instance.
@@ -61,10 +65,11 @@ type System struct {
 	classifier classify.Classifier
 	taggers    map[string]*trie.Tagger
 	sims       map[string]*rank.Similarity
-	dedups     map[string]*dedup.Result
-	maxAnswers int
-	depth      int
-	strict     bool
+	dedups       map[string]*dedup.Result
+	maxAnswers   int
+	depth        int
+	strict       bool
+	batchWorkers int
 }
 
 // Answer is one retrieved ad.
@@ -112,13 +117,14 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: Config.DB is required")
 	}
 	s := &System{
-		db:         cfg.DB,
-		classifier: cfg.Classifier,
-		taggers:    make(map[string]*trie.Tagger),
-		sims:       make(map[string]*rank.Similarity),
-		maxAnswers: cfg.MaxAnswers,
-		depth:      cfg.RelaxationDepth,
-		strict:     cfg.StrictBoolean,
+		db:           cfg.DB,
+		classifier:   cfg.Classifier,
+		taggers:      make(map[string]*trie.Tagger),
+		sims:         make(map[string]*rank.Similarity),
+		maxAnswers:   cfg.MaxAnswers,
+		depth:        cfg.RelaxationDepth,
+		strict:       cfg.StrictBoolean,
+		batchWorkers: cfg.BatchWorkers,
 	}
 	if s.maxAnswers <= 0 {
 		s.maxAnswers = DefaultMaxAnswers

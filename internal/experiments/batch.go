@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"repro/internal/pool"
+)
+
+// parallelMap applies f to every item on a worker pool and returns the
+// results in input order, so aggregation downstream of a parallel
+// sweep stays deterministic. workers <= 0 uses GOMAXPROCS. f must be
+// safe for concurrent invocation; the experiment substrates qualify —
+// tables, matrices and the classifier are read-only once built, and
+// the System's caches are internally synchronized.
+func parallelMap[T, R any](items []T, workers int, f func(int, T) R) []R {
+	return pool.Map(items, workers, f)
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/questions"
 	"repro/internal/schema"
 )
 
@@ -17,19 +18,28 @@ type Fig2Result struct {
 	Total     int
 }
 
-// Fig2Classification runs the Figure 2 experiment.
+// Fig2Classification runs the Figure 2 experiment. The 650
+// classifications are independent, so each domain's sweep fans out on
+// a worker pool; results are tallied in question order.
 func (e *Env) Fig2Classification() (*Fig2Result, error) {
+	type outcome struct {
+		got string
+		err error
+	}
 	res := &Fig2Result{PerDomain: make(map[string]float64)}
 	totalCorrect, total := 0, 0
 	for _, d := range schema.DomainNames {
 		correct := 0
 		qs := e.Tests[d]
-		for i := range qs {
-			got, _, err := e.Cls.Classify(classifyTokens(qs[i].Text))
-			if err != nil {
-				return nil, err
+		outcomes := parallelMap(qs, 0, func(_ int, q questions.Question) outcome {
+			got, _, err := e.Cls.Classify(classifyTokens(q.Text))
+			return outcome{got: got, err: err}
+		})
+		for _, o := range outcomes {
+			if o.err != nil {
+				return nil, o.err
 			}
-			if got == d {
+			if o.got == d {
 				correct++
 			}
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/boolean"
 	"repro/internal/metrics"
+	"repro/internal/questions"
 	"repro/internal/rank"
 	"repro/internal/schema"
 	"repro/internal/sqldb"
@@ -40,6 +41,11 @@ type Fig5Result struct {
 // multi-condition questions, every ranker orders the same N−1
 // candidate pool; simulated appraisers judge each ranker's top 5;
 // P@1, P@5 and MRR are averaged per Eq. 7-8.
+//
+// The candidate-pool scans and the five rankers' orderings are pure
+// functions of read-only state, so they fan out on a worker pool; only
+// the appraiser panel — whose random stream must be consumed in a
+// fixed order for reproducibility — runs sequentially.
 func (e *Env) Fig5Ranking() (*Fig5Result, error) {
 	type judged struct{ perQuestion [][]bool }
 	rankerJudgments := map[string]*judged{}
@@ -55,33 +61,27 @@ func (e *Env) Fig5Ranking() (*Fig5Result, error) {
 				rankerJudgments[r.Name()] = &judged{}
 			}
 		}
-		picked := 0
-		for _, q := range e.Tests[d] {
-			if picked == Fig5QuestionsPerDomain {
-				break
-			}
-			if len(q.Conds) < 2 || q.Groups != nil {
-				continue
-			}
-			// Each approach retrieves from the whole table, minus the
-			// exact matches (the survey showed partially-matched
-			// answers only, Sec. 5.5).
-			in := &boolean.Interpretation{Groups: q.TruthGroups()}
-			cands, err := nonExactPool(e, d, tbl, in)
-			if err != nil {
-				return nil, err
-			}
-			if len(cands) < Fig5TopK {
-				continue
-			}
-			picked++
-			questionsUsed++
-			query := &rank.Query{Text: q.Text, Conds: q.Conds}
-			for _, r := range rankers {
-				top := r.Rank(query, tbl, cands)
+		picked := e.fig5Pick(d, tbl)
+		// Rank every picked question with every approach concurrently.
+		tops := parallelMap(picked, 0, func(_ int, c fig5Candidate) [][]sqldb.RowID {
+			query := &rank.Query{Text: c.q.Text, Conds: c.q.Conds}
+			out := make([][]sqldb.RowID, len(rankers))
+			for ri, r := range rankers {
+				top := r.Rank(query, tbl, c.pool)
 				if len(top) > Fig5TopK {
 					top = top[:Fig5TopK]
 				}
+				out[ri] = top
+			}
+			return out
+		})
+		// Judge sequentially, in the same question/ranker order as a
+		// sequential sweep, to keep the appraiser stream deterministic.
+		for qi := range picked {
+			questionsUsed++
+			q := picked[qi].q
+			for ri, r := range rankers {
+				top := tops[qi][ri]
 				// Average the appraiser panel per position.
 				votes := make([]int, len(top))
 				for a := 0; a < Fig5Appraisers; a++ {
@@ -118,9 +118,59 @@ func (e *Env) Fig5Ranking() (*Fig5Result, error) {
 	return res, nil
 }
 
+// fig5Candidate is one survey question with its precomputed
+// partial-answer candidate pool.
+type fig5Candidate struct {
+	q    questions.Question
+	pool []sqldb.RowID
+}
+
+// fig5Pick selects the domain's Fig5QuestionsPerDomain survey
+// questions: multi-condition, no OR-groups, and a candidate pool of at
+// least Fig5TopK records. Pools are full-table scans, so they are
+// computed on a worker pool — in quota-sized chunks, stopping once
+// the quota fills, so a domain whose early questions qualify does not
+// scan pools for the rest (matching the old sequential early-exit).
+// Selection follows input order and picks exactly the questions a
+// sequential sweep would.
+func (e *Env) fig5Pick(d string, tbl *sqldb.Table) []fig5Candidate {
+	var eligible []questions.Question
+	for _, q := range e.Tests[d] {
+		if len(q.Conds) < 2 || q.Groups != nil {
+			continue
+		}
+		eligible = append(eligible, q)
+	}
+	var picked []fig5Candidate
+	const chunk = 2 * Fig5QuestionsPerDomain
+	for start := 0; start < len(eligible) && len(picked) < Fig5QuestionsPerDomain; start += chunk {
+		end := start + chunk
+		if end > len(eligible) {
+			end = len(eligible)
+		}
+		pools := parallelMap(eligible[start:end], 0, func(_ int, q questions.Question) []sqldb.RowID {
+			// Each approach retrieves from the whole table, minus the
+			// exact matches (the survey showed partially-matched
+			// answers only, Sec. 5.5).
+			in := &boolean.Interpretation{Groups: q.TruthGroups()}
+			return nonExactPool(tbl, in)
+		})
+		for i, q := range eligible[start:end] {
+			if len(picked) == Fig5QuestionsPerDomain {
+				break
+			}
+			if len(pools[i]) < Fig5TopK {
+				continue
+			}
+			picked = append(picked, fig5Candidate{q: q, pool: pools[i]})
+		}
+	}
+	return picked
+}
+
 // nonExactPool returns every record that does not exactly satisfy the
 // interpretation.
-func nonExactPool(e *Env, domain string, tbl *sqldb.Table, in *boolean.Interpretation) ([]sqldb.RowID, error) {
+func nonExactPool(tbl *sqldb.Table, in *boolean.Interpretation) []sqldb.RowID {
 	exact := map[sqldb.RowID]bool{}
 	for _, id := range tbl.AllRowIDs() {
 		for gi := range in.Groups {
@@ -136,7 +186,7 @@ func nonExactPool(e *Env, domain string, tbl *sqldb.Table, in *boolean.Interpret
 			out = append(out, id)
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Fig5DomainRow is CQAds's ranking quality in one domain.
@@ -163,28 +213,18 @@ func (e *Env) Fig5PerDomain() (*Fig5DomainResult, error) {
 		tbl, _ := e.DB.TableForDomain(d)
 		ranker := e.System.RankerForDomain(d)
 		var per [][]bool
-		picked := 0
-		for _, q := range e.Tests[d] {
-			if picked == Fig5QuestionsPerDomain {
-				break
-			}
-			if len(q.Conds) < 2 || q.Groups != nil {
-				continue
-			}
-			in := &boolean.Interpretation{Groups: q.TruthGroups()}
-			cands, err := nonExactPool(e, d, tbl, in)
-			if err != nil {
-				return nil, err
-			}
-			if len(cands) < Fig5TopK {
-				continue
-			}
-			picked++
-			query := &rank.Query{Text: q.Text, Conds: q.Conds}
-			top := ranker.Rank(query, tbl, cands)
+		picked := e.fig5Pick(d, tbl)
+		tops := parallelMap(picked, 0, func(_ int, c fig5Candidate) []sqldb.RowID {
+			query := &rank.Query{Text: c.q.Text, Conds: c.q.Conds}
+			top := ranker.Rank(query, tbl, c.pool)
 			if len(top) > Fig5TopK {
 				top = top[:Fig5TopK]
 			}
+			return top
+		})
+		for qi := range picked {
+			q := picked[qi].q
+			top := tops[qi]
 			votes := make([]int, len(top))
 			for a := 0; a < Fig5Appraisers; a++ {
 				rel := e.Appraiser.JudgeRanking(d, q.Conds, tbl, top)

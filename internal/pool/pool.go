@@ -1,0 +1,45 @@
+// Package pool provides the one worker-pool primitive shared by the
+// batch Ask API and the experiment drivers: fan a slice out to
+// workers, collect results in input order.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map applies f to every item on a pool of workers goroutines and
+// returns the results in input order, so downstream aggregation stays
+// deterministic. Work is distributed via an atomic counter (cheaper
+// than a channel for uniform small tasks). workers <= 0 uses
+// GOMAXPROCS. f must be safe for concurrent invocation.
+func Map[T, R any](items []T, workers int, f func(int, T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = f(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -2,6 +2,7 @@ package rank
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/sqldb"
 	"repro/internal/text"
@@ -53,10 +54,17 @@ func NewFAQFinder(tbl *sqldb.Table) *FAQFinder {
 		f.idf[w] = math.Log(float64(f.docsN+1) / float64(n+1))
 	}
 	for id, tf := range raw {
+		// Sum the norm in sorted word order: map-order float addition
+		// would give each document a slightly different norm per run.
+		words := make([]string, 0, len(tf))
+		for w := range tf {
+			words = append(words, w)
+		}
+		sort.Strings(words)
 		vec := make(map[string]float64, len(tf))
 		norm := 0.0
-		for w, n := range tf {
-			x := float64(n) * f.idf[w]
+		for _, w := range words {
+			x := float64(tf[w]) * f.idf[w]
 			vec[w] = x
 			norm += x * x
 		}
@@ -79,9 +87,24 @@ func (f *FAQFinder) Rank(q *Query, tbl *sqldb.Table, cands []sqldb.RowID) []sqld
 		st := text.Stem(w)
 		qvec[st] += f.idf[st]
 	}
+	// Flatten the query vector into a fixed order: summing the dot
+	// product over randomized map iteration perturbs the low bits of
+	// near-tied cosines differently on every call, making rankings —
+	// and the experiment figures built on them — drift between runs.
+	terms := make([]struct {
+		w string
+		x float64
+	}, 0, len(qvec))
+	for w, x := range qvec {
+		terms = append(terms, struct {
+			w string
+			x float64
+		}{w, x})
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].w < terms[j].w })
 	qnorm := 0.0
-	for _, x := range qvec {
-		qnorm += x * x
+	for _, t := range terms {
+		qnorm += t.x * t.x
 	}
 	qnorm = math.Sqrt(qnorm)
 	return sortByScore(cands, func(id sqldb.RowID) float64 {
@@ -91,8 +114,8 @@ func (f *FAQFinder) Rank(q *Query, tbl *sqldb.Table, cands []sqldb.RowID) []sqld
 			return 0
 		}
 		dot := 0.0
-		for w, x := range qvec {
-			dot += x * dvec[w]
+		for _, t := range terms {
+			dot += t.x * dvec[t.w]
 		}
 		return dot / (qnorm * dnorm)
 	})

@@ -21,19 +21,50 @@ type Similarity struct {
 	TI     *qlog.TIMatrix
 	WS     *wsmatrix.Matrix
 
-	// catCache memoizes categorical pair similarities: the WS-matrix
+	// shards memoize categorical pair similarities: the WS-matrix
 	// phrase alignment re-stems its inputs on every call, and the same
 	// (question value, record value) pairs recur across hundreds of
-	// candidates during partial matching. Guarded by mu so a Similarity
-	// (and therefore a core.System, e.g. behind the web UI) is safe for
-	// concurrent queries.
-	mu       sync.Mutex
-	catCache map[catKey]float64
+	// candidates during partial matching. The cache is lock-striped —
+	// keys hash to one of catShards shards, each with its own RWMutex
+	// and map — so concurrent queries (the web UI, AskBatch worker
+	// pools) contend only on colliding stripes, and the common
+	// cache-hit path takes a read lock only. The zero value is ready
+	// to use.
+	shards [catShards]catShard
+}
+
+// catShards is the stripe count; a small power of two keeps the
+// modulo cheap while spreading an 8-or-more-worker pool across
+// independent locks.
+const catShards = 16
+
+type catShard struct {
+	mu sync.RWMutex
+	m  map[catKey]float64
 }
 
 type catKey struct {
 	typ  schema.AttrType
 	a, b string
+}
+
+// shardIndex hashes the key (FNV-1a over type and both strings) to a
+// stripe.
+func (k catKey) shardIndex() int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(k.typ)) * prime32
+	for i := 0; i < len(k.a); i++ {
+		h = (h ^ uint32(k.a[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32 // separator so ("ab","c") ≠ ("a","bc")
+	for i := 0; i < len(k.b); i++ {
+		h = (h ^ uint32(k.b[i])) * prime32
+	}
+	return int(h % catShards)
 }
 
 // NumSim is Eq. 4: 1 - |T-V| / Attribute_Value_Range, clamped to
@@ -119,22 +150,21 @@ func (s *Similarity) categoricalSim(typ schema.AttrType, want, stored string) fl
 }
 
 func (s *Similarity) cacheGet(k catKey) (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.catCache == nil {
-		return 0, false
-	}
-	sim, ok := s.catCache[k]
+	sh := &s.shards[k.shardIndex()]
+	sh.mu.RLock()
+	sim, ok := sh.m[k]
+	sh.mu.RUnlock()
 	return sim, ok
 }
 
 func (s *Similarity) cachePut(k catKey, sim float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.catCache == nil {
-		s.catCache = make(map[catKey]float64)
+	sh := &s.shards[k.shardIndex()]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[catKey]float64)
 	}
-	s.catCache[k] = sim
+	sh.m[k] = sim
+	sh.mu.Unlock()
 }
 
 // RankSim is Eq. 5: (N-1) exact matches count 1 each, plus the

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/sqldb"
 )
@@ -38,6 +39,16 @@ func Exec(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
 		ids = ids[:sel.Limit]
 	}
 	return ids, nil
+}
+
+// EvalExpr evaluates a WHERE expression directly against tbl and
+// returns the matching row ids in ascending order. It lets callers
+// that already hold a compiled expression — notably the relaxation
+// engine, which evaluates each condition exactly once and reuses the
+// posting lists across drop sets — skip the SELECT statement
+// round-trip.
+func EvalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
+	return evalExpr(db, tbl, e)
 }
 
 // ExecString parses and evaluates a SQL statement in one step.
@@ -89,7 +100,7 @@ func evalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
 			if i == 0 {
 				acc = ids
 			} else {
-				acc = intersect(acc, ids)
+				acc = sqldb.IntersectSorted(acc, ids)
 			}
 			if len(acc) == 0 {
 				return nil, nil
@@ -147,29 +158,7 @@ func evalCompare(tbl *sqldb.Table, c *Compare) ([]sqldb.RowID, error) {
 func sortIDs(ids []sqldb.RowID) []sqldb.RowID {
 	out := make([]sqldb.RowID, len(ids))
 	copy(out, ids)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
-}
-
-func intersect(a, b []sqldb.RowID) []sqldb.RowID {
-	var out []sqldb.RowID
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
+	slices.Sort(out)
 	return out
 }
 
@@ -198,7 +187,11 @@ func union(a, b []sqldb.RowID) []sqldb.RowID {
 // complement returns all rows of tbl not present in ids (ids must be
 // sorted ascending).
 func complement(tbl *sqldb.Table, ids []sqldb.RowID) []sqldb.RowID {
-	var out []sqldb.RowID
+	n := tbl.Len() - len(ids)
+	if n < 0 {
+		n = 0
+	}
+	out := make([]sqldb.RowID, 0, n)
 	j := 0
 	for i := 0; i < tbl.Len(); i++ {
 		id := sqldb.RowID(i)

@@ -2,6 +2,8 @@ package sqldb
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // RowID identifies a record within a table. RowIDs are dense and
@@ -44,10 +46,14 @@ func (ix *hashIndex) lookup(v Value) []RowID {
 
 // orderedIndex keeps (value, row) pairs sorted by numeric value,
 // supporting range scans and min/max queries for boundaries and
-// superlatives (Sec. 4.3 steps 3-4).
+// superlatives (Sec. 4.3 steps 3-4). The sort is deferred to the
+// first scan; sorting is synchronized so a freshly-populated table is
+// safe to query from many goroutines (inserts concurrent with scans
+// remain a usage error, as before).
 type orderedIndex struct {
 	entries []orderedEntry
-	sorted  bool
+	sorted  atomic.Bool
+	sortMu  sync.Mutex
 }
 
 type orderedEntry struct {
@@ -61,11 +67,16 @@ func (ix *orderedIndex) insert(v Value, id RowID) {
 		return
 	}
 	ix.entries = append(ix.entries, orderedEntry{val: n, id: id})
-	ix.sorted = false
+	ix.sorted.Store(false)
 }
 
 func (ix *orderedIndex) ensureSorted() {
-	if ix.sorted {
+	if ix.sorted.Load() {
+		return
+	}
+	ix.sortMu.Lock()
+	defer ix.sortMu.Unlock()
+	if ix.sorted.Load() {
 		return
 	}
 	sort.Slice(ix.entries, func(i, j int) bool {
@@ -74,7 +85,7 @@ func (ix *orderedIndex) ensureSorted() {
 		}
 		return ix.entries[i].id < ix.entries[j].id
 	})
-	ix.sorted = true
+	ix.sorted.Store(true)
 }
 
 // scanRange returns the rows whose value lies in [lo,hi] with the
@@ -88,17 +99,20 @@ func (ix *orderedIndex) scanRange(lo, hi float64, includeLo, includeHi bool) []R
 		}
 		return ix.entries[i].val > lo
 	})
-	var out []RowID
-	for i := start; i < len(ix.entries); i++ {
-		v := ix.entries[i].val
+	// Find first entry past hi so the result can be allocated exactly.
+	end := start + sort.Search(len(ix.entries)-start, func(i int) bool {
+		v := ix.entries[start+i].val
 		if includeHi {
-			if v > hi {
-				break
-			}
-		} else if v >= hi {
-			break
+			return v > hi
 		}
-		out = append(out, ix.entries[i].id)
+		return v >= hi
+	})
+	if start >= end {
+		return nil
+	}
+	out := make([]RowID, end-start)
+	for i := start; i < end; i++ {
+		out[i-start] = ix.entries[i].id
 	}
 	return out
 }
@@ -169,7 +183,7 @@ func (ix *trigramIndex) candidates(sub string) []RowID {
 		return nil
 	}
 	for _, g := range grams[1:] {
-		result = intersectSorted(result, ix.postings[g])
+		result = IntersectSorted(result, ix.postings[g])
 		if len(result) == 0 {
 			return nil
 		}
@@ -177,9 +191,15 @@ func (ix *trigramIndex) candidates(sub string) []RowID {
 	return result
 }
 
-// intersectSorted intersects two ascending RowID slices.
-func intersectSorted(a, b []RowID) []RowID {
-	var out []RowID
+// IntersectSorted intersects two ascending RowID slices into a new
+// slice. It is the one merge kernel shared by the trigram index, the
+// SQL AND evaluator, and the relaxation engine's drop-set assembly.
+func IntersectSorted(a, b []RowID) []RowID {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]RowID, 0, n)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -124,7 +124,7 @@ func TestHashIndexNumericStringKeysShared(t *testing.T) {
 func TestSetOperations(t *testing.T) {
 	a := []RowID{1, 3, 5, 7}
 	b := []RowID{3, 4, 5, 8}
-	if got := intersectSorted(a, b); !reflect.DeepEqual(got, []RowID{3, 5}) {
+	if got := IntersectSorted(a, b); !reflect.DeepEqual(got, []RowID{3, 5}) {
 		t.Errorf("intersect = %v", got)
 	}
 	union := unionSorted(a, b)
@@ -132,7 +132,7 @@ func TestSetOperations(t *testing.T) {
 	if !reflect.DeepEqual(union, want) {
 		t.Errorf("union = %v, want %v", union, want)
 	}
-	if got := intersectSorted(a, nil); len(got) != 0 {
+	if got := IntersectSorted(a, nil); len(got) != 0 {
 		t.Errorf("intersect with empty = %v", got)
 	}
 }
@@ -154,7 +154,7 @@ func TestSetOperationsProperties(t *testing.T) {
 	}
 	for seed := int64(0); seed < 50; seed++ {
 		a, b := gen(seed), gen(seed+1000)
-		inter := intersectSorted(a, b)
+		inter := IntersectSorted(a, b)
 		uni := unionSorted(a, b)
 		// |A| + |B| = |A∪B| + |A∩B|
 		if len(a)+len(b) != len(uni)+len(inter) {

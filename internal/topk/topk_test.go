@@ -1,0 +1,89 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSelectorMatchesSortTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		k := rng.Intn(40)
+		items := make([]int, n)
+		for i := range items {
+			items[i] = rng.Intn(25) // duplicates exercise tie handling
+		}
+		sel := New(k, intLess)
+		for _, v := range items {
+			sel.Push(v)
+		}
+		got := sel.Sorted()
+
+		want := append([]int(nil), items...)
+		sort.Ints(want)
+		if len(want) > k {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d k=%d): got %d items, want %d", trial, n, k, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): got %v, want %v", trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectorZeroK(t *testing.T) {
+	sel := New(0, intLess)
+	sel.Push(1)
+	sel.Push(2)
+	if sel.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", sel.Len())
+	}
+	if out := sel.Sorted(); len(out) != 0 {
+		t.Fatalf("Sorted = %v, want empty", out)
+	}
+}
+
+func TestSelectorTotalOrderDeterminism(t *testing.T) {
+	// Under a total order (value, then insertion id) the selection is
+	// exactly sort-and-truncate, the property the answer pipeline
+	// relies on for bit-identical top-K answers.
+	type pair struct{ score, id int }
+	less := func(a, b pair) bool {
+		if a.score != b.score {
+			return a.score > b.score
+		}
+		return a.id < b.id
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(80)
+		k := 1 + rng.Intn(20)
+		items := make([]pair, n)
+		for i := range items {
+			items[i] = pair{score: rng.Intn(5), id: i}
+		}
+		sel := New(k, less)
+		for _, v := range items {
+			sel.Push(v)
+		}
+		got := sel.Sorted()
+		want := append([]pair(nil), items...)
+		sort.Slice(want, func(i, j int) bool { return less(want[i], want[j]) })
+		if len(want) > k {
+			want = want[:k]
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d: got %v, want %v", trial, i, got, want)
+			}
+		}
+	}
+}
