@@ -3,7 +3,14 @@
 //
 // Usage:
 //
-//	cqadsweb [-addr :8080] [-seed N] [-ads N]
+//	cqadsweb [-addr :8080] [-seed N] [-ads N] [-ingest 2s] [-expire 30s]
+//
+// With -ingest set, the server keeps the corpus live: a background
+// writer posts a freshly generated ad to a rotating domain every
+// interval (exercising System.InsertAd against concurrent questions),
+// and with -expire additionally deletes the oldest live ingested ad
+// every expiry interval (System.DeleteAd), so a running server is
+// continuously answering questions over ads posted seconds earlier.
 package main
 
 import (
@@ -11,8 +18,12 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"repro/cqads"
+	"repro/internal/adsgen"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
 	"repro/internal/webui"
 )
 
@@ -20,12 +31,72 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 42, "deterministic environment seed")
 	ads := flag.Int("ads", 500, "ads per domain")
+	ingest := flag.Duration("ingest", 0, "post one generated ad per interval (0 disables live ingestion)")
+	expire := flag.Duration("expire", 0, "delete the oldest ingested ad per interval (requires -ingest)")
 	flag.Parse()
 
 	sys, err := cqads.Open(cqads.Options{Seed: *seed, AdsPerDomain: *ads})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *ingest > 0 {
+		go runIngest(sys, *seed, *ingest, *expire)
+		fmt.Printf("live ingestion: one ad per %v", *ingest)
+		if *expire > 0 {
+			fmt.Printf(", expiry per %v", *expire)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("CQAds web UI listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, webui.NewServer(sys)))
+}
+
+// ingested tracks one live ad posted by the background writer.
+type ingested struct {
+	domain string
+	id     sqldb.RowID
+}
+
+// runIngest is the background writer: every interval it generates one
+// ad for the next domain in rotation and inserts it into the running
+// system; when expiry is enabled, ads are deleted oldest-first on
+// their own cadence, keeping the live-ingested set bounded.
+func runIngest(sys *cqads.System, seed int64, interval, expiry time.Duration) {
+	gen := adsgen.NewGenerator(seed ^ 0x1ee7)
+	domains := sys.Domains()
+	var queue []ingested
+	insert := time.NewTicker(interval)
+	defer insert.Stop()
+	var expireC <-chan time.Time
+	if expiry > 0 {
+		t := time.NewTicker(expiry)
+		defer t.Stop()
+		expireC = t.C
+	}
+	for i := 0; ; {
+		select {
+		case <-insert.C:
+			domain := domains[i%len(domains)]
+			i++
+			ad := gen.Generate(schema.ByName(domain), 1)[0]
+			id, err := sys.InsertAd(domain, ad)
+			if err != nil {
+				log.Printf("ingest: %s: %v", domain, err)
+				continue
+			}
+			queue = append(queue, ingested{domain: domain, id: id})
+			log.Printf("ingest: posted ad %d to %s (%d live ingested)", id, domain, len(queue))
+		case <-expireC:
+			if len(queue) == 0 {
+				continue
+			}
+			old := queue[0]
+			queue = queue[1:]
+			if err := sys.DeleteAd(old.domain, old.id); err != nil {
+				log.Printf("expire: %s/%d: %v", old.domain, old.id, err)
+				continue
+			}
+			log.Printf("expire: removed ad %d from %s (%d live ingested)", old.id, old.domain, len(queue))
+		}
+	}
 }

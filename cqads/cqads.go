@@ -27,6 +27,20 @@
 // input order, bit-identical to a sequential sweep; the similarity
 // caches are lock-striped so workers contend only on colliding
 // stripes.
+//
+// # Live ingestion
+//
+// The ads corpus is mutable at runtime, matching the live feeds the
+// paper serves: System.InsertAd posts an ad into a running system and
+// System.DeleteAd expires one, both safe to call while other
+// goroutines Ask (InsertAdBatch/DeleteAdBatch fan a feed out on the
+// shared worker pool and report per-ad IngestResults). An inserted ad
+// is visible to the very next question; derived state — the
+// near-duplicate representatives behind Options.Dedup, and the
+// classifier when Options.TrainOnIngest is set — is invalidated by
+// table version and refreshed lazily, so answers always reflect the
+// current corpus without rebuilding the system. See the repository
+// root package documentation for the full invalidation contract.
 package cqads
 
 import (
@@ -54,6 +68,9 @@ type (
 	// BatchResult pairs one question of an AskBatch call with its
 	// result or error.
 	BatchResult = core.BatchResult
+	// IngestResult pairs one ad of an InsertAdBatch/DeleteAdBatch call
+	// with its assigned RowID or error.
+	IngestResult = core.IngestResult
 )
 
 // Schema types for callers defining their own ads domains.
@@ -102,6 +119,9 @@ type Options struct {
 	// BatchWorkers is the default worker-pool size for AskBatch and
 	// AskInDomainBatch; 0 means GOMAXPROCS.
 	BatchWorkers int
+	// TrainOnIngest folds ads inserted through System.InsertAd into
+	// the classifier's training set for their domain.
+	TrainOnIngest bool
 }
 
 // Open builds a ready-to-query System over the synthetic eight-domain
@@ -152,6 +172,7 @@ func Open(opts Options) (*System, error) {
 		StrictBoolean: opts.StrictBoolean,
 		Dedup:         opts.Dedup,
 		BatchWorkers:  opts.BatchWorkers,
+		TrainOnIngest: opts.TrainOnIngest,
 	})
 }
 

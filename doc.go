@@ -34,4 +34,40 @@
 //     worker count is safe; results return in input order and are
 //     bit-identical to a sequential sweep. The 650-question
 //     experiment drivers (internal/experiments) run on this API.
+//
+// # Mutability and the invalidation contract
+//
+// The paper's corpus is live — ads are posted and expire continuously
+// — so the store is mutable at runtime. System.InsertAd and
+// System.DeleteAd (plus their pool-backed batch variants) mutate a
+// running system while questions are being answered; a web deployment
+// exposes the same operations as POST /api/ads and
+// DELETE /api/ads/{id} (internal/webui), and `cqadsweb -ingest`
+// drives a continuous synthetic feed against a live server.
+//
+// The consistency model has three layers:
+//
+//   - Storage. sqldb.Table is internally synchronized (RWMutex).
+//     Every mutation is atomic: a row and all of its index postings —
+//     hash, ordered, trigram — appear or disappear together, so no
+//     reader ever observes a half-indexed row. Deletes tombstone the
+//     RowID (slots are retired, never reused) and remove postings in
+//     place, preserving each posting list's ascending-RowID order.
+//     Multi-statement reads are NOT snapshots: a query that runs
+//     while a writer commits may see the corpus before or after the
+//     mutation, but never in between.
+//
+//   - Derived state. Structures computed from the rows are
+//     invalidated by version, not callback: tables carry a version
+//     counter that moves on every mutation, and the per-domain dedup
+//     representatives record the version they were computed at and
+//     are lazily rebuilt by the first question that finds them stale
+//     (core.dedupFor). The similarity caches never need invalidation:
+//     they memoize value-pair similarities keyed on the values
+//     themselves, which rows coming or going cannot make wrong.
+//
+//   - Classifier. Routing state is only touched when
+//     Config.TrainOnIngest is set, in which case each inserted ad's
+//     text joins its domain's training set and takes effect at the
+//     classifier's next (synchronized) refit.
 package repro

@@ -22,12 +22,16 @@ import (
 type JBBSM struct {
 	classes map[string]*jbClass
 	total   int // total training documents across classes
-	// fitted/fitMu make the lazy Beta fitting safe for concurrent
-	// Classify calls (AskBatch worker pools, the web UI): the atomic
-	// flag is the lock-free fast path once fitting is published, the
-	// mutex serializes the first fit. Train resets the flag.
+	// fitted/mu make lazy Beta fitting and runtime training safe for
+	// concurrent Classify calls (AskBatch worker pools, the web UI,
+	// live ad ingestion): the atomic flag is the lock-free fast path
+	// once fitting is published; Train and fit mutate under the write
+	// lock while Classify scores under the read lock. A Train that
+	// lands between a Classify's fit check and its scoring pass is
+	// simply not yet visible to that one call — the next Classify
+	// refits. Train resets the flag.
 	fitted atomic.Bool
-	fitMu  sync.Mutex
+	mu     sync.RWMutex
 
 	// BackgroundAlpha and BackgroundBeta are the Beta prior used for
 	// words never seen in a class (the "unseen words" handling the
@@ -61,8 +65,12 @@ func NewJBBSM() *JBBSM {
 	}
 }
 
-// Train implements Classifier.
+// Train implements Classifier. It is safe to call while other
+// goroutines Classify: the new documents take effect atomically at
+// the next refit.
 func (m *JBBSM) Train(class string, docs [][]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c := m.classes[class]
 	if c == nil {
 		c = &jbClass{
@@ -99,8 +107,8 @@ func (m *JBBSM) fit() {
 	if m.fitted.Load() {
 		return
 	}
-	m.fitMu.Lock()
-	defer m.fitMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.fitted.Load() {
 		return
 	}
@@ -151,7 +159,18 @@ func fitBeta(mean, variance, strength float64) betaParams {
 //
 // over the words present in the document.
 func (m *JBBSM) Classify(doc []string) (string, map[string]float64, error) {
+	// fit() and the read lock are two separate acquisitions, so a
+	// Train can land in the gap and unfit the model; re-check under
+	// the read lock and refit so scoring only ever sees a fully
+	// fitted state (counts and Beta params from the same fit).
 	m.fit()
+	m.mu.RLock()
+	for !m.fitted.Load() {
+		m.mu.RUnlock()
+		m.fit()
+		m.mu.RLock()
+	}
+	defer m.mu.RUnlock()
 	scores := make(map[string]float64, len(m.classes))
 	wc := countWords(doc)
 	n := len(doc)

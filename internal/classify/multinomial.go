@@ -1,12 +1,17 @@
 package classify
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Multinomial is the classic multinomial Naive Bayes with Laplace
 // smoothing. It serves as the ablation baseline for JBBSM (DESIGN.md
 // "ablate-jbbsm"): identical prior and tokenization, but a likelihood
-// that ignores burstiness.
+// that ignores burstiness. Like JBBSM it is safe to Train while other
+// goroutines Classify (live ingestion with TrainOnIngest).
 type Multinomial struct {
+	mu      sync.RWMutex
 	classes map[string]*mnClass
 	vocab   map[string]struct{}
 	total   int
@@ -28,6 +33,8 @@ func NewMultinomial() *Multinomial {
 
 // Train implements Classifier.
 func (m *Multinomial) Train(class string, docs [][]string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	c := m.classes[class]
 	if c == nil {
 		c = &mnClass{counts: make(counts)}
@@ -49,6 +56,8 @@ func (m *Multinomial) Train(class string, docs [][]string) {
 
 // Classify implements Classifier.
 func (m *Multinomial) Classify(doc []string) (string, map[string]float64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	scores := make(map[string]float64, len(m.classes))
 	v := float64(len(m.vocab))
 	for name, c := range m.classes {

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pool"
+	"repro/internal/sqldb"
+)
+
+// This file is the live-ingestion surface of the System: ads are
+// posted and expire continuously (the paper's corpus is a live ads
+// feed), so the store must accept inserts and deletes while questions
+// are being answered.
+//
+// The consistency model is deliberately simple. sqldb.Table is
+// internally synchronized, so every mutation is atomic — a row and
+// all of its index postings appear or disappear together. Derived
+// state is invalidated by version, not by callback: InsertAd/DeleteAd
+// bump the table version, and the per-domain dedup representatives are
+// lazily recomputed by the next question that needs them (see
+// System.dedupFor). The similarity caches need no invalidation at all:
+// they memoize value-pair similarities keyed on the values themselves
+// (never on row ids), so rows coming and going cannot make a cached
+// entry wrong. Classifier state is only touched when TrainOnIngest is
+// set, in which case the ad's text is folded into the domain's
+// training set and takes effect at the classifier's next refit.
+
+// InsertAd inserts one ad into the named domain's table and returns
+// its RowID. The ad becomes visible to Ask/AskBatch immediately and
+// atomically; dedup representatives are refreshed lazily on the next
+// question. Unknown domains and unknown columns error.
+func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
+	tbl, ok := s.db.TableForDomain(domain)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown domain %q", domain)
+	}
+	id, err := tbl.Insert(values)
+	if err != nil {
+		return 0, err
+	}
+	if s.trainOnIngest && s.classifier != nil {
+		if doc := adDocument(values); len(doc) > 0 {
+			s.classifier.Train(domain, [][]string{doc})
+		}
+	}
+	return id, nil
+}
+
+// DeleteAd removes an ad (an expired listing) from the named domain's
+// table. The ad stops appearing in Ask/AskBatch answers immediately;
+// its RowID is retired and never reused. Deleting an unknown or
+// already-deleted ad is an error.
+func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
+	tbl, ok := s.db.TableForDomain(domain)
+	if !ok {
+		return fmt.Errorf("core: unknown domain %q", domain)
+	}
+	return tbl.Delete(id)
+}
+
+// IngestResult pairs one ad of a batch ingestion call with its
+// outcome. ID is valid only for inserts with a nil Err.
+type IngestResult struct {
+	// Index is the ad's position in the input slice.
+	Index int
+	// ID is the RowID assigned to an inserted ad.
+	ID sqldb.RowID
+	// Err is the per-ad failure, nil on success.
+	Err error
+}
+
+// InsertAdBatch inserts many ads into one domain on the shared worker
+// pool, returning per-ad results in input order. Each ad succeeds or
+// fails independently. Inserts serialize on the table's write lock,
+// so the pool's win is overlapping the per-ad preparation (column
+// resolution, classifier training when TrainOnIngest is set) rather
+// than the appends themselves; RowID assignment order across the
+// batch is therefore unspecified, but every returned ID maps to its
+// input ad. workers <= 0 uses Config.BatchWorkers, then GOMAXPROCS.
+func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, workers int) []IngestResult {
+	if workers <= 0 {
+		workers = s.batchWorkers
+	}
+	return pool.Map(ads, workers, func(i int, ad map[string]sqldb.Value) IngestResult {
+		id, err := s.InsertAd(domain, ad)
+		return IngestResult{Index: i, ID: id, Err: err}
+	})
+}
+
+// DeleteAdBatch deletes many ads from one domain on the shared worker
+// pool, returning per-ad results in input order (ID echoes the input
+// id). workers <= 0 uses Config.BatchWorkers, then GOMAXPROCS.
+func (s *System) DeleteAdBatch(domain string, ids []sqldb.RowID, workers int) []IngestResult {
+	if workers <= 0 {
+		workers = s.batchWorkers
+	}
+	return pool.Map(ids, workers, func(i int, id sqldb.RowID) IngestResult {
+		return IngestResult{Index: i, ID: id, Err: s.DeleteAd(domain, id)}
+	})
+}
+
+// adDocument renders an ad's textual values as one classifier
+// training document, tokenized and stopword-filtered the same way
+// questions are.
+func adDocument(values map[string]sqldb.Value) []string {
+	var sb strings.Builder
+	for _, v := range values {
+		if v.IsString() {
+			sb.WriteString(v.Str())
+			sb.WriteByte(' ')
+		}
+	}
+	return tokenizeForClassify(sb.String())
+}

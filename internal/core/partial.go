@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/boolean"
+	"repro/internal/dedup"
 	"repro/internal/rank"
 	"repro/internal/schema"
 	"repro/internal/sql"
@@ -19,7 +20,7 @@ import (
 // Rank_Sim (Eq. 5). Questions with a single condition fall back to
 // similarity matching over the whole table. RelaxationDepth > 1
 // additionally drops pairs (the N−2 sweep the paper discusses).
-func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, exact []sqldb.RowID, want int) []Answer {
+func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, exact []sqldb.RowID, want int, dd *dedup.Result) []Answer {
 	if want <= 0 {
 		return nil
 	}
@@ -45,8 +46,8 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 			}
 		}
 	}
-	if d := s.dedups[tbl.Schema().Domain]; d != nil {
-		candidates = d.FilterAnswersExcluding(candidates, exact)
+	if dd != nil {
+		candidates = dd.FilterAnswersExcluding(candidates, exact)
 	}
 
 	type scored struct {

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/boolean"
@@ -52,24 +53,46 @@ type Config struct {
 	StrictBoolean bool
 	// Dedup removes near-duplicate listings from answer lists so the
 	// 30-answer cutoff shows distinct ads (Sec. 6 future work (iv)).
+	// Dedup state is versioned against each table: InsertAd/DeleteAd
+	// invalidate it, and the next question lazily recomputes the
+	// representatives over the current rows.
 	Dedup bool
+	// TrainOnIngest feeds each ad inserted through System.InsertAd to
+	// the classifier as a training document of its domain, so routing
+	// keeps up with vocabulary that first appears in live ads. Off by
+	// default: the paper trains the classifier on questions, and ad
+	// text skews the class-conditional model toward listing phrasing.
+	TrainOnIngest bool
 	// BatchWorkers is the default worker-pool size for AskBatch and
 	// AskInDomainBatch when the caller passes workers <= 0; 0 falls
 	// back to GOMAXPROCS.
 	BatchWorkers int
 }
 
-// System is a running CQAds instance.
+// System is a running CQAds instance. It is safe for concurrent use,
+// including mutation: InsertAd/DeleteAd may run while other goroutines
+// Ask. See the package documentation for the invalidation contract.
 type System struct {
-	db         *sqldb.DB
-	classifier classify.Classifier
-	taggers    map[string]*trie.Tagger
-	sims       map[string]*rank.Similarity
-	dedups       map[string]*dedup.Result
-	maxAnswers   int
-	depth        int
-	strict       bool
-	batchWorkers int
+	db            *sqldb.DB
+	classifier    classify.Classifier
+	taggers       map[string]*trie.Tagger
+	sims          map[string]*rank.Similarity
+	dedups        map[string]*dedupState
+	maxAnswers    int
+	depth         int
+	strict        bool
+	batchWorkers  int
+	trainOnIngest bool
+}
+
+// dedupState caches one domain's near-duplicate representatives
+// together with the table version they were computed at. Ingestion
+// invalidates the cache simply by moving the table version; the next
+// question that needs the representatives recomputes them under mu.
+type dedupState struct {
+	mu      sync.Mutex
+	res     *dedup.Result
+	version uint64
 }
 
 // Answer is one retrieved ad.
@@ -117,14 +140,15 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: Config.DB is required")
 	}
 	s := &System{
-		db:           cfg.DB,
-		classifier:   cfg.Classifier,
-		taggers:      make(map[string]*trie.Tagger),
-		sims:         make(map[string]*rank.Similarity),
-		maxAnswers:   cfg.MaxAnswers,
-		depth:        cfg.RelaxationDepth,
-		strict:       cfg.StrictBoolean,
-		batchWorkers: cfg.BatchWorkers,
+		db:            cfg.DB,
+		classifier:    cfg.Classifier,
+		taggers:       make(map[string]*trie.Tagger),
+		sims:          make(map[string]*rank.Similarity),
+		maxAnswers:    cfg.MaxAnswers,
+		depth:         cfg.RelaxationDepth,
+		strict:        cfg.StrictBoolean,
+		batchWorkers:  cfg.BatchWorkers,
+		trainOnIngest: cfg.TrainOnIngest,
 	}
 	if s.maxAnswers <= 0 {
 		s.maxAnswers = DefaultMaxAnswers
@@ -147,13 +171,35 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	if cfg.Dedup {
-		s.dedups = make(map[string]*dedup.Result)
+		s.dedups = make(map[string]*dedupState)
 		for _, domain := range cfg.DB.Domains() {
 			tbl, _ := cfg.DB.TableForDomain(domain)
-			s.dedups[domain] = dedup.Dedup(tbl, dedup.DefaultOptions())
+			s.dedups[domain] = &dedupState{}
+			s.dedupFor(domain, tbl) // warm the cache at the build version
 		}
 	}
 	return s, nil
+}
+
+// dedupFor returns the current near-duplicate representatives of a
+// domain, recomputing them when the table has changed since the
+// cached pass. Returns nil when dedup is disabled.
+func (s *System) dedupFor(domain string, tbl *sqldb.Table) *dedup.Result {
+	st := s.dedups[domain]
+	if st == nil {
+		return nil
+	}
+	// The version is read before the scan: a mutation that lands
+	// mid-scan moves the table past the recorded version, so the next
+	// question recomputes rather than trusting a torn pass.
+	v := tbl.Version()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.res == nil || st.version != v {
+		st.res = dedup.Dedup(tbl, dedup.DefaultOptions())
+		st.version = v
+	}
+	return st.res
 }
 
 // Domains lists the domains the system can answer questions in.
@@ -219,8 +265,9 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: executing %q: %w", res.SQL, err)
 	}
-	if d := s.dedups[domain]; d != nil {
-		exactIDs = d.FilterAnswers(exactIDs)
+	dd := s.dedupFor(domain, tbl)
+	if dd != nil {
+		exactIDs = dd.FilterAnswers(exactIDs)
 	}
 	exactScore := float64(maxGroupLen(in))
 	for _, id := range exactIDs {
@@ -235,7 +282,7 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	res.ExactCount = len(res.Answers)
 
 	if res.ExactCount < s.maxAnswers {
-		partial := s.partialAnswers(tbl, in, exactIDs, s.maxAnswers-res.ExactCount)
+		partial := s.partialAnswers(tbl, in, exactIDs, s.maxAnswers-res.ExactCount, dd)
 		res.Answers = append(res.Answers, partial...)
 	}
 	res.Elapsed = time.Since(start)
@@ -259,13 +306,29 @@ func (s *System) execWithSuperlative(tbl *sqldb.Table, sel *sql.Select, in *bool
 	if err != nil {
 		return nil, err
 	}
-	if len(ids) == 0 {
+	// Rows whose superlative attribute is NULL or a non-numeric string
+	// are not candidates for a numeric extreme: Num() would coerce them
+	// to 0, and since NULL sorts first ascending (non-numeric strings
+	// first descending), "cheapest X" would return ads with *no* price
+	// as the extreme set. Skip the non-numeric prefix; the numeric run
+	// is contiguous in the ORDER BY, so the first numeric value is the
+	// true extreme.
+	sup := in.Superlative.Attr
+	start := 0
+	for start < len(ids) {
+		if _, ok := tbl.Value(ids[start], sup).TryNum(); ok {
+			break
+		}
+		start++
+	}
+	if start == len(ids) {
 		return nil, nil
 	}
-	extreme := tbl.Value(ids[0], in.Superlative.Attr).Num()
+	extreme, _ := tbl.Value(ids[start], sup).TryNum()
 	var out []sqldb.RowID
-	for _, id := range ids {
-		if tbl.Value(id, in.Superlative.Attr).Num() != extreme {
+	for _, id := range ids[start:] {
+		n, ok := tbl.Value(id, sup).TryNum()
+		if !ok || n != extreme {
 			break // ids are ordered by the attribute
 		}
 		out = append(out, id)

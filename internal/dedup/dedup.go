@@ -42,15 +42,27 @@ type Result struct {
 	Groups int
 }
 
-// Dedup detects near-duplicate records in tbl. The scan is
-// blocked on the first Type I attribute value so cost stays near
-// O(n²/|blocks|) instead of O(n²).
+// Dedup detects near-duplicate records among tbl's live rows. The
+// scan is blocked on the first Type I attribute value so cost stays
+// near O(n²/|blocks|) instead of O(n²). Tables are mutable at runtime;
+// callers that cache a Result should key it on Table.Version and
+// recompute when the version moves (core.System does exactly this).
 func Dedup(tbl *sqldb.Table, opts Options) *Result {
 	if opts.NumericTolerance == 0 {
 		opts = DefaultOptions()
 	}
 	s := tbl.Schema()
-	uf := newUnionFind(tbl.Len())
+	// RowIDs are slot indexes, not dense 0..Len-1: tombstoned tables
+	// have live ids up to Slots()-1. The union-find is sized from the
+	// live snapshot itself (its largest id) rather than a separate
+	// Slots() read — a writer inserting between two table calls could
+	// otherwise hand us a live id beyond an earlier size snapshot.
+	live := tbl.AllRowIDs()
+	size := 0
+	if len(live) > 0 {
+		size = int(live[len(live)-1]) + 1
+	}
+	uf := newUnionFind(size)
 
 	// Block by the primary identifier: records with different first
 	// Type I values are never duplicates (identifier mismatch), and
@@ -58,7 +70,7 @@ func Dedup(tbl *sqldb.Table, opts Options) *Result {
 	// normalization.
 	blockAttr := s.AttrsOfType(schema.TypeI)[0].Name
 	blocks := map[string][]sqldb.RowID{}
-	for _, id := range tbl.AllRowIDs() {
+	for _, id := range live {
 		key := shorthand.Normalize(tbl.Value(id, blockAttr).Str())
 		blocks[key] = append(blocks[key], id)
 	}
@@ -74,14 +86,14 @@ func Dedup(tbl *sqldb.Table, opts Options) *Result {
 
 	res := &Result{Duplicates: map[sqldb.RowID]sqldb.RowID{}}
 	rep := map[int]sqldb.RowID{}
-	for i := 0; i < tbl.Len(); i++ {
-		root := uf.find(i)
+	for _, id := range live {
+		root := uf.find(int(id))
 		if r, ok := rep[root]; ok {
-			res.Duplicates[sqldb.RowID(i)] = r
+			res.Duplicates[id] = r
 			continue
 		}
-		rep[root] = sqldb.RowID(i)
-		res.Keep = append(res.Keep, sqldb.RowID(i))
+		rep[root] = id
+		res.Keep = append(res.Keep, id)
 	}
 	sort.Slice(res.Keep, func(i, j int) bool { return res.Keep[i] < res.Keep[j] })
 	res.Groups = len(res.Keep)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/questions"
 	"repro/internal/schema"
 )
@@ -31,7 +32,12 @@ func (e *Env) Fig2Classification() (*Fig2Result, error) {
 	for _, d := range schema.DomainNames {
 		correct := 0
 		qs := e.Tests[d]
-		outcomes := parallelMap(qs, 0, func(_ int, q questions.Question) outcome {
+		// pool.Map returns results in input order, keeping downstream
+		// aggregation deterministic. The experiment substrates are safe
+		// for concurrent invocation: tables, matrices and the classifier
+		// are read-only once built, and the System's caches are
+		// internally synchronized.
+		outcomes := pool.Map(qs, 0, func(_ int, q questions.Question) outcome {
 			got, _, err := e.Cls.Classify(classifyTokens(q.Text))
 			return outcome{got: got, err: err}
 		})

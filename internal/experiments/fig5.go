@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/boolean"
 	"repro/internal/metrics"
+	"repro/internal/pool"
 	"repro/internal/questions"
 	"repro/internal/rank"
 	"repro/internal/schema"
@@ -63,7 +64,7 @@ func (e *Env) Fig5Ranking() (*Fig5Result, error) {
 		}
 		picked := e.fig5Pick(d, tbl)
 		// Rank every picked question with every approach concurrently.
-		tops := parallelMap(picked, 0, func(_ int, c fig5Candidate) [][]sqldb.RowID {
+		tops := pool.Map(picked, 0, func(_ int, c fig5Candidate) [][]sqldb.RowID {
 			query := &rank.Query{Text: c.q.Text, Conds: c.q.Conds}
 			out := make([][]sqldb.RowID, len(rankers))
 			for ri, r := range rankers {
@@ -148,7 +149,7 @@ func (e *Env) fig5Pick(d string, tbl *sqldb.Table) []fig5Candidate {
 		if end > len(eligible) {
 			end = len(eligible)
 		}
-		pools := parallelMap(eligible[start:end], 0, func(_ int, q questions.Question) []sqldb.RowID {
+		pools := pool.Map(eligible[start:end], 0, func(_ int, q questions.Question) []sqldb.RowID {
 			// Each approach retrieves from the whole table, minus the
 			// exact matches (the survey showed partially-matched
 			// answers only, Sec. 5.5).
@@ -214,7 +215,7 @@ func (e *Env) Fig5PerDomain() (*Fig5DomainResult, error) {
 		ranker := e.System.RankerForDomain(d)
 		var per [][]bool
 		picked := e.fig5Pick(d, tbl)
-		tops := parallelMap(picked, 0, func(_ int, c fig5Candidate) []sqldb.RowID {
+		tops := pool.Map(picked, 0, func(_ int, c fig5Candidate) []sqldb.RowID {
 			query := &rank.Query{Text: c.q.Text, Conds: c.q.Conds}
 			top := ranker.Rank(query, tbl, c.pool)
 			if len(top) > Fig5TopK {

@@ -1,9 +1,10 @@
 // Package pool provides the one worker-pool primitive shared by the
-// batch Ask API and the experiment drivers: fan a slice out to
-// workers, collect results in input order.
+// batch Ask/ingest APIs and the experiment drivers: fan a slice out
+// to workers, collect results in input order.
 package pool
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,12 @@ import (
 // deterministic. Work is distributed via an atomic counter (cheaper
 // than a channel for uniform small tasks). workers <= 0 uses
 // GOMAXPROCS. f must be safe for concurrent invocation.
+//
+// A panic in f is isolated to its item: the worker recovers, the
+// remaining items still run, and after all work completes Map
+// re-panics with the first captured panic value — the caller sees the
+// failure on its own goroutine instead of a process-killing crash on
+// an anonymous worker.
 func Map[T, R any](items []T, workers int, f func(int, T) R) []R {
 	out := make([]R, len(items))
 	if len(items) == 0 {
@@ -27,6 +34,8 @@ func Map[T, R any](items []T, workers int, f func(int, T) R) []R {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -36,10 +45,22 @@ func Map[T, R any](items []T, workers int, f func(int, T) R) []R {
 				if i >= len(items) {
 					return
 				}
-				out[i] = f(i, items[i])
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() {
+								panicked = fmt.Errorf("pool: item %d panicked: %v", i, r)
+							})
+						}
+					}()
+					out[i] = f(i, items[i])
+				}()
 			}
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	return out
 }

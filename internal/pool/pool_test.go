@@ -1,0 +1,120 @@
+package pool
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapOrdering: results land at their input index regardless of
+// completion order (later items finish first here).
+func TestMapOrdering(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	out := Map(items, 8, func(i, v int) int {
+		time.Sleep(time.Duration(len(items)-i) * 100 * time.Microsecond)
+		return v * v
+	})
+	if len(out) != len(items) {
+		t.Fatalf("len = %d, want %d", len(out), len(items))
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapEmptyInput: zero questions return an empty (non-nil) result
+// without spawning workers.
+func TestMapEmptyInput(t *testing.T) {
+	called := false
+	out := Map(nil, 4, func(i int, v string) string {
+		called = true
+		return v
+	})
+	if out == nil || len(out) != 0 {
+		t.Fatalf("Map(nil) = %#v, want empty slice", out)
+	}
+	if called {
+		t.Error("f called for empty input")
+	}
+}
+
+// TestMapWorkerResolution pins the pool-size rules: workers <= 0
+// falls back to GOMAXPROCS, and the pool never exceeds the item
+// count.
+func TestMapWorkerResolution(t *testing.T) {
+	concurrent := func(items, workers int) int {
+		var cur, max atomic.Int64
+		var mu sync.Mutex
+		gate := make(chan struct{})
+		var once sync.Once
+		in := make([]int, items)
+		Map(in, workers, func(i, v int) int {
+			n := cur.Add(1)
+			mu.Lock()
+			if n > max.Load() {
+				max.Store(n)
+			}
+			mu.Unlock()
+			// Hold every worker until all are started so the peak
+			// concurrency is observable, then release together.
+			once.Do(func() {
+				go func() {
+					time.Sleep(20 * time.Millisecond)
+					close(gate)
+				}()
+			})
+			<-gate
+			cur.Add(-1)
+			return 0
+		})
+		return int(max.Load())
+	}
+	if got := concurrent(32, 4); got != 4 {
+		t.Errorf("peak concurrency with 4 workers = %d", got)
+	}
+	// More workers than items: capped at the item count.
+	if got := concurrent(3, 16); got > 3 {
+		t.Errorf("peak concurrency with 3 items = %d, want <= 3", got)
+	}
+	// workers <= 0 resolves to GOMAXPROCS.
+	if got, limit := concurrent(64, 0), runtime.GOMAXPROCS(0); got > limit {
+		t.Errorf("peak concurrency with workers=0 = %d, want <= GOMAXPROCS (%d)", got, limit)
+	}
+}
+
+// TestMapPanicIsolation: a panicking item doesn't kill sibling items
+// or deadlock Map; the panic resurfaces on the caller's goroutine
+// after the rest of the batch completes.
+func TestMapPanicIsolation(t *testing.T) {
+	var processed atomic.Int64
+	items := make([]int, 20)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Map swallowed the panic")
+			}
+			if msg, ok := r.(error); !ok || !strings.Contains(msg.Error(), "boom") {
+				t.Fatalf("re-panicked with %v, want the original panic value wrapped", r)
+			}
+		}()
+		Map(items, 4, func(i, v int) int {
+			if i == 7 {
+				panic("boom")
+			}
+			processed.Add(1)
+			return v
+		})
+	}()
+	if got := processed.Load(); got != int64(len(items)-1) {
+		t.Errorf("processed %d items, want %d (panic must not cancel siblings)", got, len(items)-1)
+	}
+}

@@ -114,7 +114,7 @@ func evalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
 			if err != nil {
 				return nil, err
 			}
-			acc = union(acc, ids)
+			acc = sqldb.UnionSorted(acc, ids)
 		}
 		return acc, nil
 	case *Not:
@@ -162,39 +162,18 @@ func sortIDs(ids []sqldb.RowID) []sqldb.RowID {
 	return out
 }
 
-func union(a, b []sqldb.RowID) []sqldb.RowID {
-	out := make([]sqldb.RowID, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
-}
-
-// complement returns all rows of tbl not present in ids (ids must be
-// sorted ascending).
+// complement returns all live rows of tbl not present in ids (ids
+// must be sorted ascending). Tombstoned rows are never part of the
+// complement: the universe is the table's live row set.
 func complement(tbl *sqldb.Table, ids []sqldb.RowID) []sqldb.RowID {
-	n := tbl.Len() - len(ids)
+	all := tbl.AllRowIDs()
+	n := len(all) - len(ids)
 	if n < 0 {
 		n = 0
 	}
 	out := make([]sqldb.RowID, 0, n)
 	j := 0
-	for i := 0; i < tbl.Len(); i++ {
-		id := sqldb.RowID(i)
+	for _, id := range all {
 		for j < len(ids) && ids[j] < id {
 			j++
 		}

@@ -38,6 +38,27 @@ func (ix *hashIndex) insert(v Value, id RowID) {
 	ix.postings[k] = append(ix.postings[k], id)
 }
 
+// remove deletes id from v's posting list, preserving ascending
+// order. Posting lists are append-only in ascending RowID order, so a
+// binary search locates the entry.
+func (ix *hashIndex) remove(v Value, id RowID) {
+	if v.IsNull() {
+		return
+	}
+	k := indexKey(v)
+	ids := ix.postings[k]
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i >= len(ids) || ids[i] != id {
+		return
+	}
+	ids = append(ids[:i], ids[i+1:]...)
+	if len(ids) == 0 {
+		delete(ix.postings, k)
+		return
+	}
+	ix.postings[k] = ids
+}
+
 // lookup returns the posting list for v. The returned slice is shared;
 // callers must not mutate it.
 func (ix *hashIndex) lookup(v Value) []RowID {
@@ -47,9 +68,12 @@ func (ix *hashIndex) lookup(v Value) []RowID {
 // orderedIndex keeps (value, row) pairs sorted by numeric value,
 // supporting range scans and min/max queries for boundaries and
 // superlatives (Sec. 4.3 steps 3-4). The sort is deferred to the
-// first scan; sorting is synchronized so a freshly-populated table is
-// safe to query from many goroutines (inserts concurrent with scans
-// remain a usage error, as before).
+// first scan; sorting is synchronized so concurrent scans are safe.
+// Mutual exclusion between insert/remove and scans is provided by the
+// owning Table's RWMutex: mutations run under the exclusive lock, so
+// the old insert-concurrent-with-scan usage error can no longer occur
+// through the Table API. Removal rewrites the slice in place and
+// preserves sortedness, so a delete never forces a re-sort.
 type orderedIndex struct {
 	entries []orderedEntry
 	sorted  atomic.Bool
@@ -68,6 +92,39 @@ func (ix *orderedIndex) insert(v Value, id RowID) {
 	}
 	ix.entries = append(ix.entries, orderedEntry{val: n, id: id})
 	ix.sorted.Store(false)
+}
+
+// remove deletes the (value, id) entry. When the index is already
+// sorted a binary search narrows the scan to the value's run and the
+// in-place removal keeps it sorted; an unsorted index is scanned
+// linearly (sortedness is neither required nor disturbed).
+func (ix *orderedIndex) remove(v Value, id RowID) {
+	n, ok := v.tryNum()
+	if !ok {
+		return
+	}
+	at := -1
+	if ix.sorted.Load() {
+		i := sort.Search(len(ix.entries), func(i int) bool {
+			if ix.entries[i].val != n {
+				return ix.entries[i].val > n
+			}
+			return ix.entries[i].id >= id
+		})
+		if i < len(ix.entries) && ix.entries[i].val == n && ix.entries[i].id == id {
+			at = i
+		}
+	} else {
+		for i := range ix.entries {
+			if ix.entries[i].val == n && ix.entries[i].id == id {
+				at = i
+				break
+			}
+		}
+	}
+	if at >= 0 {
+		ix.entries = append(ix.entries[:at], ix.entries[at+1:]...)
+	}
 }
 
 func (ix *orderedIndex) ensureSorted() {
@@ -165,6 +222,28 @@ func (ix *trigramIndex) insert(v Value, id RowID) {
 	}
 }
 
+// remove deletes id from the posting list of every trigram of v,
+// preserving ascending order (insert posts each (gram, id) pair at
+// most once, so one binary-search removal per gram suffices).
+func (ix *trigramIndex) remove(v Value, id RowID) {
+	if !v.IsString() {
+		return
+	}
+	for _, g := range trigrams(v.Str()) {
+		ids := ix.postings[g]
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+		if i >= len(ids) || ids[i] != id {
+			continue
+		}
+		ids = append(ids[:i], ids[i+1:]...)
+		if len(ids) == 0 {
+			delete(ix.postings, g)
+			continue
+		}
+		ix.postings[g] = ids
+	}
+}
+
 // candidates returns rows that may contain sub as a substring: the
 // intersection of the posting lists of sub's trigrams. Callers must
 // verify the match against the stored value (trigram intersection is
@@ -216,8 +295,9 @@ func IntersectSorted(a, b []RowID) []RowID {
 	return out
 }
 
-// unionSorted unions two ascending RowID slices.
-func unionSorted(a, b []RowID) []RowID {
+// UnionSorted unions two ascending RowID slices into a new slice. It
+// is the merge kernel of the SQL OR evaluator's ID merging.
+func UnionSorted(a, b []RowID) []RowID {
 	out := make([]RowID, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

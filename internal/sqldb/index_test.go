@@ -127,7 +127,7 @@ func TestSetOperations(t *testing.T) {
 	if got := IntersectSorted(a, b); !reflect.DeepEqual(got, []RowID{3, 5}) {
 		t.Errorf("intersect = %v", got)
 	}
-	union := unionSorted(a, b)
+	union := UnionSorted(a, b)
 	want := []RowID{1, 3, 4, 5, 7, 8}
 	if !reflect.DeepEqual(union, want) {
 		t.Errorf("union = %v, want %v", union, want)
@@ -155,7 +155,7 @@ func TestSetOperationsProperties(t *testing.T) {
 	for seed := int64(0); seed < 50; seed++ {
 		a, b := gen(seed), gen(seed+1000)
 		inter := IntersectSorted(a, b)
-		uni := unionSorted(a, b)
+		uni := UnionSorted(a, b)
 		// |A| + |B| = |A∪B| + |A∩B|
 		if len(a)+len(b) != len(uni)+len(inter) {
 			t.Fatalf("seed %d: inclusion-exclusion violated", seed)

@@ -28,14 +28,20 @@ type ColumnStats struct {
 	HasNumeric bool
 }
 
-// Stats scans the table once and computes its statistics.
+// Stats scans the table once and computes its statistics over the
+// live (non-deleted) rows.
 func (t *Table) Stats() *TableStats {
-	st := &TableStats{Table: t.name, Rows: t.Len()}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := &TableStats{Table: t.name, Rows: t.live}
 	for _, a := range t.schema.Attrs {
 		col := ColumnStats{Name: a.Name, Type: a.Type}
 		i := t.colIdx[a.Name]
 		distinct := map[string]struct{}{}
 		for r := range t.rows {
+			if t.dead[r] {
+				continue
+			}
 			v := t.rows[r].Values[i]
 			if v.IsNull() {
 				col.Nulls++

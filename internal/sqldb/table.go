@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/schema"
 )
@@ -21,11 +23,31 @@ type Record struct {
 // Type II attributes get secondary hash indexes, Type III attributes
 // get ordered indexes, and every string column additionally gets a
 // length-3 substring index (Sec. 4.5).
+//
+// # Mutability and concurrency
+//
+// A Table is safe for concurrent use: every exported method acquires
+// the table's RWMutex, readers sharing the lock and Insert/Delete
+// taking it exclusively. A mutation is atomic — the row and all of its
+// index postings appear (or disappear) together — so readers never see
+// a half-indexed row. Deletes are tombstoned: the RowID slot is
+// retired, never reused, and the dead row's postings are removed from
+// every index in place, preserving the ascending-RowID ordering of
+// hash and trigram posting lists. Multi-call read sequences (a query
+// that looks up ids and then fetches records) are NOT a snapshot:
+// a concurrent writer may add or remove rows between calls, and
+// readers observe each mutation atomically but immediately. Version
+// increments on every successful mutation, giving caches a cheap
+// staleness check.
 type Table struct {
+	mu      sync.RWMutex
 	name    string
 	schema  *schema.Schema
 	colIdx  map[string]int
 	rows    []Record
+	dead    []bool // tombstones, parallel to rows
+	live    int    // len(rows) minus tombstones
+	version atomic.Uint64
 	hash    map[string]*hashIndex    // Type I + Type II columns
 	ordered map[string]*orderedIndex // Type III columns
 	substr  map[string]*trigramIndex // all string columns
@@ -63,8 +85,37 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table's schema.
 func (t *Table) Schema() *schema.Schema { return t.schema }
 
-// Len returns the number of stored records.
-func (t *Table) Len() int { return len(t.rows) }
+// Len returns the number of live (non-deleted) records.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Slots returns the number of allocated row slots, live or tombstoned.
+// RowIDs are always < Slots(); deleted slots are never reused.
+func (t *Table) Slots() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Alive reports whether id names a live (inserted, not deleted) row.
+func (t *Table) Alive(id RowID) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.aliveLocked(id)
+}
+
+func (t *Table) aliveLocked(id RowID) bool {
+	return id >= 0 && int(id) < len(t.rows) && !t.dead[id]
+}
+
+// Version returns a counter that increments on every successful
+// Insert or Delete. Derived structures (dedup representatives,
+// memoized scans) record the version they were computed at and rebuild
+// when it moves.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // ColumnIndex returns the position of the named column, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -75,7 +126,8 @@ func (t *Table) ColumnIndex(name string) int {
 }
 
 // Insert appends a record built from the column→value map and returns
-// its RowID. Missing columns store NULL; unknown columns error.
+// its RowID. Missing columns store NULL; unknown columns error. The
+// row and all its index postings become visible atomically.
 func (t *Table) Insert(values map[string]Value) (RowID, error) {
 	row := make([]Value, len(t.schema.Attrs))
 	for col, v := range values {
@@ -85,8 +137,12 @@ func (t *Table) Insert(values map[string]Value) (RowID, error) {
 		}
 		row[i] = v
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	id := RowID(len(t.rows))
 	t.rows = append(t.rows, Record{ID: id, Values: row})
+	t.dead = append(t.dead, false)
+	t.live++
 	for col, i := range t.colIdx {
 		v := row[i]
 		if ix, ok := t.hash[col]; ok {
@@ -99,31 +155,80 @@ func (t *Table) Insert(values map[string]Value) (RowID, error) {
 			ix.insert(v, id)
 		}
 	}
+	t.version.Add(1)
 	return id, nil
 }
 
-// Get returns the record with the given id.
-func (t *Table) Get(id RowID) (Record, bool) {
+// Delete tombstones the row and removes its postings from every
+// index, preserving each posting list's ascending-RowID order. The
+// RowID slot is retired and never reused. Deleting an unknown or
+// already-deleted row is an error.
+func (t *Table) Delete(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if id < 0 || int(id) >= len(t.rows) {
+		return fmt.Errorf("sqldb: table %s has no row %d", t.name, id)
+	}
+	if t.dead[id] {
+		return fmt.Errorf("sqldb: table %s row %d is already deleted", t.name, id)
+	}
+	for col, i := range t.colIdx {
+		v := t.rows[id].Values[i]
+		if ix, ok := t.hash[col]; ok {
+			ix.remove(v, id)
+		}
+		if ix, ok := t.ordered[col]; ok {
+			ix.remove(v, id)
+		}
+		if ix, ok := t.substr[col]; ok {
+			ix.remove(v, id)
+		}
+	}
+	t.dead[id] = true
+	t.live--
+	t.version.Add(1)
+	return nil
+}
+
+// Get returns the record with the given id. Deleted rows report false.
+func (t *Table) Get(id RowID) (Record, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.aliveLocked(id) {
 		return Record{}, false
 	}
 	return t.rows[id], true
 }
 
-// Value returns record id's value in the named column.
+// Value returns record id's value in the named column. Deleted rows
+// read as NULL.
 func (t *Table) Value(id RowID, col string) Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.valueLocked(id, col)
+}
+
+func (t *Table) valueLocked(id RowID, col string) Value {
 	i, ok := t.colIdx[col]
-	if !ok || id < 0 || int(id) >= len(t.rows) {
+	if !ok || !t.aliveLocked(id) {
 		return Null
 	}
 	return t.rows[id].Values[i]
 }
 
-// AllRowIDs returns every row id in ascending order.
+// AllRowIDs returns every live row id in ascending order.
 func (t *Table) AllRowIDs() []RowID {
-	out := make([]RowID, len(t.rows))
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.allRowIDsLocked()
+}
+
+func (t *Table) allRowIDsLocked() []RowID {
+	out := make([]RowID, 0, t.live)
 	for i := range t.rows {
-		out[i] = RowID(i)
+		if !t.dead[i] {
+			out = append(out, RowID(i))
+		}
 	}
 	return out
 }
@@ -132,11 +237,14 @@ func (t *Table) AllRowIDs() []RowID {
 // index when one exists and falling back to a scan otherwise. The
 // returned slice is sorted ascending and owned by the caller.
 func (t *Table) LookupEqual(col string, v Value) []RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if ix, ok := t.hash[col]; ok {
+		// Postings are appended in ascending RowID order and deletes
+		// remove in place, so the list is already sorted — no re-sort.
 		ids := ix.lookup(v)
 		out := make([]RowID, len(ids))
 		copy(out, ids)
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out
 	}
 	i, ok := t.colIdx[col]
@@ -145,7 +253,7 @@ func (t *Table) LookupEqual(col string, v Value) []RowID {
 	}
 	var out []RowID
 	for id := range t.rows {
-		if t.rows[id].Values[i].Equal(v) {
+		if !t.dead[id] && t.rows[id].Values[i].Equal(v) {
 			out = append(out, RowID(id))
 		}
 	}
@@ -155,6 +263,8 @@ func (t *Table) LookupEqual(col string, v Value) []RowID {
 // LookupRange returns rows whose numeric col lies within the bounds.
 // Use math.Inf for open ends.
 func (t *Table) LookupRange(col string, lo, hi float64, incLo, incHi bool) []RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if ix, ok := t.ordered[col]; ok {
 		ids := ix.scanRange(lo, hi, incLo, incHi)
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
@@ -166,6 +276,9 @@ func (t *Table) LookupRange(col string, lo, hi float64, incLo, incHi bool) []Row
 	}
 	var out []RowID
 	for id := range t.rows {
+		if t.dead[id] {
+			continue
+		}
 		n, isNum := t.rows[id].Values[i].tryNum()
 		if !isNum {
 			continue
@@ -183,6 +296,8 @@ func (t *Table) LookupRange(col string, lo, hi float64, incLo, incHi bool) []Row
 // accelerated by the trigram index and verified against stored values.
 func (t *Table) LookupSubstring(col, sub string) []RowID {
 	sub = strings.ToLower(sub)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	i, ok := t.colIdx[col]
 	if !ok {
 		return nil
@@ -202,19 +317,24 @@ func (t *Table) LookupSubstring(col, sub string) []RowID {
 	if ix, ok := t.substr[col]; ok && len(sub) >= 3 {
 		return verify(ix.candidates(sub))
 	}
-	return verify(t.AllRowIDs())
+	return verify(t.allRowIDsLocked())
 }
 
 // MinMax returns the smallest and largest values of numeric col over
-// rows in ids (or all rows when ids is nil). ok is false when no row
-// has a numeric value in col.
+// rows in ids (or all live rows when ids is nil). ok is false when no
+// row has a numeric value in col.
 func (t *Table) MinMax(col string, ids []RowID) (minV, maxV float64, ok bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	i, exists := t.colIdx[col]
 	if !exists {
 		return 0, 0, false
 	}
 	minV, maxV = math.Inf(1), math.Inf(-1)
 	consider := func(id RowID) {
+		if !t.aliveLocked(id) {
+			return
+		}
 		if n, isNum := t.rows[id].Values[i].tryNum(); isNum {
 			if n < minV {
 				minV = n
@@ -241,6 +361,8 @@ func (t *Table) MinMax(col string, ids []RowID) (minV, maxV float64, ok bool) {
 // descending, with RowID as a deterministic tie-breaker. It sorts in
 // place and returns ids for chaining.
 func (t *Table) SortByColumn(ids []RowID, col string, descending bool) []RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	i, ok := t.colIdx[col]
 	if !ok {
 		return ids
@@ -261,12 +383,14 @@ func (t *Table) SortByColumn(ids []RowID, col string, descending bool) []RowID {
 }
 
 // RecordMap renders record id as a column→Value map (for display and
-// for rankers that want named access).
+// for rankers that want named access). Deleted rows return nil.
 func (t *Table) RecordMap(id RowID) map[string]Value {
-	rec, ok := t.Get(id)
-	if !ok {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.aliveLocked(id) {
 		return nil
 	}
+	rec := t.rows[id]
 	out := make(map[string]Value, len(t.schema.Attrs))
 	for col, i := range t.colIdx {
 		out[col] = rec.Values[i]

@@ -1,0 +1,144 @@
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/adsgen"
+	"repro/internal/core"
+)
+
+// ingestServer builds a private server (not the shared srvOnce one) so
+// mutations don't leak into the read-only handler tests.
+func ingestServer(t *testing.T) *Server {
+	t.Helper()
+	db, err := adsgen.PopulateAll(7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.New(core.Config{DB: db, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(sys)
+}
+
+func doJSON(t *testing.T, srv *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rdr *strings.Reader
+	if body == "" {
+		rdr = strings.NewReader("")
+	} else {
+		rdr = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rdr)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestPostAdThenAskThenDelete(t *testing.T) {
+	srv := ingestServer(t)
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads",
+		`{"domain":"cars","record":{"make":"lexus","model":"es350","color":"gold","price":31337}}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST /api/ads = %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		Domain string `json:"domain"`
+		ID     int    `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Domain != "cars" {
+		t.Fatalf("created in domain %q", created.Domain)
+	}
+
+	// The freshly POSTed ad answers the next question.
+	ask := doJSON(t, srv, http.MethodGet, "/api/ask?domain=cars&q=gold+lexus+es350", "")
+	if ask.Code != http.StatusOK {
+		t.Fatalf("ask = %d: %s", ask.Code, ask.Body.String())
+	}
+	var res struct {
+		ExactCount int `json:"exact_count"`
+		Answers    []struct {
+			Exact  bool              `json:"exact"`
+			Record map[string]string `json:"record"`
+		} `json:"answers"`
+	}
+	if err := json.Unmarshal(ask.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Answers {
+		if a.Exact && a.Record["price"] == "31337" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("POSTed ad not among answers: %s", ask.Body.String())
+	}
+
+	// DELETE expires it; asking again no longer returns it.
+	del := doJSON(t, srv, http.MethodDelete, fmt.Sprintf("/api/ads/%d?domain=cars", created.ID), "")
+	if del.Code != http.StatusOK {
+		t.Fatalf("DELETE = %d: %s", del.Code, del.Body.String())
+	}
+	ask = doJSON(t, srv, http.MethodGet, "/api/ask?domain=cars&q=gold+lexus+es350", "")
+	if err := json.Unmarshal(ask.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Answers {
+		if a.Record["price"] == "31337" {
+			t.Fatalf("deleted ad still served: %s", ask.Body.String())
+		}
+	}
+	// Deleting again 404s.
+	if del := doJSON(t, srv, http.MethodDelete, fmt.Sprintf("/api/ads/%d?domain=cars", created.ID), ""); del.Code != http.StatusNotFound {
+		t.Fatalf("double DELETE = %d, want 404", del.Code)
+	}
+}
+
+func TestPostAdValidation(t *testing.T) {
+	srv := ingestServer(t)
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unknown domain", `{"domain":"starships","record":{}}`, http.StatusNotFound},
+		{"unknown column", `{"domain":"cars","record":{"warp":9}}`, http.StatusBadRequest},
+		{"non-numeric quantitative", `{"domain":"cars","record":{"price":"cheap"}}`, http.StatusBadRequest},
+		{"unsupported value", `{"domain":"cars","record":{"make":["a","b"]}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if rec := doJSON(t, srv, http.MethodPost, "/api/ads", c.body); rec.Code != c.want {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, rec.Code, c.want, rec.Body.String())
+		}
+	}
+	// Numeric strings are accepted for quantitative columns, nulls
+	// store NULL.
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads",
+		`{"domain":"cars","record":{"make":"kia","price":"4200","mileage":null}}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("numeric-string insert = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestDeleteAdValidation(t *testing.T) {
+	srv := ingestServer(t)
+	if rec := doJSON(t, srv, http.MethodDelete, "/api/ads/0", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing domain = %d, want 400", rec.Code)
+	}
+	if rec := doJSON(t, srv, http.MethodDelete, "/api/ads/notanumber?domain=cars", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad id = %d, want 400", rec.Code)
+	}
+	if rec := doJSON(t, srv, http.MethodDelete, "/api/ads/999999?domain=cars", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown row = %d, want 404", rec.Code)
+	}
+}

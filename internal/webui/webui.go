@@ -12,11 +12,13 @@ import (
 	"html/template"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/schema"
 	"repro/internal/sql"
+	"repro/internal/sqldb"
 )
 
 // Server is the HTTP front end over a running CQAds instance.
@@ -28,9 +30,15 @@ type Server struct {
 
 // NewServer wraps sys. The handler serves:
 //
-//	GET /              the question form
-//	GET /ask?q=...     HTML answer table (optional &domain=...)
-//	GET /api/ask?q=... JSON answers
+//	GET /                   the question form
+//	GET /ask?q=...          HTML answer table (optional &domain=...)
+//	GET /api/ask?q=...      JSON answers
+//	POST /api/ads           ingest one ad: {"domain": ..., "record": {...}}
+//	DELETE /api/ads/{id}    expire an ad (?domain=... required)
+//
+// The ingestion endpoints mutate the live store: an ad POSTed here is
+// returned by /api/ask seconds (in fact, immediately) later, and a
+// DELETEd ad stops appearing at once.
 func NewServer(sys *core.System) *Server {
 	s := &Server{
 		sys: sys,
@@ -41,6 +49,8 @@ func NewServer(sys *core.System) *Server {
 	s.mux.HandleFunc("/ask", s.handleAsk)
 	s.mux.HandleFunc("/api/ask", s.handleAPI)
 	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
+	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
 	return s
 }
 
@@ -65,6 +75,109 @@ func (s *Server) handleSuggest(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// jsonError writes a JSON error payload with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleInsertAd ingests one ad into a live domain:
+//
+//	POST /api/ads
+//	{"domain": "cars", "record": {"make": "honda", "price": 12000}}
+//
+// Values are converted against the domain schema: Type III columns
+// take JSON numbers (or numeric strings), all others take strings.
+// Missing columns store NULL. Responds 201 with {"domain", "id"}.
+func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Domain string         `json:"domain"`
+		Record map[string]any `json:"record"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	tbl, ok := s.sys.DB().TableForDomain(req.Domain)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "unknown domain %q", req.Domain)
+		return
+	}
+	values, err := convertRecord(tbl.Schema(), req.Record)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := s.sys.InsertAd(req.Domain, values)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(map[string]any{"domain": req.Domain, "id": id})
+}
+
+// handleDeleteAd expires an ad:
+//
+//	DELETE /api/ads/{id}?domain=cars
+//
+// Responds 200 with {"domain", "id"} on success, 404 for unknown
+// domains or rows already gone.
+func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		jsonError(w, http.StatusBadRequest, "missing domain parameter")
+		return
+	}
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid ad id %q", r.PathValue("id"))
+		return
+	}
+	if err := s.sys.DeleteAd(domain, sqldb.RowID(id)); err != nil {
+		jsonError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"domain": domain, "id": id})
+}
+
+// convertRecord maps a JSON record onto schema-typed sqldb values:
+// Type III (quantitative) columns require numbers or numeric strings;
+// Type I/II columns stringify whatever arrives; JSON null stores NULL.
+func convertRecord(sch *schema.Schema, record map[string]any) (map[string]sqldb.Value, error) {
+	values := make(map[string]sqldb.Value, len(record))
+	for col, raw := range record {
+		attr, ok := sch.Attr(col)
+		if !ok {
+			return nil, fmt.Errorf("domain %q has no column %q", sch.Domain, col)
+		}
+		if raw == nil {
+			values[col] = sqldb.Null
+			continue
+		}
+		switch v := raw.(type) {
+		case float64:
+			values[col] = sqldb.Number(v)
+		case string:
+			if attr.Type == schema.TypeIII {
+				n, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %q is quantitative; %q is not a number", col, v)
+				}
+				values[col] = sqldb.Number(n)
+				continue
+			}
+			values[col] = sqldb.String(v)
+		default:
+			return nil, fmt.Errorf("column %q: unsupported JSON value %v", col, raw)
+		}
+	}
+	return values, nil
 }
 
 // page is the template payload.
