@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	cqadsweb [-addr :8080] [-seed N] [-ads N] [-ingest 2s] [-expire 30s]
+//	cqadsweb [-addr :8080] [-seed N] [-ads N] [-data DIR]
+//	         [-ingest 2s] [-expire 30s]
 //
 // With -ingest set, the server keeps the corpus live: a background
 // writer posts a freshly generated ad to a rotating domain every
@@ -11,13 +12,26 @@
 // and with -expire additionally deletes the oldest live ingested ad
 // every expiry interval (System.DeleteAd), so a running server is
 // continuously answering questions over ads posted seconds earlier.
+//
+// With -data set, the store is durable: every ingested or expired ad
+// is write-ahead logged before the HTTP response is sent, a SIGKILL
+// loses nothing (restart with the same -data directory recovers the
+// corpus from snapshot + WAL replay), and a graceful shutdown
+// (SIGINT/SIGTERM) checkpoints before exiting so the next start
+// replays nothing. GET /api/status reports the checkpoint and WAL
+// state.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/cqads"
@@ -31,24 +45,58 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	seed := flag.Int64("seed", 42, "deterministic environment seed")
 	ads := flag.Int("ads", 500, "ads per domain")
+	dataDir := flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty serves in-memory only")
 	ingest := flag.Duration("ingest", 0, "post one generated ad per interval (0 disables live ingestion)")
 	expire := flag.Duration("expire", 0, "delete the oldest ingested ad per interval (requires -ingest)")
 	flag.Parse()
 
-	sys, err := cqads.Open(cqads.Options{Seed: *seed, AdsPerDomain: *ads})
+	sys, err := cqads.Open(cqads.Options{Seed: *seed, AdsPerDomain: *ads, DataDir: *dataDir})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dataDir != "" {
+		st := sys.Status()
+		fmt.Printf("durable store: %s (seq %d, checkpoint %d)\n",
+			st.Persistence.Dir, st.Persistence.Seq, st.Persistence.CheckpointSeq)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *ingest > 0 {
-		go runIngest(sys, *seed, *ingest, *expire)
+		go runIngest(ctx, sys, *seed, *ingest, *expire)
 		fmt.Printf("live ingestion: one ad per %v", *ingest)
 		if *expire > 0 {
 			fmt.Printf(", expiry per %v", *expire)
 		}
 		fmt.Println()
 	}
-	fmt.Printf("CQAds web UI listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, webui.NewServer(sys)))
+
+	srv := &http.Server{Addr: *addr, Handler: webui.NewServer(sys)}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("CQAds web UI listening on %s\n", *addr)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		sys.Close()
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills
+	fmt.Println("shutting down: draining requests, checkpointing")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	// The final checkpoint: a restart from -data replays an empty WAL.
+	if err := sys.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
 }
 
 // ingested tracks one live ad posted by the background writer.
@@ -60,8 +108,9 @@ type ingested struct {
 // runIngest is the background writer: every interval it generates one
 // ad for the next domain in rotation and inserts it into the running
 // system; when expiry is enabled, ads are deleted oldest-first on
-// their own cadence, keeping the live-ingested set bounded.
-func runIngest(sys *cqads.System, seed int64, interval, expiry time.Duration) {
+// their own cadence, keeping the live-ingested set bounded. The loop
+// stops when ctx is cancelled (shutdown), before the store closes.
+func runIngest(ctx context.Context, sys *cqads.System, seed int64, interval, expiry time.Duration) {
 	gen := adsgen.NewGenerator(seed ^ 0x1ee7)
 	domains := sys.Domains()
 	var queue []ingested
@@ -75,6 +124,8 @@ func runIngest(sys *cqads.System, seed int64, interval, expiry time.Duration) {
 	}
 	for i := 0; ; {
 		select {
+		case <-ctx.Done():
+			return
 		case <-insert.C:
 			domain := domains[i%len(domains)]
 			i++

@@ -41,6 +41,23 @@
 // table version and refreshed lazily, so answers always reflect the
 // current corpus without rebuilding the system. See the repository
 // root package documentation for the full invalidation contract.
+//
+// # Durability
+//
+// By default the corpus lives in memory and a restart rebuilds the
+// synthetic environment, losing every live-ingested ad. Setting
+// Options.DataDir makes the store durable: Open recovers the corpus
+// from the directory's snapshot and write-ahead log, and every
+// subsequent InsertAd/DeleteAd (and batch variant) is logged and
+// fsync'd before it returns — a killed process loses nothing it
+// acknowledged. System.Checkpoint writes a fresh snapshot and
+// truncates the log (also triggered automatically when the log
+// outgrows core.Config.CompactBytes); System.Close checkpoints and
+// releases the store, so a graceful shutdown replays nothing on the
+// next start; System.Status reports per-domain corpus versions plus
+// the checkpoint/WAL state. The on-disk formats and the recovery
+// contract are documented in the repository root package and
+// internal/persist.
 package cqads
 
 import (
@@ -71,6 +88,13 @@ type (
 	// IngestResult pairs one ad of an InsertAdBatch/DeleteAdBatch call
 	// with its assigned RowID or error.
 	IngestResult = core.IngestResult
+	// Status is System.Status's report: per-domain corpus state plus
+	// persistence (checkpoint/WAL) state.
+	Status = core.Status
+	// DomainStatus is one domain's live-corpus state.
+	DomainStatus = core.DomainStatus
+	// PersistenceStatus reports the durability subsystem's state.
+	PersistenceStatus = core.PersistenceStatus
 )
 
 // Schema types for callers defining their own ads domains.
@@ -122,12 +146,24 @@ type Options struct {
 	// TrainOnIngest folds ads inserted through System.InsertAd into
 	// the classifier's training set for their domain.
 	TrainOnIngest bool
+	// DataDir enables durability: the system recovers from the
+	// directory's snapshot + write-ahead log at Open and logs every
+	// subsequent ingest operation before returning. Empty keeps the
+	// store in memory only.
+	DataDir string
+	// CompactBytes is the WAL size that triggers automatic
+	// compaction; 0 uses core.DefaultCompactBytes, negative disables
+	// automatic compaction.
+	CompactBytes int64
 }
 
 // Open builds a ready-to-query System over the synthetic eight-domain
 // environment: generated ads, simulated query logs (TI-matrix), the
 // synthetic-corpus WS-matrix, and a JBBSM classifier trained on
-// generated questions.
+// generated questions. With Options.DataDir set, the synthetic
+// environment is only the first-run baseline: an existing data
+// directory's snapshot + WAL replace and replay the corpus (see
+// Durability above).
 func Open(opts Options) (*System, error) {
 	if opts.AdsPerDomain <= 0 {
 		opts.AdsPerDomain = 500
@@ -162,7 +198,7 @@ func Open(opts Options) (*System, error) {
 		}
 		cls.Train(d, docs)
 	}
-	return core.New(core.Config{
+	return core.Open(core.Config{
 		DB:            db,
 		Classifier:    cls,
 		TI:            ti,
@@ -173,6 +209,8 @@ func Open(opts Options) (*System, error) {
 		Dedup:         opts.Dedup,
 		BatchWorkers:  opts.BatchWorkers,
 		TrainOnIngest: opts.TrainOnIngest,
+		DataDir:       opts.DataDir,
+		CompactBytes:  opts.CompactBytes,
 	})
 }
 

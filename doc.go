@@ -70,4 +70,57 @@
 //     Config.TrainOnIngest is set, in which case each inserted ad's
 //     text joins its domain's training set and takes effect at the
 //     classifier's next (synchronized) refit.
+//
+// # Persistence model
+//
+// A mutable store that forgets everything on restart is the largest
+// correctness hole a live ads corpus can have, so persistence is a
+// first-class subsystem (internal/persist), enabled by building the
+// system with core.Open and Config.DataDir (cqads.Options.DataDir).
+// The design is a classic snapshot + write-ahead log pair:
+//
+//   - Snapshot. One CRC-trailed binary file (snapshot.cqads) holding,
+//     per table, the schema column list, the allocated RowID slot
+//     count and every live row — values tagged NULL/string/number —
+//     plus the trained classifier's exported state
+//     (classify.Snapshotter). Tombstoned slots are *not* stored but
+//     are implied by the slot count, so retired RowIDs stay retired
+//     after recovery and the next insert continues the sequence.
+//     Indexes are not serialized: they are rebuilt from the rows on
+//     load, which keeps the format small and immune to index-layout
+//     changes. Snapshots are replaced atomically (temp file, fsync,
+//     rename, directory fsync).
+//
+//   - WAL. Every InsertAd/DeleteAd on a persistent system holds the
+//     ingest lock across the table mutation AND the log append, so
+//     the log order is exactly the mutation order; the record
+//     (sequence number, kind, domain, RowID, and for inserts the
+//     column/value pairs) is framed with a length + CRC header and
+//     fsync'd before the call returns — batch variants write the
+//     whole batch and fsync once (group commit). A torn final frame,
+//     the expected aftermath of a kill, is detected by CRC and
+//     truncated at the next open.
+//
+//   - Recovery. core.Open loads the snapshot into the tables
+//     (sqldb.Table.RestoreState), imports the classifier state, and
+//     replays the WAL records whose sequence exceeds the snapshot's —
+//     re-running each insert through the same path the live system
+//     used (including TrainOnIngest classifier training) and
+//     verifying that every replayed insert lands on the RowID the log
+//     recorded; divergence fails loudly. A directory with no snapshot
+//     gets one immediately, so recovery never depends on rebuilding
+//     an identical baseline.
+//
+//   - Compaction. When the WAL outgrows Config.CompactBytes, a
+//     background checkpoint (System.Checkpoint) writes a fresh
+//     snapshot and truncates the log; sequence numbers continue
+//     across the truncation, and a crash between the snapshot rename
+//     and the log truncation is harmless — the stale records are
+//     filtered by sequence at the next open. Checkpoints pause
+//     ingestion (writers queue on the ingest lock) but never block
+//     question answering, which only takes table read locks.
+//
+// System.Close checkpoints and releases the store; GET /api/status on
+// the web UI (and System.Status) reports per-domain corpus versions,
+// the logged sequence, the checkpointed sequence and the WAL size.
 package repro

@@ -2,6 +2,7 @@ package classify
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -173,18 +174,26 @@ func (m *JBBSM) Classify(doc []string) (string, map[string]float64, error) {
 	defer m.mu.RUnlock()
 	scores := make(map[string]float64, len(m.classes))
 	wc := countWords(doc)
+	// Sum per-word terms in sorted order: float addition is not
+	// associative, so map-order summation would let scores drift in
+	// their last bits between identical calls (and across restarts).
+	words := make([]string, 0, len(wc))
+	for w := range wc {
+		words = append(words, w)
+	}
+	sort.Strings(words)
 	n := len(doc)
 	for name, c := range m.classes {
 		if c.docs == 0 {
 			continue
 		}
 		s := math.Log(float64(c.docs) / float64(m.total)) // log P(c)
-		for w, x := range wc {
+		for _, w := range words {
 			p, ok := c.words[w]
 			if !ok {
 				p = &betaParams{alpha: m.BackgroundAlpha, beta: m.BackgroundBeta}
 			}
-			s += logBetaBinomialPMF(x, n, p.alpha, p.beta)
+			s += logBetaBinomialPMF(wc[w], n, p.alpha, p.beta)
 		}
 		scores[name] = s
 	}

@@ -1,0 +1,189 @@
+package classify
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Snapshotter is implemented by classifiers whose trained state can be
+// exported as an opaque blob and restored later. The persistence layer
+// (internal/persist) stores the blob inside its snapshot so a
+// recovered system routes questions exactly like the system that was
+// checkpointed, including everything learned from live-ingested ads
+// (core.Config.TrainOnIngest).
+type Snapshotter interface {
+	// ExportState serializes the trained state. It is safe to call
+	// while other goroutines Classify or Train.
+	ExportState() ([]byte, error)
+	// ImportState replaces the trained state with a previously
+	// exported blob. It errors when the blob was produced by a
+	// different classifier kind.
+	ImportState(data []byte) error
+}
+
+// jbbsmState mirrors JBBSM's raw training moments. The Beta
+// parameters themselves are not stored: they are a deterministic
+// function of the moments and are refitted lazily on the first
+// Classify after import.
+type jbbsmState struct {
+	Format                          string // "jbbsm/1"
+	Total                           int
+	BackgroundAlpha, BackgroundBeta float64
+	PriorStrength                   float64
+	Classes                         map[string]jbbsmClassState
+}
+
+type jbbsmClassState struct {
+	Docs     int
+	RateSum  map[string]float64
+	Rate2Sum map[string]float64
+	DocCount map[string]int
+}
+
+const jbbsmFormat = "jbbsm/1"
+
+// ExportState implements Snapshotter.
+func (m *JBBSM) ExportState() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := jbbsmState{
+		Format:          jbbsmFormat,
+		Total:           m.total,
+		BackgroundAlpha: m.BackgroundAlpha,
+		BackgroundBeta:  m.BackgroundBeta,
+		PriorStrength:   m.PriorStrength,
+		Classes:         make(map[string]jbbsmClassState, len(m.classes)),
+	}
+	for name, c := range m.classes {
+		cs := jbbsmClassState{
+			Docs:     c.docs,
+			RateSum:  make(map[string]float64, len(c.rateSum)),
+			Rate2Sum: make(map[string]float64, len(c.rate2Sum)),
+			DocCount: make(map[string]int, len(c.docCount)),
+		}
+		for w, v := range c.rateSum {
+			cs.RateSum[w] = v
+		}
+		for w, v := range c.rate2Sum {
+			cs.Rate2Sum[w] = v
+		}
+		for w, v := range c.docCount {
+			cs.DocCount[w] = v
+		}
+		st.Classes[name] = cs
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("classify: exporting JBBSM state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportState implements Snapshotter. The imported moments replace all
+// prior training; the next Classify refits the Beta parameters.
+func (m *JBBSM) ImportState(data []byte) error {
+	var st jbbsmState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("classify: importing JBBSM state: %w", err)
+	}
+	if st.Format != jbbsmFormat {
+		return fmt.Errorf("classify: JBBSM state has format %q, want %q", st.Format, jbbsmFormat)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total = st.Total
+	m.BackgroundAlpha = st.BackgroundAlpha
+	m.BackgroundBeta = st.BackgroundBeta
+	m.PriorStrength = st.PriorStrength
+	m.classes = make(map[string]*jbClass, len(st.Classes))
+	for name, cs := range st.Classes {
+		c := &jbClass{
+			docs:     cs.Docs,
+			words:    make(map[string]*betaParams),
+			rateSum:  make(map[string]float64, len(cs.RateSum)),
+			rate2Sum: make(map[string]float64, len(cs.Rate2Sum)),
+			docCount: make(map[string]int, len(cs.DocCount)),
+		}
+		for w, v := range cs.RateSum {
+			c.rateSum[w] = v
+		}
+		for w, v := range cs.Rate2Sum {
+			c.rate2Sum[w] = v
+		}
+		for w, v := range cs.DocCount {
+			c.docCount[w] = v
+		}
+		m.classes[name] = c
+	}
+	m.fitted.Store(false)
+	return nil
+}
+
+// multinomialState mirrors Multinomial's counts.
+type multinomialState struct {
+	Format  string // "multinomial/1"
+	Total   int
+	Classes map[string]multinomialClassState
+}
+
+type multinomialClassState struct {
+	Docs   int
+	Tokens int
+	Counts map[string]int
+}
+
+const multinomialFormat = "multinomial/1"
+
+// ExportState implements Snapshotter.
+func (m *Multinomial) ExportState() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st := multinomialState{
+		Format:  multinomialFormat,
+		Total:   m.total,
+		Classes: make(map[string]multinomialClassState, len(m.classes)),
+	}
+	for name, c := range m.classes {
+		cs := multinomialClassState{
+			Docs:   c.docs,
+			Tokens: c.tokens,
+			Counts: make(map[string]int, len(c.counts)),
+		}
+		for w, n := range c.counts {
+			cs.Counts[w] = n
+		}
+		st.Classes[name] = cs
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("classify: exporting multinomial state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// ImportState implements Snapshotter. The vocabulary is rebuilt from
+// the per-class counts.
+func (m *Multinomial) ImportState(data []byte) error {
+	var st multinomialState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return fmt.Errorf("classify: importing multinomial state: %w", err)
+	}
+	if st.Format != multinomialFormat {
+		return fmt.Errorf("classify: multinomial state has format %q, want %q", st.Format, multinomialFormat)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total = st.Total
+	m.classes = make(map[string]*mnClass, len(st.Classes))
+	m.vocab = make(map[string]struct{})
+	for name, cs := range st.Classes {
+		c := &mnClass{docs: cs.Docs, tokens: cs.Tokens, counts: make(counts, len(cs.Counts))}
+		for w, n := range cs.Counts {
+			c.counts[w] = n
+			m.vocab[w] = struct{}{}
+		}
+		m.classes[name] = c
+	}
+	return nil
+}

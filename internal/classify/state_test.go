@@ -1,0 +1,127 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+)
+
+func trainDocs(c Classifier) {
+	c.Train("cars", [][]string{
+		strings.Fields("honda accord blue manual"),
+		strings.Fields("toyota camry red cheap"),
+		strings.Fields("bmw m3 fast fast fast"), // bursty word
+	})
+	c.Train("housing", [][]string{
+		strings.Fields("apartment two bedroom rent"),
+		strings.Fields("house garden rent cheap"),
+	})
+}
+
+// TestJBBSMExportImportRoundTrip: an imported classifier scores every
+// document bit-identically to the original — the moments round-trip
+// exactly and the Beta refit is deterministic.
+func TestJBBSMExportImportRoundTrip(t *testing.T) {
+	src := NewJBBSM()
+	trainDocs(src)
+	blob, err := src.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewJBBSM()
+	// Pre-existing training must be replaced, not merged.
+	dst.Train("boats", [][]string{strings.Fields("yacht sail")})
+	if err := dst.ImportState(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range [][]string{
+		strings.Fields("blue honda"),
+		strings.Fields("rent apartment"),
+		strings.Fields("fast fast bmw"),
+		strings.Fields("unseen words entirely"),
+	} {
+		wantClass, wantScores, err := src.Classify(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotClass, gotScores, err := dst.Classify(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotClass != wantClass {
+			t.Errorf("doc %v: class %q, want %q", doc, gotClass, wantClass)
+		}
+		if len(gotScores) != len(wantScores) {
+			t.Fatalf("doc %v: %d classes, want %d", doc, len(gotScores), len(wantScores))
+		}
+		for c, s := range wantScores {
+			if gotScores[c] != s {
+				t.Errorf("doc %v class %s: score %v, want %v", doc, c, gotScores[c], s)
+			}
+		}
+	}
+	if _, ok := dst.classes["boats"]; ok {
+		t.Error("import merged instead of replacing prior training")
+	}
+	// Training continues to work after import.
+	dst.Train("cars", [][]string{strings.Fields("lexus es350 gold")})
+	if got, _, err := dst.Classify(strings.Fields("gold lexus")); err != nil || got != "cars" {
+		t.Errorf("post-import training: class %q, err %v", got, err)
+	}
+}
+
+// TestMultinomialExportImportRoundTrip mirrors the JBBSM round trip.
+func TestMultinomialExportImportRoundTrip(t *testing.T) {
+	src := NewMultinomial()
+	trainDocs(src)
+	blob, err := src.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMultinomial()
+	if err := dst.ImportState(blob); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Fields("red toyota cheap")
+	wantClass, wantScores, err := src.Classify(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotClass, gotScores, err := dst.Classify(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotClass != wantClass {
+		t.Errorf("class %q, want %q", gotClass, wantClass)
+	}
+	for c, s := range wantScores {
+		if gotScores[c] != s {
+			t.Errorf("class %s: score %v, want %v", c, gotScores[c], s)
+		}
+	}
+}
+
+// TestImportStateRejectsWrongFormat: blobs cross-fed between
+// classifier kinds (or garbage) are refused.
+func TestImportStateRejectsWrongFormat(t *testing.T) {
+	jb := NewJBBSM()
+	trainDocs(jb)
+	jbBlob, err := jb.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := NewMultinomial()
+	trainDocs(mn)
+	mnBlob, err := mn.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewJBBSM().ImportState(mnBlob); err == nil {
+		t.Error("JBBSM accepted multinomial state")
+	}
+	if err := NewMultinomial().ImportState(jbBlob); err == nil {
+		t.Error("multinomial accepted JBBSM state")
+	}
+	if err := NewJBBSM().ImportState([]byte("garbage")); err == nil {
+		t.Error("JBBSM accepted garbage")
+	}
+}

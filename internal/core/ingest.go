@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/persist"
 	"repro/internal/pool"
 	"repro/internal/sqldb"
 )
@@ -29,8 +30,38 @@ import (
 // InsertAd inserts one ad into the named domain's table and returns
 // its RowID. The ad becomes visible to Ask/AskBatch immediately and
 // atomically; dedup representatives are refreshed lazily on the next
-// question. Unknown domains and unknown columns error.
+// question. Unknown domains and unknown columns error. On a
+// persistent system (Open with Config.DataDir) the operation is
+// write-ahead logged and fsync'd before InsertAd returns: a nil error
+// means the ad survives a process kill.
 func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
+	if p := s.persist; p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if err := p.ingestable(); err != nil {
+			return 0, err
+		}
+		id, err := s.insertAdLocked(domain, values)
+		if err != nil {
+			return 0, err
+		}
+		if err := p.store.Append([]persist.Op{insertOpFor(domain, id, values)}); err != nil {
+			// The row is in memory but not durably logged: memory and
+			// log have diverged, so latch ingestion shut (see
+			// persister.failed) and surface the id with the error so
+			// the caller can compensate.
+			p.failed.Store(true)
+			return id, fmt.Errorf("core: ad %d inserted but not logged: %w", id, err)
+		}
+		s.maybeCompact()
+		return id, nil
+	}
+	return s.insertAdLocked(domain, values)
+}
+
+// insertAdLocked is the storage-plus-classifier half of InsertAd. On
+// persistent systems the caller holds persister.mu.
+func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
 	tbl, ok := s.db.TableForDomain(domain)
 	if !ok {
 		return 0, fmt.Errorf("core: unknown domain %q", domain)
@@ -50,8 +81,30 @@ func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.R
 // DeleteAd removes an ad (an expired listing) from the named domain's
 // table. The ad stops appearing in Ask/AskBatch answers immediately;
 // its RowID is retired and never reused. Deleting an unknown or
-// already-deleted ad is an error.
+// already-deleted ad is an error. On a persistent system the deletion
+// is write-ahead logged and fsync'd before DeleteAd returns.
 func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
+	if p := s.persist; p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if err := p.ingestable(); err != nil {
+			return err
+		}
+		if err := s.deleteAdLocked(domain, id); err != nil {
+			return err
+		}
+		if err := p.store.Append([]persist.Op{{Kind: persist.OpDelete, Domain: domain, ID: id}}); err != nil {
+			p.failed.Store(true) // unlogged delete: memory and log diverged
+			return fmt.Errorf("core: ad %d deleted but not logged: %w", id, err)
+		}
+		s.maybeCompact()
+		return nil
+	}
+	return s.deleteAdLocked(domain, id)
+}
+
+// deleteAdLocked is the storage half of DeleteAd.
+func (s *System) deleteAdLocked(domain string, id sqldb.RowID) error {
 	tbl, ok := s.db.TableForDomain(domain)
 	if !ok {
 		return fmt.Errorf("core: unknown domain %q", domain)
@@ -70,15 +123,50 @@ type IngestResult struct {
 	Err error
 }
 
-// InsertAdBatch inserts many ads into one domain on the shared worker
-// pool, returning per-ad results in input order. Each ad succeeds or
-// fails independently. Inserts serialize on the table's write lock,
-// so the pool's win is overlapping the per-ad preparation (column
-// resolution, classifier training when TrainOnIngest is set) rather
-// than the appends themselves; RowID assignment order across the
-// batch is therefore unspecified, but every returned ID maps to its
-// input ad. workers <= 0 uses Config.BatchWorkers, then GOMAXPROCS.
+// InsertAdBatch inserts many ads into one domain, returning per-ad
+// results in input order. Each ad succeeds or fails independently.
+//
+// On a non-persistent system the batch runs on the shared worker
+// pool: inserts serialize on the table's write lock, so the pool's
+// win is overlapping the per-ad preparation (column resolution,
+// classifier training when TrainOnIngest is set) rather than the
+// appends themselves, and RowID assignment order across the batch is
+// unspecified. On a persistent system the batch is applied
+// sequentially under the ingest lock — RowIDs follow input order —
+// and the whole batch is logged with a single fsync (the group-commit
+// win over per-ad InsertAd calls). workers <= 0 uses
+// Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, workers int) []IngestResult {
+	if p := s.persist; p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		results := make([]IngestResult, len(ads))
+		if err := p.ingestable(); err != nil {
+			for i := range results {
+				results[i] = IngestResult{Index: i, Err: err}
+			}
+			return results
+		}
+		ops := make([]persist.Op, 0, len(ads))
+		for i, ad := range ads {
+			id, err := s.insertAdLocked(domain, ad)
+			results[i] = IngestResult{Index: i, ID: id, Err: err}
+			if err == nil {
+				ops = append(ops, insertOpFor(domain, id, ad))
+			}
+		}
+		if err := p.store.Append(ops); err != nil {
+			p.failed.Store(true) // unlogged inserts: memory and log diverged
+			for i := range results {
+				if results[i].Err == nil {
+					results[i].Err = fmt.Errorf("core: ad %d inserted but not logged: %w", results[i].ID, err)
+				}
+			}
+			return results
+		}
+		s.maybeCompact()
+		return results
+	}
 	if workers <= 0 {
 		workers = s.batchWorkers
 	}
@@ -88,10 +176,43 @@ func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, work
 	})
 }
 
-// DeleteAdBatch deletes many ads from one domain on the shared worker
-// pool, returning per-ad results in input order (ID echoes the input
-// id). workers <= 0 uses Config.BatchWorkers, then GOMAXPROCS.
+// DeleteAdBatch deletes many ads from one domain, returning per-ad
+// results in input order (ID echoes the input id). Non-persistent
+// systems fan out on the shared worker pool; persistent systems apply
+// the batch sequentially under the ingest lock and log it with a
+// single fsync, like InsertAdBatch. workers <= 0 uses
+// Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) DeleteAdBatch(domain string, ids []sqldb.RowID, workers int) []IngestResult {
+	if p := s.persist; p != nil {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		results := make([]IngestResult, len(ids))
+		if err := p.ingestable(); err != nil {
+			for i := range results {
+				results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
+			}
+			return results
+		}
+		ops := make([]persist.Op, 0, len(ids))
+		for i, id := range ids {
+			err := s.deleteAdLocked(domain, id)
+			results[i] = IngestResult{Index: i, ID: id, Err: err}
+			if err == nil {
+				ops = append(ops, persist.Op{Kind: persist.OpDelete, Domain: domain, ID: id})
+			}
+		}
+		if err := p.store.Append(ops); err != nil {
+			p.failed.Store(true) // unlogged deletes: memory and log diverged
+			for i := range results {
+				if results[i].Err == nil {
+					results[i].Err = fmt.Errorf("core: ad %d deleted but not logged: %w", results[i].ID, err)
+				}
+			}
+			return results
+		}
+		s.maybeCompact()
+		return results
+	}
 	if workers <= 0 {
 		workers = s.batchWorkers
 	}

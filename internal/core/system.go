@@ -67,7 +67,22 @@ type Config struct {
 	// AskInDomainBatch when the caller passes workers <= 0; 0 falls
 	// back to GOMAXPROCS.
 	BatchWorkers int
+	// DataDir enables durability: Open recovers the store from the
+	// directory's snapshot + write-ahead log and every subsequent
+	// InsertAd/DeleteAd is logged before the call returns, so a
+	// process kill loses nothing. Empty disables persistence (New
+	// ignores this field entirely; use Open).
+	DataDir string
+	// CompactBytes is the WAL size that triggers a background
+	// compaction (checkpoint + log truncation). 0 means
+	// DefaultCompactBytes; negative disables automatic compaction
+	// (explicit Checkpoint calls still work).
+	CompactBytes int64
 }
+
+// DefaultCompactBytes is the default WAL size that triggers automatic
+// compaction when Config.CompactBytes is 0.
+const DefaultCompactBytes = 4 << 20
 
 // System is a running CQAds instance. It is safe for concurrent use,
 // including mutation: InsertAd/DeleteAd may run while other goroutines
@@ -83,6 +98,10 @@ type System struct {
 	strict        bool
 	batchWorkers  int
 	trainOnIngest bool
+	// persist is non-nil when the system was built by Open with
+	// Config.DataDir set; it owns the snapshot + WAL store and
+	// serializes ingestion so the log order equals the mutation order.
+	persist *persister
 }
 
 // dedupState caches one domain's near-duplicate representatives

@@ -1,0 +1,239 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File names inside a data directory.
+const (
+	// SnapshotFile is the checkpoint image.
+	SnapshotFile = "snapshot.cqads"
+	// WALFile is the write-ahead log of operations since the
+	// checkpoint.
+	WALFile = "wal.log"
+)
+
+// Store manages one data directory: the current snapshot, the WAL, and
+// the sequence counter shared by both. It is safe for concurrent use;
+// callers that need a batch of operations to be contiguous in the log
+// (or need the snapshot to be consistent with a set of in-memory
+// tables) provide their own higher-level ordering, as core.System
+// does.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	wal      *os.File
+	walBytes int64
+	seq      uint64 // last assigned operation sequence number
+	ckptSeq  uint64 // sequence covered by the on-disk snapshot
+	snap     *Snapshot
+	tail     []Op
+	closed   bool
+	// failed latches the store after a WAL write or sync error: the
+	// file offset may sit inside a torn frame, so appending further
+	// records would place them after bytes the recovery scan stops at
+	// — fsync'd yet silently unrecoverable. Once failed, every Append
+	// and WriteCheckpoint refuses; only Close works.
+	failed error
+}
+
+// Open attaches to (creating if needed) the data directory. After a
+// crash the torn WAL tail, if any, is truncated. The loaded snapshot
+// and the replayable tail — the intact operations logged after it —
+// are available via LoadedSnapshot and Tail until the first checkpoint
+// releases them.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	snap, err := readSnapshotFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	ops, validLen, err := scanWAL(filepath.Join(dir, WALFile))
+	if err != nil {
+		return nil, err
+	}
+	wal, err := openWALForAppend(filepath.Join(dir, WALFile), validLen)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, wal: wal, walBytes: validLen, snap: snap}
+	if snap != nil {
+		st.ckptSeq = snap.Seq
+		st.seq = snap.Seq
+	}
+	for _, op := range ops {
+		if op.Seq > st.seq {
+			st.seq = op.Seq
+		}
+		// Records at or below the checkpoint sequence are already in
+		// the snapshot: a crash between snapshot publish and WAL
+		// truncation legitimately leaves them behind.
+		if op.Seq > st.ckptSeq {
+			st.tail = append(st.tail, op)
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// LoadedSnapshot returns the snapshot found at Open, nil when the
+// directory had none (first run).
+func (s *Store) LoadedSnapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
+}
+
+// Tail returns the operations that must be replayed on top of the
+// loaded snapshot, in log order.
+func (s *Store) Tail() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tail
+}
+
+// ReleaseRecoveryState drops the loaded snapshot and tail once the
+// caller has consumed them — the snapshot duplicates the whole corpus
+// and would otherwise stay referenced until the first checkpoint,
+// which a read-mostly server may not reach for a long time.
+func (s *Store) ReleaseRecoveryState() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snap = nil
+	s.tail = nil
+}
+
+// Failed returns the latched write failure, nil while the store is
+// healthy. A failed store refuses appends and checkpoints; the owner
+// should stop ingesting and let a restart recover from the last
+// durable state.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Append assigns sequence numbers to ops, writes them as one
+// contiguous run of frames and fsyncs once — the group-commit unit.
+// When Append returns nil the operations are durable.
+func (s *Store) Append(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("persist: store has failed, restart to recover: %w", s.failed)
+	}
+	start := s.seq
+	var buf []byte
+	var err error
+	for i := range ops {
+		s.seq++
+		ops[i].Seq = s.seq
+		if buf, err = appendOp(buf, ops[i]); err != nil {
+			s.seq = start // none of the batch was written
+			return err
+		}
+	}
+	n, err := s.wal.Write(buf)
+	s.walBytes += int64(n)
+	if err != nil {
+		s.failed = fmt.Errorf("persist: appending to WAL: %w", err)
+		return s.failed
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.failed = fmt.Errorf("persist: syncing WAL: %w", err)
+		return s.failed
+	}
+	return nil
+}
+
+// WriteCheckpoint publishes snap as the new recovery point and resets
+// the WAL. The caller guarantees snap reflects every operation
+// appended so far (core.System blocks ingestion while exporting). The
+// snapshot lands atomically before the WAL shrinks, so a crash at any
+// point leaves a recoverable pair: old snapshot + full log, or new
+// snapshot + (possibly still untruncated) log whose duplicate records
+// are filtered by sequence number at the next Open.
+func (s *Store) WriteCheckpoint(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("persist: store has failed, restart to recover: %w", s.failed)
+	}
+	snap.Seq = s.seq
+	if err := writeSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
+		return err
+	}
+	s.ckptSeq = s.seq
+	s.snap = nil // recovery state no longer needed once superseded
+	s.tail = nil
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncating WAL after checkpoint: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: rewinding WAL after checkpoint: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("persist: syncing truncated WAL: %w", err)
+	}
+	s.walBytes = 0
+	return nil
+}
+
+// Seq returns the last assigned operation sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// CheckpointSeq returns the sequence number covered by the on-disk
+// snapshot (0 before the first checkpoint).
+func (s *Store) CheckpointSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckptSeq
+}
+
+// WALSize returns the current log size in bytes — the compaction
+// trigger input.
+func (s *Store) WALSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walBytes
+}
+
+// Close releases the WAL file handle. Further Appends and checkpoints
+// fail; Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close()
+		return fmt.Errorf("persist: syncing WAL at close: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("persist: closing WAL: %w", err)
+	}
+	return nil
+}

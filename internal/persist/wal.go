@@ -1,0 +1,167 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/sqldb"
+)
+
+// OpKind discriminates WAL operations.
+type OpKind uint8
+
+const (
+	// OpInsert records one ad insertion with its assigned RowID.
+	OpInsert OpKind = 1
+	// OpDelete records one ad deletion (expiry).
+	OpDelete OpKind = 2
+)
+
+// Op is one logged mutation. Sequence numbers are assigned by the
+// Store at append time and are strictly increasing across the life of
+// a data directory, surviving compaction.
+type Op struct {
+	Seq    uint64
+	Kind   OpKind
+	Domain string
+	ID     sqldb.RowID
+	// Columns and Values describe an inserted ad (parallel slices,
+	// sorted by column name for a deterministic encoding). Empty for
+	// deletes.
+	Columns []string
+	Values  []sqldb.Value
+}
+
+// frameHeaderLen is the per-record framing overhead: uint32 payload
+// length plus uint32 CRC-32 of the payload.
+const frameHeaderLen = 8
+
+// maxFrameLen bounds a single record; anything larger is treated as
+// corruption rather than attempting a giant allocation.
+const maxFrameLen = 64 << 20
+
+// appendOp appends one framed WAL record to b.
+func appendOp(b []byte, op Op) ([]byte, error) {
+	if op.Kind != OpInsert && op.Kind != OpDelete {
+		return b, fmt.Errorf("persist: unknown op kind %d", op.Kind)
+	}
+	if len(op.Columns) != len(op.Values) {
+		return b, fmt.Errorf("persist: op has %d columns but %d values", len(op.Columns), len(op.Values))
+	}
+	payload := binary.AppendUvarint(nil, op.Seq)
+	payload = append(payload, byte(op.Kind))
+	payload = appendString(payload, op.Domain)
+	payload = binary.AppendUvarint(payload, uint64(op.ID))
+	if op.Kind == OpInsert {
+		payload = binary.AppendUvarint(payload, uint64(len(op.Columns)))
+		for i, col := range op.Columns {
+			payload = appendString(payload, col)
+			payload = appendValue(payload, op.Values[i])
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...), nil
+}
+
+// decodeOp parses one payload.
+func decodeOp(payload []byte) (Op, error) {
+	r := &reader{b: payload}
+	op := Op{
+		Seq:  r.uvarint(),
+		Kind: OpKind(r.byteVal()),
+	}
+	op.Domain = r.str()
+	op.ID = sqldb.RowID(r.uvarint())
+	switch op.Kind {
+	case OpInsert:
+		n := int(r.uvarint())
+		if r.err == nil && n > r.remaining() {
+			return Op{}, fmt.Errorf("persist: insert op claims %d columns with %d bytes left", n, r.remaining())
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			op.Columns = append(op.Columns, r.str())
+			op.Values = append(op.Values, r.value())
+		}
+	case OpDelete:
+	default:
+		return Op{}, fmt.Errorf("persist: unknown op kind %d", op.Kind)
+	}
+	if r.err != nil {
+		return Op{}, r.err
+	}
+	if r.remaining() != 0 {
+		return Op{}, fmt.Errorf("persist: %d trailing bytes after op", r.remaining())
+	}
+	return op, nil
+}
+
+// scanWAL reads every intact record of the log at path. It returns the
+// decoded operations and the byte offset of the end of the last intact
+// record: a torn or corrupt tail (the expected aftermath of a crash
+// mid-append) simply ends the scan, and the caller truncates the file
+// to validLen before appending again. A missing file is an empty log.
+func scanWAL(path string) (ops []Op, validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("persist: reading WAL: %w", err)
+	}
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			break // torn header or clean EOF
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest))
+		sum := binary.LittleEndian.Uint32(rest[4:])
+		if plen > maxFrameLen || frameHeaderLen+plen > int64(len(rest)) {
+			break // implausible length or torn payload
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+plen]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt record
+		}
+		op, err := decodeOp(payload)
+		if err != nil {
+			break // framed but undecodable: treat as corruption, stop
+		}
+		ops = append(ops, op)
+		off += frameHeaderLen + plen
+	}
+	return ops, off, nil
+}
+
+// openWALForAppend opens (creating if needed) the log for appending,
+// truncating any torn tail past validLen first.
+func openWALForAppend(path string, validLen int64) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening WAL: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: stat WAL: %w", err)
+	}
+	if info.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: truncating torn WAL tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: syncing truncated WAL: %w", err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: seeking WAL end: %w", err)
+	}
+	return f, nil
+}

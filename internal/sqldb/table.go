@@ -382,6 +382,90 @@ func (t *Table) SortByColumn(ids []RowID, col string, descending bool) []RowID {
 	return ids
 }
 
+// ExportState returns a point-in-time copy of the table's contents
+// for persistence: the total number of allocated row slots (live plus
+// tombstoned — the next Insert is assigned RowID slots) and the live
+// records in ascending RowID order. The returned records own their
+// Values slices; mutating them does not affect the table. Paired with
+// RestoreState, it is the snapshot hook of internal/persist.
+func (t *Table) ExportState() (slots int, rows []Record) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows = make([]Record, 0, t.live)
+	for i := range t.rows {
+		if t.dead[i] {
+			continue
+		}
+		vals := make([]Value, len(t.rows[i].Values))
+		copy(vals, t.rows[i].Values)
+		rows = append(rows, Record{ID: RowID(i), Values: vals})
+	}
+	return len(t.rows), rows
+}
+
+// RestoreState replaces the table's contents with a previously
+// exported state: slots total row slots of which rows (strictly
+// ascending RowIDs, one Value per schema attribute) are live and the
+// rest are tombstones. Every index is rebuilt from scratch, preserving
+// the ascending-RowID posting order Insert establishes, and the next
+// Insert is assigned RowID slots — so RowIDs retired before the export
+// stay retired after recovery. The table version moves, invalidating
+// derived caches.
+func (t *Table) RestoreState(slots int, rows []Record) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := RowID(-1)
+	for _, r := range rows {
+		if r.ID <= prev || int(r.ID) >= slots {
+			return fmt.Errorf("sqldb: table %s: restore row id %d out of order or beyond %d slots", t.name, r.ID, slots)
+		}
+		if len(r.Values) != len(t.schema.Attrs) {
+			return fmt.Errorf("sqldb: table %s: restore row %d has %d values, schema has %d attributes", t.name, r.ID, len(r.Values), len(t.schema.Attrs))
+		}
+		prev = r.ID
+	}
+	newRows := make([]Record, slots)
+	dead := make([]bool, slots)
+	for i := range dead {
+		dead[i] = true
+	}
+	t.hash = make(map[string]*hashIndex)
+	t.ordered = make(map[string]*orderedIndex)
+	t.substr = make(map[string]*trigramIndex)
+	for _, a := range t.schema.Attrs {
+		switch a.Type {
+		case schema.TypeI, schema.TypeII:
+			t.hash[a.Name] = newHashIndex()
+			t.substr[a.Name] = newTrigramIndex()
+		case schema.TypeIII:
+			t.ordered[a.Name] = &orderedIndex{}
+		}
+	}
+	for _, r := range rows {
+		vals := make([]Value, len(r.Values))
+		copy(vals, r.Values)
+		newRows[r.ID] = Record{ID: r.ID, Values: vals}
+		dead[r.ID] = false
+		for col, i := range t.colIdx {
+			v := vals[i]
+			if ix, ok := t.hash[col]; ok {
+				ix.insert(v, r.ID)
+			}
+			if ix, ok := t.ordered[col]; ok {
+				ix.insert(v, r.ID)
+			}
+			if ix, ok := t.substr[col]; ok {
+				ix.insert(v, r.ID)
+			}
+		}
+	}
+	t.rows = newRows
+	t.dead = dead
+	t.live = len(rows)
+	t.version.Add(1)
+	return nil
+}
+
 // RecordMap renders record id as a column→Value map (for display and
 // for rankers that want named access). Deleted rows return nil.
 func (t *Table) RecordMap(id RowID) map[string]Value {

@@ -8,38 +8,45 @@ package text
 // "similar text function which calculates their similarity based on
 // the number of common characters and their corresponding positions".
 //
+// Comparison is rune-based, not byte-based: multibyte keywords
+// ("café", "škoda") are matched on whole characters, so a shared UTF-8
+// lead byte between two different accented characters never counts as
+// a match and lengths are character counts. For ASCII inputs the
+// result is identical to the byte-based formulation.
+//
 // The result is in [0,1]; identical non-empty strings score 1.
 func SimilarText(a, b string) float64 {
-	if len(a) == 0 && len(b) == 0 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
-	if len(a) == 0 || len(b) == 0 {
+	if len(ra) == 0 || len(rb) == 0 {
 		return 0
 	}
-	sim := similarChars(a, b)
-	return 2 * float64(sim) / float64(len(a)+len(b))
+	sim := similarRunes(ra, rb)
+	return 2 * float64(sim) / float64(len(ra)+len(rb))
 }
 
-// similarChars returns the number of matching characters found by the
+// similarRunes returns the number of matching characters found by the
 // similar_text recursion.
-func similarChars(a, b string) int {
-	posA, posB, max := longestCommonSubstring(a, b)
+func similarRunes(a, b []rune) int {
+	posA, posB, max := longestCommonRun(a, b)
 	if max == 0 {
 		return 0
 	}
 	sum := max
 	if posA > 0 && posB > 0 {
-		sum += similarChars(a[:posA], b[:posB])
+		sum += similarRunes(a[:posA], b[:posB])
 	}
 	if posA+max < len(a) && posB+max < len(b) {
-		sum += similarChars(a[posA+max:], b[posB+max:])
+		sum += similarRunes(a[posA+max:], b[posB+max:])
 	}
 	return sum
 }
 
-// longestCommonSubstring finds the longest run of bytes common to a
+// longestCommonRun finds the longest run of characters common to a
 // and b, returning its start positions and length.
-func longestCommonSubstring(a, b string) (posA, posB, max int) {
+func longestCommonRun(a, b []rune) (posA, posB, max int) {
 	for i := 0; i < len(a); i++ {
 		for j := 0; j < len(b); j++ {
 			k := 0
@@ -55,35 +62,37 @@ func longestCommonSubstring(a, b string) (posA, posB, max int) {
 }
 
 // Levenshtein returns the edit distance between a and b (insertions,
-// deletions, substitutions all cost 1). Used as a tie-breaker when two
-// trie alternatives have equal SimilarText scores.
+// deletions, substitutions all cost 1), counted in runes: replacing
+// "é" with "e" is one edit, not two byte edits. Used as a tie-breaker
+// when two trie alternatives have equal SimilarText scores.
 func Levenshtein(a, b string) int {
 	if a == b {
 		return 0
 	}
-	if len(a) == 0 {
-		return len(b)
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
 	}
-	if len(b) == 0 {
-		return len(a)
+	if len(rb) == 0 {
+		return len(ra)
 	}
-	prev := make([]int, len(b)+1)
-	curr := make([]int, len(b)+1)
+	prev := make([]int, len(rb)+1)
+	curr := make([]int, len(rb)+1)
 	for j := range prev {
 		prev[j] = j
 	}
-	for i := 1; i <= len(a); i++ {
+	for i := 1; i <= len(ra); i++ {
 		curr[0] = i
-		for j := 1; j <= len(b); j++ {
+		for j := 1; j <= len(rb); j++ {
 			cost := 1
-			if a[i-1] == b[j-1] {
+			if ra[i-1] == rb[j-1] {
 				cost = 0
 			}
 			curr[j] = min3(prev[j]+1, curr[j-1]+1, prev[j-1]+cost)
 		}
 		prev, curr = curr, prev
 	}
-	return prev[len(b)]
+	return prev[len(rb)]
 }
 
 func min3(a, b, c int) int {
@@ -101,15 +110,19 @@ func min3(a, b, c int) int {
 // the core rule of the shorthand detector (Sec. 4.2.3): "any shorthand
 // notation N of a data value V only includes characters from V, and
 // the characters in N should have the same order as characters in V".
+// Characters are runes: a multibyte character either matches whole or
+// not at all, so a needle can never match the middle of another
+// character's encoding.
 func IsSubsequence(needle, haystack string) bool {
 	if len(needle) == 0 {
 		return true
 	}
+	rn := []rune(needle)
 	i := 0
-	for j := 0; j < len(haystack) && i < len(needle); j++ {
-		if needle[i] == haystack[j] {
+	for _, h := range haystack {
+		if i < len(rn) && rn[i] == h {
 			i++
 		}
 	}
-	return i == len(needle)
+	return i == len(rn)
 }

@@ -58,6 +58,74 @@ func TestSimilarTextProperties(t *testing.T) {
 	}
 }
 
+// TestSimilarTextRuneSafety: multibyte keywords compare on whole
+// characters. Byte-based matching would count the shared UTF-8 lead
+// byte of two different accented characters as a match and use byte
+// lengths in the normalization, skewing misspelling repair for
+// non-ASCII make/model names.
+func TestSimilarTextRuneSafety(t *testing.T) {
+	// "é" (C3 A9) and "è" (C3 A8) share a lead byte but are different
+	// characters: similarity must be 0, not the byte-level 0.5.
+	if got := SimilarText("é", "è"); got != 0 {
+		t.Errorf(`SimilarText("é", "è") = %g, want 0`, got)
+	}
+	if got := SimilarText("café", "café"); got != 1 {
+		t.Errorf(`identical multibyte strings = %g, want 1`, got)
+	}
+	// One differing character out of four: 2*3/(4+4) with rune
+	// lengths. Byte lengths (5+5) would give 0.6 at best.
+	if got, want := SimilarText("café", "cafe"), 0.75; got != want {
+		t.Errorf(`SimilarText("café", "cafe") = %g, want %g`, got, want)
+	}
+	// Misspelling repair over accented model names: the near-match
+	// must beat the unrelated value.
+	typo := SimilarText("citroen", "citroën")
+	other := SimilarText("citroen", "škoda")
+	if typo <= other || typo < 0.8 {
+		t.Errorf("citroën repair: typo %g, unrelated %g", typo, other)
+	}
+}
+
+// TestLevenshteinRuneSafety: edits count characters, not bytes.
+func TestLevenshteinRuneSafety(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"café", "cafe", 1},    // é→e is one substitution, not two byte edits
+		{"citroën", "citroen", 1},
+		{"škoda", "skoda", 1},
+		{"é", "è", 1},
+		{"日本語", "日本", 1}, // one 3-byte character dropped
+		{"日本語", "日本語", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestIsSubsequenceRuneSafety: shorthand matching treats a multibyte
+// character as one unit.
+func TestIsSubsequenceRuneSafety(t *testing.T) {
+	cases := []struct {
+		n, h string
+		want bool
+	}{
+		{"cfé", "café", true},
+		{"café", "ca fé 2000", true},
+		{"é", "è", false}, // shared lead byte is not a shared character
+		{"日語", "日本語", true},
+		{"語日", "日本語", false},
+	}
+	for _, c := range cases {
+		if got := IsSubsequence(c.n, c.h); got != c.want {
+			t.Errorf("IsSubsequence(%q,%q) = %v, want %v", c.n, c.h, got, c.want)
+		}
+	}
+}
+
 func TestLevenshteinKnown(t *testing.T) {
 	cases := []struct {
 		a, b string
@@ -88,13 +156,16 @@ func TestLevenshteinProperties(t *testing.T) {
 		if d != Levenshtein(b, a) {
 			return false
 		}
-		// Distance bounded by the longer string's length.
-		max := len(a)
-		if len(b) > max {
-			max = len(b)
+		// Distance bounded by the longer string's length (in runes —
+		// the unit the distance is now defined on).
+		max := len([]rune(a))
+		if n := len([]rune(b)); n > max {
+			max = n
 		}
-		// Identity of indiscernibles.
-		if (d == 0) != (a == b) {
+		// Identity of indiscernibles, over the rune decoding (byte
+		// truncation above can leave invalid UTF-8 tails that decode
+		// to the same replacement runes).
+		if (d == 0) != (string([]rune(a)) == string([]rune(b))) {
 			return false
 		}
 		return d <= max
@@ -139,14 +210,19 @@ func TestIsSubsequence(t *testing.T) {
 
 func TestIsSubsequenceProperties(t *testing.T) {
 	// Every prefix of s is a subsequence of s; s is one of itself.
+	// Prefixes are cut on rune boundaries — the unit the subsequence
+	// rule is defined on (a mid-rune byte cut is not a prefix of any
+	// character sequence).
 	f := func(s string) bool {
-		if len(s) > 30 {
-			s = s[:30]
+		r := []rune(s)
+		if len(r) > 30 {
+			r = r[:30]
+			s = string(r)
 		}
 		if !IsSubsequence(s, s) {
 			return false
 		}
-		return IsSubsequence(s[:len(s)/2], s)
+		return IsSubsequence(string(r[:len(r)/2]), s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

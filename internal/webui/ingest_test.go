@@ -10,6 +10,8 @@ import (
 
 	"repro/internal/adsgen"
 	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/sqldb"
 )
 
 // ingestServer builds a private server (not the shared srvOnce one) so
@@ -127,6 +129,118 @@ func TestPostAdValidation(t *testing.T) {
 		`{"domain":"cars","record":{"make":"kia","price":"4200","mileage":null}}`)
 	if rec.Code != http.StatusCreated {
 		t.Fatalf("numeric-string insert = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusEndpointPersistent: a durable server reports its
+// checkpoint/WAL state through /api/status, and the logged sequence
+// advances with ingestion.
+func TestStatusEndpointPersistent(t *testing.T) {
+	db, err := adsgen.PopulateAll(7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Open(core.Config{DB: db, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	srv := NewServer(sys)
+
+	status := func() (out struct {
+		Persistence struct {
+			Enabled        bool   `json:"enabled"`
+			Dir            string `json:"dir"`
+			Seq            uint64 `json:"seq"`
+			CheckpointSeq  uint64 `json:"checkpoint_seq"`
+			WALBytes       int64  `json:"wal_bytes"`
+			LastCheckpoint string `json:"last_checkpoint"`
+		} `json:"persistence"`
+	}) {
+		rec := doJSON(t, srv, http.MethodGet, "/api/status", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	st := status()
+	if !st.Persistence.Enabled || st.Persistence.Dir == "" {
+		t.Fatalf("persistence block = %+v, want enabled with dir", st.Persistence)
+	}
+	if st.Persistence.LastCheckpoint == "" {
+		t.Error("initial checkpoint not reported")
+	}
+	before := st.Persistence.Seq
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads",
+		`{"domain":"cars","record":{"make":"kia","price":4200}}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", rec.Code, rec.Body.String())
+	}
+	st = status()
+	if st.Persistence.Seq != before+1 {
+		t.Errorf("seq after ingest = %d, want %d", st.Persistence.Seq, before+1)
+	}
+	if st.Persistence.WALBytes <= 0 {
+		t.Errorf("wal_bytes after ingest = %d, want > 0", st.Persistence.WALBytes)
+	}
+}
+
+// TestConvertRecordCoercesBySchemaType is the regression test for the
+// categorical-number bug: a JSON number POSTed for a Type I/II column
+// used to be stored as sqldb.Number, which never matches the
+// string-indexed machinery (trigram index, TI/WS similarity). It must
+// be coerced to the schema's value class instead.
+func TestConvertRecordCoercesBySchemaType(t *testing.T) {
+	sch := schema.Cars()
+	values, err := convertRecord(sch, map[string]any{
+		"doors": float64(2),     // Type II ← JSON number
+		"make":  "HONDA",        // Type I  ← string (lower-cased on store)
+		"price": float64(12000), // Type III ← JSON number
+		"year":  "2004",         // Type III ← numeric string
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := values["doors"]; !v.IsString() || v.Str() != "2" {
+		t.Errorf("doors = %#v, want the string \"2\"", v)
+	}
+	if v := values["price"]; !v.IsNumber() || v.Num() != 12000 {
+		t.Errorf("price = %#v, want Number(12000)", v)
+	}
+	if v := values["year"]; !v.IsNumber() || v.Num() != 2004 {
+		t.Errorf("year = %#v, want Number(2004)", v)
+	}
+
+	// End to end: the numeric-categorical ad lands string-indexed.
+	srv := ingestServer(t)
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads",
+		`{"domain":"cars","record":{"make":"kia","model":"sorento","doors":2}}`)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("POST = %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := srv.sys.DB().TableForDomain("cars")
+	id := sqldb.RowID(created.ID)
+	if v := tbl.Value(id, "doors"); !v.IsString() {
+		t.Fatalf("stored doors = %#v, want a string", v)
+	}
+	found := false
+	for _, got := range tbl.LookupSubstring("doors", "2") {
+		if got == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("numeric-categorical value missing from the substring index")
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/schema"
@@ -33,6 +34,7 @@ type Server struct {
 //	GET /                   the question form
 //	GET /ask?q=...          HTML answer table (optional &domain=...)
 //	GET /api/ask?q=...      JSON answers
+//	GET /api/status         corpus versions + persistence state
 //	POST /api/ads           ingest one ad: {"domain": ..., "record": {...}}
 //	DELETE /api/ads/{id}    expire an ad (?domain=... required)
 //
@@ -49,6 +51,7 @@ func NewServer(sys *core.System) *Server {
 	s.mux.HandleFunc("/ask", s.handleAsk)
 	s.mux.HandleFunc("/api/ask", s.handleAPI)
 	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
 	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
 	return s
@@ -82,6 +85,57 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleStatus reports the live corpus and durability state:
+//
+//	GET /api/status
+//
+// Per domain: live ad count, allocated RowID slots, and the table's
+// mutation version. The persistence block reports whether the server
+// is durable and, when it is, the last logged operation sequence, the
+// sequence the on-disk snapshot covers, the current WAL size, and the
+// wall time of the last checkpoint — the numbers an operator needs to
+// judge replay distance after a crash.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Status()
+	type domainJSON struct {
+		Domain  string `json:"domain"`
+		Live    int    `json:"live"`
+		Slots   int    `json:"slots"`
+		Version uint64 `json:"version"`
+	}
+	type persistenceJSON struct {
+		Enabled        bool   `json:"enabled"`
+		Dir            string `json:"dir,omitempty"`
+		Seq            uint64 `json:"seq,omitempty"`
+		CheckpointSeq  uint64 `json:"checkpoint_seq,omitempty"`
+		WALBytes       int64  `json:"wal_bytes,omitempty"`
+		LastCheckpoint string `json:"last_checkpoint,omitempty"`
+		Failed         bool   `json:"failed,omitempty"`
+	}
+	out := struct {
+		Domains     []domainJSON    `json:"domains"`
+		Persistence persistenceJSON `json:"persistence"`
+	}{Domains: []domainJSON{}}
+	for _, d := range st.Domains {
+		out.Domains = append(out.Domains, domainJSON{
+			Domain: d.Domain, Live: d.Live, Slots: d.Slots, Version: d.Version,
+		})
+	}
+	out.Persistence = persistenceJSON{
+		Enabled:       st.Persistence.Enabled,
+		Dir:           st.Persistence.Dir,
+		Seq:           st.Persistence.Seq,
+		CheckpointSeq: st.Persistence.CheckpointSeq,
+		WALBytes:      st.Persistence.WALBytes,
+		Failed:        st.Persistence.Failed,
+	}
+	if !st.Persistence.LastCheckpoint.IsZero() {
+		out.Persistence.LastCheckpoint = st.Persistence.LastCheckpoint.Format(time.RFC3339Nano)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // handleInsertAd ingests one ad into a live domain:
@@ -148,7 +202,11 @@ func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
 
 // convertRecord maps a JSON record onto schema-typed sqldb values:
 // Type III (quantitative) columns require numbers or numeric strings;
-// Type I/II columns stringify whatever arrives; JSON null stores NULL.
+// Type I/II (categorical) columns stringify whatever arrives — a JSON
+// number for a categorical column is stored as its decimal string, not
+// as sqldb.Number, so it participates in the string-keyed machinery
+// (trigram index, TI/WS similarity, dedup) like every other
+// categorical value; JSON null stores NULL.
 func convertRecord(sch *schema.Schema, record map[string]any) (map[string]sqldb.Value, error) {
 	values := make(map[string]sqldb.Value, len(record))
 	for col, raw := range record {
@@ -162,7 +220,11 @@ func convertRecord(sch *schema.Schema, record map[string]any) (map[string]sqldb.
 		}
 		switch v := raw.(type) {
 		case float64:
-			values[col] = sqldb.Number(v)
+			if attr.Type == schema.TypeIII {
+				values[col] = sqldb.Number(v)
+				continue
+			}
+			values[col] = sqldb.String(strconv.FormatFloat(v, 'f', -1, 64))
 		case string:
 			if attr.Type == schema.TypeIII {
 				n, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
@@ -242,14 +304,14 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
-		http.Error(w, `{"error":"missing q parameter"}`, http.StatusBadRequest)
+		// jsonError, not http.Error: the latter would label the JSON
+		// body text/plain.
+		jsonError(w, http.StatusBadRequest, "missing q parameter")
 		return
 	}
 	res, err := s.ask(r.URL.Query().Get("domain"), q)
 	if err != nil {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusBadRequest)
-		_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	type apiAnswer struct {
@@ -269,6 +331,9 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 		Interpretation: res.Interpretation.String(),
 		SQL:            res.SQL,
 		ExactCount:     res.ExactCount,
+		// Initialized so a no-match query encodes "answers": [] —
+		// clients iterating the field shouldn't have to null-check.
+		Answers: []apiAnswer{},
 	}
 	for _, a := range res.Answers {
 		rec := make(map[string]string, len(a.Record))

@@ -137,10 +137,100 @@ func TestAPIAsk(t *testing.T) {
 	}
 }
 
+// TestAPIMissingQuery: the missing-q error is a real JSON error
+// response — correct Content-Type and a decodable body, not a JSON
+// string shipped as text/plain via http.Error.
 func TestAPIMissingQuery(t *testing.T) {
 	rec := get(t, "/api/ask")
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out.Error == "" {
+		t.Errorf("body %q not a JSON error payload (%v)", rec.Body.String(), err)
+	}
+}
+
+// TestAPIErrorsAreJSON: every /api/ask failure path carries the JSON
+// Content-Type.
+func TestAPIErrorsAreJSON(t *testing.T) {
+	rec := get(t, "/api/ask?domain=ghost&q=anything")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+}
+
+// TestAPIEmptyAnswersIsArray: a query matching nothing must encode
+// "answers": [] rather than "answers": null.
+func TestAPIEmptyAnswersIsArray(t *testing.T) {
+	rec := get(t, "/api/ask?domain=cars&q=zzzzqqqq")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), `"answers":[]`) {
+		t.Errorf("no-match response = %s, want \"answers\":[]", rec.Body.String())
+	}
+	var out struct {
+		Answers []any `json:"answers"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Answers == nil {
+		t.Error("answers decoded as nil slice")
+	}
+}
+
+// TestStatusEndpoint: GET /api/status reports one entry per domain
+// with sane counts, and a disabled persistence block for an in-memory
+// server.
+func TestStatusEndpoint(t *testing.T) {
+	rec := get(t, "/api/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out struct {
+		Domains []struct {
+			Domain  string `json:"domain"`
+			Live    int    `json:"live"`
+			Slots   int    `json:"slots"`
+			Version uint64 `json:"version"`
+		} `json:"domains"`
+		Persistence struct {
+			Enabled bool `json:"enabled"`
+		} `json:"persistence"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Domains) == 0 {
+		t.Fatal("no domains in status")
+	}
+	seenCars := false
+	for _, d := range out.Domains {
+		if d.Domain == "cars" {
+			seenCars = true
+		}
+		if d.Live <= 0 || d.Slots < d.Live {
+			t.Errorf("domain %s: live %d slots %d", d.Domain, d.Live, d.Slots)
+		}
+	}
+	if !seenCars {
+		t.Error("cars domain missing from status")
+	}
+	if out.Persistence.Enabled {
+		t.Error("in-memory server reports persistence enabled")
 	}
 }
 
