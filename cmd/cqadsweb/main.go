@@ -5,6 +5,7 @@
 //
 //	cqadsweb [-addr :8080] [-seed N] [-ads N] [-data DIR]
 //	         [-ingest 2s] [-expire 30s]
+//	         [-replicate-from URL | -replicas URL1,URL2,...]
 //
 // With -ingest set, the server keeps the corpus live: a background
 // writer posts a freshly generated ad to a rotating domain every
@@ -20,6 +21,23 @@
 // (SIGINT/SIGTERM) checkpoints before exiting so the next start
 // replays nothing. GET /api/status reports the checkpoint and WAL
 // state.
+//
+// Replication roles:
+//
+//   - A durable server (-data) is implicitly a PRIMARY: it serves the
+//     snapshot transfer (GET /api/repl/snapshot) and the long-polled
+//     WAL stream (GET /api/repl/wal) that followers consume.
+//   - -replicate-from URL starts a FOLLOWER: the process bootstraps
+//     its corpus from the primary's snapshot, tails its WAL, serves
+//     read-only answers (writes get 4xx until POST /api/repl/promote),
+//     and re-bootstraps automatically when the primary compacts past
+//     its position. The follower must use the same -seed/-ads as the
+//     primary: the snapshot carries table contents and classifier
+//     state, while the similarity matrices are rebuilt from the seed.
+//   - -replicas URL1,URL2 makes this server a scatter front:
+//     POST /api/ask/batch fans question chunks across the healthy
+//     followers (lag-aware /healthz probes) and answers any failed
+//     chunk locally.
 package main
 
 import (
@@ -31,11 +49,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/cqads"
 	"repro/internal/adsgen"
+	"repro/internal/replica"
+	"repro/internal/replica/router"
 	"repro/internal/schema"
 	"repro/internal/sqldb"
 	"repro/internal/webui"
@@ -48,16 +69,59 @@ func main() {
 	dataDir := flag.String("data", "", "durable data directory (snapshot + write-ahead log); empty serves in-memory only")
 	ingest := flag.Duration("ingest", 0, "post one generated ad per interval (0 disables live ingestion)")
 	expire := flag.Duration("expire", 0, "delete the oldest ingested ad per interval (requires -ingest)")
+	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this base URL (requires the primary's -seed/-ads)")
+	replicas := flag.String("replicas", "", "comma-separated follower base URLs to scatter /api/ask/batch across")
 	flag.Parse()
 
-	sys, err := cqads.Open(cqads.Options{Seed: *seed, AdsPerDomain: *ads, DataDir: *dataDir})
-	if err != nil {
-		log.Fatal(err)
+	opts := cqads.Options{Seed: *seed, AdsPerDomain: *ads, DataDir: *dataDir}
+	var sys *cqads.System
+	var follower *replica.Follower
+	webOpts := webui.Options{}
+
+	if *replicateFrom != "" {
+		if *dataDir != "" || *ingest > 0 {
+			log.Fatal("-replicate-from is incompatible with -data and -ingest: followers replicate the primary's corpus")
+		}
+		opts.DataDir = ""
+		f, err := replica.StartFollower(context.Background(), replica.Config{
+			Primary: strings.TrimRight(*replicateFrom, "/"),
+			Bootstrap: func(snapshot []byte) (*cqads.System, error) {
+				return cqads.OpenFollower(opts, snapshot)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		follower = f
+		sys = f.System()
+		webOpts.Promoter = f
+		st := sys.Status().Replication
+		fmt.Printf("follower of %s: bootstrapped at seq %d\n", *replicateFrom, st.AppliedSeq)
+	} else {
+		s, err := cqads.Open(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = s
+		if *dataDir != "" {
+			st := sys.Status()
+			fmt.Printf("durable store: %s (seq %d, checkpoint %d) — serving replication at /api/repl\n",
+				st.Persistence.Dir, st.Persistence.Seq, st.Persistence.CheckpointSeq)
+		}
 	}
-	if *dataDir != "" {
-		st := sys.Status()
-		fmt.Printf("durable store: %s (seq %d, checkpoint %d)\n",
-			st.Persistence.Dir, st.Persistence.Seq, st.Persistence.CheckpointSeq)
+
+	var rt *router.Router
+	if *replicas != "" {
+		urls := []string{}
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		rt = router.New(router.Config{Replicas: urls})
+		defer rt.Close()
+		webOpts.Router = rt
+		fmt.Printf("scattering /api/ask/batch across %d replicas\n", len(urls))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,7 +135,7 @@ func main() {
 		fmt.Println()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: webui.NewServer(sys)}
+	srv := &http.Server{Addr: *addr, Handler: webui.NewServerWith(sys, webOpts)}
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("CQAds web UI listening on %s\n", *addr)
@@ -82,6 +146,9 @@ func main() {
 
 	select {
 	case err := <-errc:
+		if follower != nil {
+			follower.Close()
+		}
 		sys.Close()
 		log.Fatal(err)
 	case <-ctx.Done():
@@ -92,6 +159,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if follower != nil {
+		follower.Close() // stop tailing before the store goes away
 	}
 	// The final checkpoint: a restart from -data replays an empty WAL.
 	if err := sys.Close(); err != nil {

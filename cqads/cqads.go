@@ -58,12 +58,33 @@
 // the checkpoint/WAL state. The on-disk formats and the recovery
 // contract are documented in the repository root package and
 // internal/persist.
+//
+// # Replication
+//
+// A durable system doubles as a replication primary: its snapshot is
+// the initial state transfer and its WAL is the stream. OpenFollower
+// builds a read-only replica from a primary's snapshot transfer; fed
+// the primary's log (internal/replica tails it over long-polled HTTP;
+// `cqadsweb -replicate-from URL` wires the whole role), the follower
+// applies every operation in sequence order and answers Ask/AskBatch
+// bit-identically to the primary. Followers reject InsertAd/DeleteAd
+// with ErrReadOnlyReplica until System.Promote (the manual-failover
+// escape hatch, also POST /api/repl/promote); when the primary
+// compacts past a follower's position the follower re-bootstraps from
+// a fresh snapshot automatically. A scatter router
+// (internal/replica/router; `cqadsweb -replicas URL1,URL2`) fans
+// POST /api/ask/batch question chunks across the healthy, caught-up
+// replicas and answers failed chunks locally. System.Status's
+// Replication block reports the node's role, applied/observed
+// sequence cursors and lag. The full protocol and consistency
+// guarantees are documented in the repository root package.
 package cqads
 
 import (
 	"repro/internal/adsgen"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/qlog"
 	"repro/internal/questions"
 	"repro/internal/schema"
@@ -95,7 +116,15 @@ type (
 	DomainStatus = core.DomainStatus
 	// PersistenceStatus reports the durability subsystem's state.
 	PersistenceStatus = core.PersistenceStatus
+	// ReplicationStatus reports a node's replication role and cursors.
+	ReplicationStatus = core.ReplicationStatus
 )
+
+// ErrReadOnlyReplica is returned by InsertAd/DeleteAd on a follower
+// built with OpenFollower: writes go to the primary, or promote the
+// follower for manual failover (System.Promote, or the webui's
+// POST /api/repl/promote).
+var ErrReadOnlyReplica = core.ErrReadOnlyReplica
 
 // Schema types for callers defining their own ads domains.
 type (
@@ -165,6 +194,43 @@ type Options struct {
 // directory's snapshot + WAL replace and replay the corpus (see
 // Durability above).
 func Open(opts Options) (*System, error) {
+	cfg, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(cfg)
+}
+
+// OpenFollower builds the same deterministic environment as Open and
+// bootstraps it as a read-only replica from a primary's encoded
+// snapshot — the bytes served by the primary's GET /api/repl/snapshot.
+// Everything the snapshot does not carry (schemas, TI/WS similarity
+// matrices, the classifier's construction) comes from opts, so the
+// follower MUST be built with the same Seed/AdsPerDomain/Domains as
+// its primary or ranked answers will diverge; the snapshot then
+// replaces the table contents and trained classifier state wholesale.
+// opts.DataDir is ignored — a follower's recovery story is
+// re-bootstrapping from its primary, not local durability. The
+// returned System rejects InsertAd/DeleteAd until promoted; feed it
+// the primary's WAL stream via internal/replica (cqadsweb does this
+// with -replicate-from).
+func OpenFollower(opts Options, snapshot []byte) (*System, error) {
+	snap, err := persist.DecodeSnapshot(snapshot)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenFollower(cfg, snap)
+}
+
+// buildEnv assembles the synthetic environment: generated ads,
+// simulated query logs (TI-matrix), the synthetic-corpus WS-matrix,
+// and a JBBSM classifier trained on generated questions — all
+// deterministic in opts.Seed.
+func buildEnv(opts Options) (core.Config, error) {
 	if opts.AdsPerDomain <= 0 {
 		opts.AdsPerDomain = 500
 	}
@@ -180,7 +246,7 @@ func Open(opts Options) (*System, error) {
 		schemas = append(schemas, s)
 		g := adsgen.NewGenerator(opts.Seed + int64(i)*7919)
 		if _, err := g.Populate(db, s, opts.AdsPerDomain); err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		sim := qlog.NewSimulator(s, opts.Seed+101)
 		ti[d] = qlog.BuildTIMatrix(sim.Simulate(d, 500))
@@ -198,7 +264,7 @@ func Open(opts Options) (*System, error) {
 		}
 		cls.Train(d, docs)
 	}
-	return core.Open(core.Config{
+	return core.Config{
 		DB:            db,
 		Classifier:    cls,
 		TI:            ti,
@@ -211,7 +277,7 @@ func Open(opts Options) (*System, error) {
 		TrainOnIngest: opts.TrainOnIngest,
 		DataDir:       opts.DataDir,
 		CompactBytes:  opts.CompactBytes,
-	})
+	}, nil
 }
 
 // DomainNames lists the eight built-in ads domains.

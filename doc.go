@@ -123,4 +123,57 @@
 // System.Close checkpoints and releases the store; GET /api/status on
 // the web UI (and System.Status) reports per-domain corpus versions,
 // the logged sequence, the checkpointed sequence and the WAL size.
+//
+// # Replication model
+//
+// Reads scale horizontally by shipping the WAL to follower processes
+// (internal/replica on the client side, internal/webui's /api/repl
+// endpoints on the server side). The design leans entirely on the
+// persistence subsystem's invariants: every mutation already has a
+// totally-ordered sequence number, the snapshot is a complete state
+// transfer, and the framed WAL encoding doubles as the wire format
+// (persist.AppendFrame / persist.OpReader — one codec, no second
+// serialization to drift).
+//
+//   - Roles. A PRIMARY is any durable System: it serves its current
+//     snapshot (GET /api/repl/snapshot) and its log
+//     (GET /api/repl/wal?from=<seq>, long-polled, framed ops with
+//     sequence > from). A FOLLOWER (core.OpenFollower;
+//     `cqadsweb -replicate-from URL`) builds the same deterministic
+//     substrate set as the primary — schemas, TI/WS matrices — then
+//     restores the snapshot wholesale and tails the log, applying each
+//     operation through the same replay path crash recovery uses
+//     (classifier training included) and verifying each insert lands
+//     on the RowID the primary logged. Followers keep no local durable
+//     state: their recovery story is re-bootstrapping.
+//
+//   - Consistency. Followers are read-only (InsertAd/DeleteAd return
+//     core.ErrReadOnlyReplica) and asynchronously consistent: a read
+//     observes a prefix of the primary's mutation order, never a
+//     reordering. The apply loop holds the follower's apply lock, but
+//     reads ride table-level locks exactly as they do against live
+//     ingestion on a primary. Status reports AppliedSeq, the
+//     last-observed primary sequence and their difference (LagOps);
+//     GET /healthz serves serving/recovering/write-failed cheaply for
+//     probes.
+//
+//   - Catch-up. Duplicate delivery is skipped by sequence; a gap
+//     (core.GapError) or an HTTP 410 — the primary compacted past the
+//     follower's cursor — triggers an automatic re-bootstrap: fetch
+//     the new snapshot, restore it IN PLACE (same System pointer, so
+//     HTTP handlers keep working), jump the cursor to the snapshot's
+//     sequence, resume tailing.
+//
+//   - Scatter. internal/replica/router fronts a fleet of followers:
+//     lag-aware health probes (/healthz, Config.MaxLagOps) pick the
+//     routable set, POST /api/ask/batch scatters question chunks
+//     across it and gathers answers in input order, and any failed
+//     chunk is answered locally — the endpoint degrades to local
+//     execution, never errors because a replica died.
+//
+//   - Failover. POST /api/repl/promote (System.Promote) flips a
+//     follower writable for manual failover: replication stops first,
+//     then writes are accepted, so a stale primary's stream can never
+//     race a post-promotion write. Automatic failover and quorum
+//     writes are deliberately out of scope (see ROADMAP).
 package repro

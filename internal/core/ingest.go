@@ -35,6 +35,9 @@ import (
 // write-ahead logged and fsync'd before InsertAd returns: a nil error
 // means the ad survives a process kill.
 func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
+	if err := s.writable(); err != nil {
+		return 0, err
+	}
 	if p := s.persist; p != nil {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -51,7 +54,7 @@ func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.R
 			// persister.failed) and surface the id with the error so
 			// the caller can compensate.
 			p.failed.Store(true)
-			return id, fmt.Errorf("core: ad %d inserted but not logged: %w", id, err)
+			return id, fmt.Errorf("core: ad %d inserted but not logged (%v): %w", id, err, ErrDurabilityLost)
 		}
 		s.maybeCompact()
 		return id, nil
@@ -84,6 +87,9 @@ func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value) (s
 // already-deleted ad is an error. On a persistent system the deletion
 // is write-ahead logged and fsync'd before DeleteAd returns.
 func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if p := s.persist; p != nil {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -95,7 +101,7 @@ func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
 		}
 		if err := p.store.Append([]persist.Op{{Kind: persist.OpDelete, Domain: domain, ID: id}}); err != nil {
 			p.failed.Store(true) // unlogged delete: memory and log diverged
-			return fmt.Errorf("core: ad %d deleted but not logged: %w", id, err)
+			return fmt.Errorf("core: ad %d deleted but not logged (%v): %w", id, err, ErrDurabilityLost)
 		}
 		s.maybeCompact()
 		return nil
@@ -137,6 +143,13 @@ type IngestResult struct {
 // win over per-ad InsertAd calls). workers <= 0 uses
 // Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, workers int) []IngestResult {
+	if err := s.writable(); err != nil {
+		results := make([]IngestResult, len(ads))
+		for i := range results {
+			results[i] = IngestResult{Index: i, Err: err}
+		}
+		return results
+	}
 	if p := s.persist; p != nil {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -159,7 +172,7 @@ func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, work
 			p.failed.Store(true) // unlogged inserts: memory and log diverged
 			for i := range results {
 				if results[i].Err == nil {
-					results[i].Err = fmt.Errorf("core: ad %d inserted but not logged: %w", results[i].ID, err)
+					results[i].Err = fmt.Errorf("core: ad %d inserted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
 				}
 			}
 			return results
@@ -183,6 +196,13 @@ func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, work
 // single fsync, like InsertAdBatch. workers <= 0 uses
 // Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) DeleteAdBatch(domain string, ids []sqldb.RowID, workers int) []IngestResult {
+	if err := s.writable(); err != nil {
+		results := make([]IngestResult, len(ids))
+		for i := range results {
+			results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
+		}
+		return results
+	}
 	if p := s.persist; p != nil {
 		p.mu.Lock()
 		defer p.mu.Unlock()
@@ -205,7 +225,7 @@ func (s *System) DeleteAdBatch(domain string, ids []sqldb.RowID, workers int) []
 			p.failed.Store(true) // unlogged deletes: memory and log diverged
 			for i := range results {
 				if results[i].Err == nil {
-					results[i].Err = fmt.Errorf("core: ad %d deleted but not logged: %w", results[i].ID, err)
+					results[i].Err = fmt.Errorf("core: ad %d deleted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
 				}
 			}
 			return results

@@ -29,6 +29,13 @@ import (
 // answering never touches persister.mu: readers run concurrently with
 // logging, checkpointing, and compaction.
 
+// ErrDurabilityLost marks every error caused by a failed WAL append:
+// both the failing call's own "mutated but not logged" report and the
+// latched refusals that follow. Callers (the web layer in particular)
+// can distinguish this server-side durability fault — a 5xx, retry
+// against another node — from a bad request.
+var ErrDurabilityLost = errors.New("durability lost (WAL append failed); restart to recover from the last durable state")
+
 // persister owns a System's durable store.
 type persister struct {
 	// mu serializes ingestion (table mutation + WAL append as one
@@ -52,6 +59,11 @@ type persister struct {
 	// wg lets Close wait for it.
 	compacting atomic.Bool
 	wg         sync.WaitGroup
+	// compactErr is the last background compaction's failure message
+	// ("" after a success): background checkpoints have no caller to
+	// return to, so the error is surfaced through Status instead of
+	// being dropped.
+	compactErr atomic.Value // string
 	// lastCheckpoint is the wall time of the latest checkpoint
 	// (UnixNano), 0 before the first.
 	lastCheckpoint atomic.Int64
@@ -65,7 +77,7 @@ func (p *persister) ingestable() error {
 		return fmt.Errorf("core: system is closed")
 	}
 	if p.failed.Load() {
-		return fmt.Errorf("core: durability lost (WAL append failed); restart to recover from the last durable state")
+		return fmt.Errorf("core: %w", ErrDurabilityLost)
 	}
 	return nil
 }
@@ -226,9 +238,17 @@ func (s *System) maybeCompact() {
 	go func() {
 		defer p.wg.Done()
 		defer p.compacting.Store(false)
-		// A Close that raced us wins: Checkpoint reports the store
-		// closed and the error is dropped with it.
-		_ = s.Checkpoint()
+		// Background checkpoints have no caller: record the outcome in
+		// Status so a persistently failing compaction (full disk,
+		// revoked permissions) is visible instead of silently retried
+		// with a full corpus export per ingest. A Close that raced us
+		// reports the store closed here, which the exiting process
+		// won't read — harmless.
+		if err := s.Checkpoint(); err != nil {
+			p.compactErr.Store(err.Error())
+		} else {
+			p.compactErr.Store("")
+		}
 	}()
 }
 
@@ -248,7 +268,7 @@ func (s *System) Checkpoint() error {
 	if p.failed.Load() {
 		// The in-memory image includes mutations whose callers were
 		// told they failed; snapshotting it would resurrect them.
-		return fmt.Errorf("core: durability lost (WAL append failed); restart to recover from the last durable state")
+		return fmt.Errorf("core: %w", ErrDurabilityLost)
 	}
 	return s.checkpointLocked()
 }
@@ -350,19 +370,25 @@ type PersistenceStatus struct {
 	// Failed reports a latched WAL write failure: the system still
 	// answers questions but refuses ingestion until restarted.
 	Failed bool
+	// LastCompactError is the most recent background compaction
+	// failure, empty after a success — background checkpoints have no
+	// caller to return an error to, so it surfaces here.
+	LastCompactError string
 }
 
 // Status is the live-system report served by GET /api/status.
 type Status struct {
 	Domains     []DomainStatus
 	Persistence PersistenceStatus
+	Replication ReplicationStatus
 }
 
-// Status reports per-domain corpus versions and, for persistent
-// systems, the checkpoint/WAL state. Safe to call concurrently with
-// everything else.
+// Status reports per-domain corpus versions, the checkpoint/WAL state
+// for persistent systems, and the replication role and cursors. Safe
+// to call concurrently with everything else.
 func (s *System) Status() Status {
 	var st Status
+	st.Replication = s.replicationStatus()
 	for _, domain := range s.db.Domains() {
 		tbl, _ := s.db.TableForDomain(domain)
 		st.Domains = append(st.Domains, DomainStatus{
@@ -383,6 +409,9 @@ func (s *System) Status() Status {
 		}
 		if ns := p.lastCheckpoint.Load(); ns != 0 {
 			st.Persistence.LastCheckpoint = time.Unix(0, ns)
+		}
+		if msg, ok := p.compactErr.Load().(string); ok {
+			st.Persistence.LastCompactError = msg
 		}
 	}
 	return st

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/persist"
+)
+
+// This file is the core half of WAL-shipping replication. A PRIMARY is
+// any durable System (Open with Config.DataDir): its snapshot file is
+// the initial state transfer for a new follower and its WAL is the
+// replication stream, exposed through the Repl* accessors that the
+// webui endpoints serve. A FOLLOWER is a System built by OpenFollower
+// from a primary's snapshot: it applies the primary's operations in
+// sequence order through the same replay path recovery uses (classifier
+// training included), serves reads the whole time, and rejects direct
+// writes with ErrReadOnlyReplica until it is promoted. The HTTP client
+// that feeds ApplyOps lives in internal/replica.
+
+// ErrReadOnlyReplica is returned by InsertAd/DeleteAd (and the batch
+// variants) on a follower: replicas apply the primary's log and accept
+// no direct writes, or the two would assign conflicting RowIDs.
+// Promote flips the follower writable for manual failover.
+var ErrReadOnlyReplica = errors.New("core: read-only replica: writes go to the primary (or Promote this follower)")
+
+// ErrNotPrimary is returned by the Repl* accessors on systems that
+// cannot serve a replication stream — only a durable System (Open with
+// Config.DataDir) has the snapshot + WAL pair to ship.
+var ErrNotPrimary = errors.New("core: replication source requires a durable system (Open with Config.DataDir)")
+
+// GapError reports a hole in a shipped operation stream: the follower
+// had applied through Applied and was handed an operation with
+// sequence Got > Applied+1. The stream cannot be applied out of order,
+// so the caller must re-bootstrap from a fresh snapshot.
+type GapError struct {
+	Applied, Got uint64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("core: replication gap: applied through seq %d, next shipped op is %d", e.Applied, e.Got)
+}
+
+// followerState is the replica-side counterpart of persister: it owns
+// the apply lock (the follower's ingest lock) and the replication
+// cursor.
+type followerState struct {
+	// mu serializes ApplyOps, ResetToSnapshot and Promote against one
+	// another. Ask paths never take it: reads stay on table-level
+	// locks, exactly as they do against live ingestion on a primary.
+	mu sync.Mutex
+	// cfg is retained for re-bootstrap: ResetToSnapshot restores a new
+	// snapshot into the same DB tables and classifier, so the System
+	// pointer (and everything holding it, like a webui.Server)
+	// survives a primary compaction that forces a re-transfer.
+	cfg Config
+	// applied is the sequence number of the last applied operation.
+	applied atomic.Uint64
+	// primarySeq is the primary's last observed sequence, reported by
+	// the shipping layer (NotePrimarySeq); with applied it gives the
+	// lag.
+	primarySeq atomic.Uint64
+	// promoted flips the follower writable (manual failover). Set
+	// under mu so an in-flight ApplyOps batch finishes first.
+	promoted atomic.Bool
+	// rebootstrapping is true while ResetToSnapshot replaces the
+	// tables; Health reports the window as "recovering" so routers
+	// steer reads elsewhere.
+	rebootstrapping atomic.Bool
+}
+
+// OpenFollower builds a read-only replica: cfg supplies the same
+// deterministic substrate set as the primary (schemas, TI/WS matrices,
+// classifier — everything not carried by the snapshot), and snap — a
+// primary's snapshot, typically fetched from GET /api/repl/snapshot —
+// replaces the table contents and classifier state wholesale, exactly
+// as crash recovery does. The returned System serves Ask/AskBatch
+// immediately, applies shipped operations via ApplyOps, and rejects
+// InsertAd/DeleteAd with ErrReadOnlyReplica until Promote. cfg.DataDir
+// is ignored: followers keep no local durable state — their recovery
+// story IS re-bootstrapping from the primary.
+func OpenFollower(cfg Config, snap *persist.Snapshot) (*System, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("core: Config.DB is required")
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("core: OpenFollower requires a snapshot")
+	}
+	cfg.DataDir = "" // no local durability on replicas
+	if err := restoreSnapshot(cfg, snap); err != nil {
+		return nil, err
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &followerState{cfg: cfg}
+	f.applied.Store(snap.Seq)
+	f.primarySeq.Store(snap.Seq)
+	sys.follower = f
+	return sys, nil
+}
+
+// ApplyOps applies a contiguous run of shipped operations in sequence
+// order under the apply lock, so the batch is serialized against
+// re-bootstraps and promotion (reads take only table-level locks and
+// keep flowing). Operations at or below the applied cursor are
+// skipped — the shipping layer may legitimately re-deliver after a
+// re-poll — and a sequence above cursor+1 returns a *GapError, which
+// the caller resolves by re-bootstrapping from a fresh snapshot. Each
+// insert goes through the same replay path crash recovery uses
+// (classifier training included) and is verified to land on the RowID
+// the primary logged, so a diverged replica fails loudly instead of
+// serving silently wrong answers.
+func (s *System) ApplyOps(ops []persist.Op) error {
+	f := s.follower
+	if f == nil {
+		return fmt.Errorf("core: ApplyOps on a non-follower system")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted.Load() {
+		return fmt.Errorf("core: follower was promoted; no longer applying the primary's stream")
+	}
+	for _, op := range ops {
+		applied := f.applied.Load()
+		if op.Seq <= applied {
+			continue // duplicate delivery after a re-poll
+		}
+		if op.Seq != applied+1 {
+			return &GapError{Applied: applied, Got: op.Seq}
+		}
+		if err := s.replayOp(op); err != nil {
+			return err
+		}
+		f.applied.Store(op.Seq)
+	}
+	return nil
+}
+
+// ResetToSnapshot re-bootstraps a follower in place: the tables and
+// classifier state are replaced wholesale by the new snapshot and the
+// applied cursor jumps to its sequence. The shipping layer calls this
+// when the primary has compacted past the follower's cursor (the WAL
+// no longer reaches back far enough). Reads keep working throughout;
+// Health reports "recovering" for the duration so load balancers can
+// steer around the window in which tables are swapped one by one.
+func (s *System) ResetToSnapshot(snap *persist.Snapshot) error {
+	f := s.follower
+	if f == nil {
+		return fmt.Errorf("core: ResetToSnapshot on a non-follower system")
+	}
+	if snap == nil {
+		return fmt.Errorf("core: ResetToSnapshot requires a snapshot")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.promoted.Load() {
+		return fmt.Errorf("core: follower was promoted; refusing to reset from the primary")
+	}
+	f.rebootstrapping.Store(true)
+	defer f.rebootstrapping.Store(false)
+	if err := restoreSnapshot(f.cfg, snap); err != nil {
+		return err
+	}
+	f.applied.Store(snap.Seq)
+	if snap.Seq > f.primarySeq.Load() {
+		f.primarySeq.Store(snap.Seq)
+	}
+	return nil
+}
+
+// Promote flips a follower writable — the manual-failover escape
+// hatch. After Promote, InsertAd/DeleteAd succeed (in memory only: a
+// promoted follower has no local WAL) and ApplyOps/ResetToSnapshot
+// refuse, so a stale primary coming back cannot overwrite writes taken
+// after the flip. Promote is idempotent and errors on non-followers.
+func (s *System) Promote() error {
+	f := s.follower
+	if f == nil {
+		return fmt.Errorf("core: Promote on a non-follower system")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.promoted.Store(true)
+	return nil
+}
+
+// NotePrimarySeq records the primary's last observed sequence number;
+// the shipping layer calls it on every poll so Status can report lag.
+func (s *System) NotePrimarySeq(seq uint64) {
+	if f := s.follower; f != nil && seq > f.primarySeq.Load() {
+		f.primarySeq.Store(seq)
+	}
+}
+
+// AppliedSeq returns a follower's replication cursor (the last applied
+// operation), or the last logged sequence on a primary, or 0 on a
+// standalone in-memory system.
+func (s *System) AppliedSeq() uint64 {
+	if f := s.follower; f != nil {
+		return f.applied.Load()
+	}
+	if p := s.persist; p != nil {
+		return p.store.Seq()
+	}
+	return 0
+}
+
+// writable reports whether direct writes are accepted: everything but
+// an unpromoted follower.
+func (s *System) writable() error {
+	if f := s.follower; f != nil && !f.promoted.Load() {
+		return ErrReadOnlyReplica
+	}
+	return nil
+}
+
+// Health states served by /healthz.
+const (
+	// HealthServing: the system answers questions and (role
+	// permitting) accepts writes.
+	HealthServing = "serving"
+	// HealthRecovering: a follower is mid-re-bootstrap — tables are
+	// being replaced and reads may observe a mix of old and new
+	// corpus. Probes should fail the node out until it clears.
+	HealthRecovering = "recovering"
+	// HealthWriteFailed: the durability latch is set (a WAL append
+	// failed). Reads still work; ingestion is refused until restart.
+	HealthWriteFailed = "write-failed"
+)
+
+// Health summarizes liveness for cheap load-balancer probes: one of
+// HealthServing, HealthRecovering, HealthWriteFailed.
+func (s *System) Health() string {
+	if f := s.follower; f != nil && f.rebootstrapping.Load() {
+		return HealthRecovering
+	}
+	if p := s.persist; p != nil && p.failed.Load() {
+		return HealthWriteFailed
+	}
+	return HealthServing
+}
+
+// Replication role names.
+const (
+	RolePrimary    = "primary"
+	RoleFollower   = "follower"
+	RolePromoted   = "promoted"
+	RoleStandalone = "standalone"
+)
+
+// ReplicationStatus reports a System's replication role and cursors.
+type ReplicationStatus struct {
+	// Role is RolePrimary (durable, ships its WAL), RoleFollower
+	// (read-only replica), RolePromoted (a follower flipped writable
+	// for failover), or RoleStandalone (in-memory, no replication).
+	Role string
+	// AppliedSeq is the follower's replication cursor: the sequence of
+	// the last operation applied from the primary's stream. On a
+	// primary it equals the last logged sequence.
+	AppliedSeq uint64
+	// PrimarySeq is the primary's last observed sequence (followers
+	// only, reported by the shipping layer as it polls).
+	PrimarySeq uint64
+	// LagOps is PrimarySeq − AppliedSeq clamped at zero: how many
+	// shipped-but-unapplied operations the follower is behind.
+	LagOps uint64
+	// ReadOnly reports whether direct writes are refused.
+	ReadOnly bool
+}
+
+// replicationStatus assembles the Status block.
+func (s *System) replicationStatus() ReplicationStatus {
+	if f := s.follower; f != nil {
+		st := ReplicationStatus{
+			Role:       RoleFollower,
+			AppliedSeq: f.applied.Load(),
+			PrimarySeq: f.primarySeq.Load(),
+		}
+		if f.promoted.Load() {
+			st.Role = RolePromoted
+		} else {
+			st.ReadOnly = true
+		}
+		if st.PrimarySeq > st.AppliedSeq {
+			st.LagOps = st.PrimarySeq - st.AppliedSeq
+		}
+		return st
+	}
+	if p := s.persist; p != nil {
+		seq := p.store.Seq()
+		return ReplicationStatus{Role: RolePrimary, AppliedSeq: seq, PrimarySeq: seq}
+	}
+	return ReplicationStatus{Role: RoleStandalone}
+}
+
+// Primary-side shipping accessors, served over HTTP by internal/webui.
+
+// ReplSnapshotBlob returns the encoded current snapshot — the initial
+// state transfer for a follower (persist.DecodeSnapshot parses it, and
+// its Seq is where the follower starts polling the WAL). A primary
+// that somehow lacks a snapshot file checkpoints first, so the
+// transfer always reflects a real recovery point.
+func (s *System) ReplSnapshotBlob() ([]byte, error) {
+	p := s.persist
+	if p == nil {
+		return nil, ErrNotPrimary
+	}
+	blob, err := p.store.SnapshotBlob()
+	if errors.Is(err, os.ErrNotExist) {
+		// Open always writes an initial checkpoint, so this is a
+		// deleted-out-from-under-us file; re-checkpoint and retry.
+		if err := s.Checkpoint(); err != nil {
+			return nil, err
+		}
+		blob, err = p.store.SnapshotBlob()
+	}
+	return blob, err
+}
+
+// ReplOpsSince returns the logged operations after the follower cursor
+// `from`, plus the primary's current and checkpoint sequences. When
+// from < checkpoint the WAL no longer reaches back far enough —
+// compaction discarded the range — and ops is nil: the follower must
+// re-bootstrap from ReplSnapshotBlob.
+func (s *System) ReplOpsSince(from uint64) (ops []persist.Op, seq, checkpoint uint64, err error) {
+	p := s.persist
+	if p == nil {
+		return nil, 0, 0, ErrNotPrimary
+	}
+	return p.store.OpsSince(from)
+}
+
+// ReplWatch returns a channel closed when operations commit after the
+// call — the long-poll primitive behind GET /api/repl/wal. Grab the
+// channel, check ReplOpsSince, then block on the channel.
+func (s *System) ReplWatch() (<-chan struct{}, error) {
+	p := s.persist
+	if p == nil {
+		return nil, ErrNotPrimary
+	}
+	return p.store.Watch(), nil
+}

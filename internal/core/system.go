@@ -102,6 +102,10 @@ type System struct {
 	// Config.DataDir set; it owns the snapshot + WAL store and
 	// serializes ingestion so the log order equals the mutation order.
 	persist *persister
+	// follower is non-nil when the system was built by OpenFollower:
+	// it owns the apply lock and replication cursor, and (until
+	// Promote) makes the system reject direct writes.
+	follower *followerState
 }
 
 // dedupState caches one domain's near-duplicate representatives

@@ -1,0 +1,53 @@
+package metrics
+
+import "sync/atomic"
+
+// This file adds operational counters to the evaluation-metrics
+// package: process-wide, lock-free tallies that subsystems bump on
+// their hot paths and GET /api/status reports. They are deliberately
+// minimal — a counter (monotonic) and a gauge (last-set value) — not a
+// metrics framework.
+
+// Counter is a monotonically increasing operation tally, safe for
+// concurrent use. The zero value is ready.
+type Counter struct{ n atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.n.Load() }
+
+// Gauge is a last-value-wins measurement, safe for concurrent use.
+// The zero value is ready.
+type Gauge struct{ n atomic.Int64 }
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Load returns the last recorded value.
+func (g *Gauge) Load() int64 { return g.n.Load() }
+
+// Repl holds the replication counters for this process. A primary
+// bumps the shipping side (ops shipped to followers, snapshot
+// transfers served); a follower bumps the applying side (ops applied,
+// snapshots fetched for bootstrap or catch-up) and keeps LagOps at its
+// last observed replication lag. GET /api/status exposes all of them.
+var Repl struct {
+	// OpsShipped counts WAL operations served to followers over
+	// GET /api/repl/wal.
+	OpsShipped Counter
+	// OpsApplied counts operations this follower applied from its
+	// primary's stream.
+	OpsApplied Counter
+	// SnapshotsServed counts snapshot transfers served to followers
+	// over GET /api/repl/snapshot.
+	SnapshotsServed Counter
+	// SnapshotsFetched counts snapshot transfers this follower
+	// performed: the initial bootstrap plus every compaction-forced
+	// re-bootstrap.
+	SnapshotsFetched Counter
+	// LagOps is the follower's last observed lag in operations
+	// (primary sequence minus applied sequence).
+	LagOps Gauge
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Counter = %d, want 8000", got)
+	}
+}
+
+func TestGaugeLastValueWins(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatalf("zero Gauge = %d", g.Load())
+	}
+	g.Set(42)
+	g.Set(7)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Gauge = %d, want 7", got)
+	}
+}

@@ -47,6 +47,17 @@ type TableData struct {
 	Rows []sqldb.Record
 }
 
+// EncodeSnapshot renders s as one CRC-trailed blob — the on-disk
+// snapshot format, which doubles as the replication wire format for
+// initial state transfer (GET /api/repl/snapshot serves these bytes
+// verbatim).
+func EncodeSnapshot(s *Snapshot) []byte { return encodeSnapshot(s) }
+
+// DecodeSnapshot parses and verifies a blob produced by EncodeSnapshot
+// (equivalently: the contents of a snapshot file, or a snapshot
+// transfer response body).
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return decodeSnapshot(data) }
+
 // encodeSnapshot renders s as one CRC-trailed blob.
 func encodeSnapshot(s *Snapshot) []byte {
 	b := []byte(snapshotMagic)

@@ -2,10 +2,19 @@ package persist
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 )
+
+// walIndexEntry maps a group-commit batch's first sequence number to
+// its byte offset in the log.
+type walIndexEntry struct {
+	seq uint64
+	off int64
+}
 
 // File names inside a data directory.
 const (
@@ -33,6 +42,18 @@ type Store struct {
 	snap     *Snapshot
 	tail     []Op
 	closed   bool
+	// watch is closed and replaced whenever new operations commit, so
+	// long-polling WAL shippers can block until there is something to
+	// ship instead of spinning.
+	watch chan struct{}
+	// offsets indexes the log for shipping: one entry per group-commit
+	// batch, mapping the batch's first sequence number to its byte
+	// offset, so OpsSince starts decoding at the caller's cursor
+	// instead of re-reading the whole log per poll. Reset with the log
+	// at checkpoints; batches appended before this process opened the
+	// store are simply absent (OpsSince falls back to offset 0, and
+	// the sequence filter keeps it correct).
+	offsets []walIndexEntry
 	// failed latches the store after a WAL write or sync error: the
 	// file offset may sit inside a torn frame, so appending further
 	// records would place them after bytes the recovery scan stops at
@@ -54,20 +75,15 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	ops, validLen, err := scanWAL(filepath.Join(dir, WALFile))
-	if err != nil {
-		return nil, err
-	}
-	wal, err := openWALForAppend(filepath.Join(dir, WALFile), validLen)
-	if err != nil {
-		return nil, err
-	}
-	st := &Store{dir: dir, wal: wal, walBytes: validLen, snap: snap}
+	st := &Store{dir: dir, snap: snap, watch: make(chan struct{})}
 	if snap != nil {
 		st.ckptSeq = snap.Seq
 		st.seq = snap.Seq
 	}
-	for _, op := range ops {
+	// The log is streamed, not slurped: each intact record is filtered
+	// into the replay tail as it is decoded, so a large WAL is never
+	// buffered twice (file bytes + decoded ops).
+	validLen, err := scanWAL(filepath.Join(dir, WALFile), func(op Op) {
 		if op.Seq > st.seq {
 			st.seq = op.Seq
 		}
@@ -77,7 +93,16 @@ func Open(dir string) (*Store, error) {
 		if op.Seq > st.ckptSeq {
 			st.tail = append(st.tail, op)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
+	wal, err := openWALForAppend(filepath.Join(dir, WALFile), validLen)
+	if err != nil {
+		return nil, err
+	}
+	st.wal = wal
+	st.walBytes = validLen
 	return st, nil
 }
 
@@ -142,11 +167,12 @@ func (s *Store) Append(ops []Op) error {
 	for i := range ops {
 		s.seq++
 		ops[i].Seq = s.seq
-		if buf, err = appendOp(buf, ops[i]); err != nil {
+		if buf, err = AppendFrame(buf, ops[i]); err != nil {
 			s.seq = start // none of the batch was written
 			return err
 		}
 	}
+	s.offsets = append(s.offsets, walIndexEntry{seq: ops[0].Seq, off: s.walBytes})
 	n, err := s.wal.Write(buf)
 	s.walBytes += int64(n)
 	if err != nil {
@@ -157,7 +183,87 @@ func (s *Store) Append(ops []Op) error {
 		s.failed = fmt.Errorf("persist: syncing WAL: %w", err)
 		return s.failed
 	}
+	// Wake long-polling shippers: the operations are durable now.
+	close(s.watch)
+	s.watch = make(chan struct{})
 	return nil
+}
+
+// Watch returns a channel that is closed when operations commit after
+// the call. The standard long-poll pattern is: grab the channel, check
+// OpsSince, and only then block on the channel — the other order can
+// miss a wakeup.
+func (s *Store) Watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.watch
+}
+
+// OpsSince decodes the committed log records with sequence numbers
+// greater than from, in log order. It also reports the last committed
+// sequence and the checkpoint sequence: when from < checkpoint the log
+// no longer reaches back far enough (compaction discarded the range)
+// and the caller must re-transfer the snapshot instead — ops is nil in
+// that case.
+//
+// The read is taken against the committed length captured under the
+// store lock, then performed outside it, so shipping never blocks
+// ingestion. A checkpoint that truncates the log mid-read simply
+// shortens the stream; the sequence filter keeps the result correct
+// and the caller's next poll observes the moved checkpoint.
+func (s *Store) OpsSince(from uint64) (ops []Op, seq, checkpoint uint64, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, 0, 0, fmt.Errorf("persist: store is closed")
+	}
+	length := s.walBytes
+	seq = s.seq
+	checkpoint = s.ckptSeq
+	wal := s.wal
+	// Start decoding at the last group-commit batch that can contain
+	// from+1, so a steady poller pays for the new frames, not the
+	// whole log.
+	start := int64(0)
+	// The last batch whose first sequence is <= from+1 may straddle
+	// the cursor; later batches are entirely past it.
+	if i := sort.Search(len(s.offsets), func(i int) bool { return s.offsets[i].seq > from+1 }); i > 0 {
+		start = s.offsets[i-1].off
+	}
+	s.mu.Unlock()
+	if from < checkpoint {
+		return nil, seq, checkpoint, nil // compacted past: snapshot needed
+	}
+	if from >= seq {
+		return nil, seq, checkpoint, nil
+	}
+	dec := NewOpReader(io.NewSectionReader(wal, start, length-start))
+	for {
+		op, err := dec.Next()
+		if err != nil {
+			// A torn tail here means a concurrent truncation shortened
+			// the section mid-read; everything decoded so far is intact
+			// and correctly filtered, so return it.
+			break
+		}
+		if op.Seq > from {
+			ops = append(ops, op)
+		}
+	}
+	return ops, seq, checkpoint, nil
+}
+
+// SnapshotBlob returns the raw bytes of the current on-disk snapshot —
+// the initial state transfer for a new follower. The file is replaced
+// atomically by checkpoints, so a concurrent read sees either the old
+// image or the new one, never a torn mix. A store that has never
+// checkpointed reports os.ErrNotExist.
+func (s *Store) SnapshotBlob() ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, SnapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot for transfer: %w", err)
+	}
+	return data, nil
 }
 
 // WriteCheckpoint publishes snap as the new recovery point and resets
@@ -184,13 +290,23 @@ func (s *Store) WriteCheckpoint(snap *Snapshot) error {
 	s.snap = nil // recovery state no longer needed once superseded
 	s.tail = nil
 	if err := s.wal.Truncate(0); err != nil {
+		// The file is unchanged: appends continue at the old offset and
+		// the next Open filters the duplicate records by sequence, so
+		// no latch — the store is bloated, not diverged.
 		return fmt.Errorf("persist: truncating WAL after checkpoint: %w", err)
 	}
+	s.offsets = s.offsets[:0]
 	if _, err := s.wal.Seek(0, 0); err != nil {
-		return fmt.Errorf("persist: rewinding WAL after checkpoint: %w", err)
+		// The file IS truncated but the descriptor offset is stale: the
+		// next append would write past a zero-filled hole that the
+		// recovery scan stops at, silently dropping fsync-acknowledged
+		// operations. Latch shut instead.
+		s.failed = fmt.Errorf("persist: rewinding WAL after checkpoint: %w", err)
+		return s.failed
 	}
 	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("persist: syncing truncated WAL: %w", err)
+		s.failed = fmt.Errorf("persist: syncing truncated WAL: %w", err)
+		return s.failed
 	}
 	s.walBytes = 0
 	return nil

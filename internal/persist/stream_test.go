@@ -1,0 +1,259 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// streamOps is a small mixed batch for wire round-trips.
+func streamOps() []Op {
+	return []Op{
+		{Seq: 1, Kind: OpInsert, Domain: "cars", ID: 0,
+			Columns: []string{"make", "price"},
+			Values:  []sqldb.Value{sqldb.String("honda"), sqldb.Number(9000)}},
+		{Seq: 2, Kind: OpInsert, Domain: "furniture", ID: 3,
+			Columns: []string{"type"},
+			Values:  []sqldb.Value{sqldb.String("sofa")}},
+		{Seq: 3, Kind: OpDelete, Domain: "cars", ID: 0},
+	}
+}
+
+// TestOpReaderRoundTrip: frames produced by AppendFrame decode back
+// bit-identical through the streaming reader, and Consumed tracks the
+// intact-frame length exactly.
+func TestOpReaderRoundTrip(t *testing.T) {
+	ops := streamOps()
+	var buf []byte
+	var err error
+	for _, op := range ops {
+		if buf, err = AppendFrame(buf, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec := NewOpReader(bytes.NewReader(buf))
+	for i, want := range ops {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if got.Seq != want.Seq || got.Kind != want.Kind || got.Domain != want.Domain || got.ID != want.ID {
+			t.Fatalf("op %d: got %+v, want %+v", i, got, want)
+		}
+		if len(got.Columns) != len(want.Columns) {
+			t.Fatalf("op %d: %d columns, want %d", i, len(got.Columns), len(want.Columns))
+		}
+		for j := range want.Columns {
+			if got.Columns[j] != want.Columns[j] || got.Values[j] != want.Values[j] {
+				t.Fatalf("op %d col %d: got %s=%v, want %s=%v",
+					i, j, got.Columns[j], got.Values[j], want.Columns[j], want.Values[j])
+			}
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("after last op: %v, want io.EOF", err)
+	}
+	if dec.Consumed() != int64(len(buf)) {
+		t.Fatalf("Consumed() = %d, want %d", dec.Consumed(), len(buf))
+	}
+}
+
+// TestOpReaderTornTail: a stream cut mid-frame yields the intact
+// prefix, then an error wrapping ErrTornFrame, and Consumed stops at
+// the end of the last intact record.
+func TestOpReaderTornTail(t *testing.T) {
+	ops := streamOps()
+	var buf []byte
+	var err error
+	var intact int64
+	for i, op := range ops {
+		if buf, err = AppendFrame(buf, op); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			intact = int64(len(buf))
+		}
+	}
+	for _, cut := range []int{1, frameHeaderLen - 1, frameHeaderLen + 2} {
+		torn := buf[:intact+int64(cut)]
+		dec := NewOpReader(bytes.NewReader(torn))
+		for i := 0; i < 2; i++ {
+			if _, err := dec.Next(); err != nil {
+				t.Fatalf("cut %d: intact op %d: %v", cut, i, err)
+			}
+		}
+		_, err := dec.Next()
+		if !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: torn frame error = %v, want ErrTornFrame", cut, err)
+		}
+		if dec.Consumed() != intact {
+			t.Fatalf("cut %d: Consumed() = %d, want %d", cut, dec.Consumed(), intact)
+		}
+	}
+}
+
+// TestOpReaderCorruptCRC: a flipped payload bit stops the stream with
+// ErrTornFrame.
+func TestOpReaderCorruptCRC(t *testing.T) {
+	buf, err := AppendFrame(nil, streamOps()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	dec := NewOpReader(bytes.NewReader(buf))
+	if _, err := dec.Next(); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("corrupt payload: %v, want ErrTornFrame", err)
+	}
+}
+
+// TestOpsSince: the committed log is re-readable from any sequence
+// cursor; a cursor behind the checkpoint reports the gap via the
+// returned checkpoint sequence instead of partial data.
+func TestOpsSince(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	batch := streamOps()
+	for i := range batch {
+		batch[i].Seq = 0 // assigned by Append
+	}
+	if err := st.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+
+	ops, seq, ckpt, err := st.OpsSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 || seq != 3 || ckpt != 0 {
+		t.Fatalf("OpsSince(0) = %d ops, seq %d, ckpt %d; want 3, 3, 0", len(ops), seq, ckpt)
+	}
+	ops, _, _, err = st.OpsSince(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Seq != 3 {
+		t.Fatalf("OpsSince(2) = %+v, want the single op with seq 3", ops)
+	}
+	ops, _, _, err = st.OpsSince(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 0 {
+		t.Fatalf("OpsSince(3) = %d ops, want 0", len(ops))
+	}
+
+	// Checkpoint, then ship from a cursor behind it: no ops, and the
+	// checkpoint sequence tells the caller to re-transfer the snapshot.
+	if err := st.WriteCheckpoint(&Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	ops, seq, ckpt, err = st.OpsSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops != nil || ckpt != 3 || seq != 3 {
+		t.Fatalf("OpsSince(1) after checkpoint = %d ops, seq %d, ckpt %d; want nil, 3, 3", len(ops), seq, ckpt)
+	}
+
+	// Across several group-commit batches the offset index kicks in:
+	// cursors landing on batch boundaries and mid-batch must both see
+	// exactly the ops above them.
+	for b := 0; b < 3; b++ {
+		more := streamOps()
+		for i := range more {
+			more[i].Seq = 0
+		}
+		if err := st.Append(more); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for from := uint64(3); from <= 12; from++ {
+		ops, seq, _, err := st.OpsSince(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != 12 || len(ops) != int(12-from) {
+			t.Fatalf("OpsSince(%d) = %d ops at seq %d, want %d at 12", from, len(ops), seq, 12-from)
+		}
+		for i, op := range ops {
+			if op.Seq != from+uint64(i)+1 {
+				t.Fatalf("OpsSince(%d)[%d].Seq = %d, want %d", from, i, op.Seq, from+uint64(i)+1)
+			}
+		}
+	}
+}
+
+// TestWatchWakesOnAppend: a watcher captured before an append observes
+// the commit; one captured after does not block the check-then-wait
+// long-poll pattern.
+func TestWatchWakesOnAppend(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ch := st.Watch()
+	select {
+	case <-ch:
+		t.Fatal("watch channel closed before any append")
+	default:
+	}
+	if err := st.Append([]Op{{Kind: OpDelete, Domain: "cars", ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("watch channel not closed by append")
+	}
+}
+
+// TestSnapshotBlobRoundTrip: the served blob is exactly the on-disk
+// snapshot and decodes to the checkpointed state.
+func TestSnapshotBlobRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.SnapshotBlob(); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("SnapshotBlob before first checkpoint: %v, want os.ErrNotExist", err)
+	}
+	if err := st.Append([]Op{{Kind: OpDelete, Domain: "cars", ID: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{Tables: []TableData{{Domain: "cars", Table: "cars", Columns: []string{"make"}, Slots: 1,
+		Rows: []sqldb.Record{{ID: 0, Values: []sqldb.Value{sqldb.String("honda")}}}}}}
+	if err := st.WriteCheckpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := st.SnapshotBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, disk) {
+		t.Fatal("SnapshotBlob differs from the on-disk snapshot")
+	}
+	dec, err := DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Seq != 1 || len(dec.Tables) != 1 || dec.Tables[0].Domain != "cars" {
+		t.Fatalf("decoded snapshot = seq %d, %d tables", dec.Seq, len(dec.Tables))
+	}
+}

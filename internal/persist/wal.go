@@ -1,7 +1,9 @@
 package persist
 
 import (
+	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -43,8 +45,13 @@ const frameHeaderLen = 8
 // corruption rather than attempting a giant allocation.
 const maxFrameLen = 64 << 20
 
-// appendOp appends one framed WAL record to b.
-func appendOp(b []byte, op Op) ([]byte, error) {
+// AppendFrame appends one framed record — uint32 payload length,
+// uint32 CRC-32, payload — to b and returns the extended slice. The
+// framing is shared by the on-disk WAL and the replication wire format:
+// a primary streams frames produced here over HTTP and a follower
+// decodes them with an OpReader, so the two can never disagree on
+// layout.
+func AppendFrame(b []byte, op Op) ([]byte, error) {
 	if op.Kind != OpInsert && op.Kind != OpDelete {
 		return b, fmt.Errorf("persist: unknown op kind %d", op.Kind)
 	}
@@ -99,42 +106,102 @@ func decodeOp(payload []byte) (Op, error) {
 	return op, nil
 }
 
-// scanWAL reads every intact record of the log at path. It returns the
-// decoded operations and the byte offset of the end of the last intact
-// record: a torn or corrupt tail (the expected aftermath of a crash
-// mid-append) simply ends the scan, and the caller truncates the file
-// to validLen before appending again. A missing file is an empty log.
-func scanWAL(path string) (ops []Op, validLen int64, err error) {
-	data, err := os.ReadFile(path)
+// ErrTornFrame marks a record that is structurally broken — a short
+// header, an implausible length, a CRC mismatch, or an undecodable
+// payload. For the on-disk log this is the expected aftermath of a
+// crash mid-append (the scan stops and the tail is truncated); on the
+// replication wire it means the stream was cut mid-frame and the
+// follower should simply re-poll from its applied sequence.
+var ErrTornFrame = errors.New("persist: torn or corrupt record")
+
+// OpReader incrementally decodes framed operations from r. It is the
+// single reader shared by crash recovery (scanning the on-disk WAL)
+// and WAL shipping (a follower decoding a primary's HTTP stream), so a
+// multi-gigabyte log is consumed frame by frame rather than buffered
+// whole.
+//
+// Next returns io.EOF at a clean end-of-stream and an error wrapping
+// ErrTornFrame for a torn or corrupt record; any other error is a real
+// read failure from the underlying reader.
+type OpReader struct {
+	r        *bufio.Reader
+	consumed int64
+	payload  []byte // reused across frames
+}
+
+// NewOpReader wraps r for frame-by-frame decoding.
+func NewOpReader(r io.Reader) *OpReader {
+	return &OpReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next decodes the next framed operation.
+func (d *OpReader) Next() (Op, error) {
+	var header [frameHeaderLen]byte
+	if _, err := io.ReadFull(d.r, header[:]); err != nil {
+		if err == io.EOF {
+			return Op{}, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return Op{}, fmt.Errorf("%w: short frame header", ErrTornFrame)
+		}
+		return Op{}, err
+	}
+	plen := int64(binary.LittleEndian.Uint32(header[:]))
+	sum := binary.LittleEndian.Uint32(header[4:])
+	if plen > maxFrameLen {
+		return Op{}, fmt.Errorf("%w: implausible payload length %d", ErrTornFrame, plen)
+	}
+	if int64(cap(d.payload)) < plen {
+		d.payload = make([]byte, plen)
+	}
+	payload := d.payload[:plen]
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Op{}, fmt.Errorf("%w: short payload (%d bytes wanted)", ErrTornFrame, plen)
+		}
+		return Op{}, err
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Op{}, fmt.Errorf("%w: CRC mismatch", ErrTornFrame)
+	}
+	op, err := decodeOp(payload)
+	if err != nil {
+		return Op{}, fmt.Errorf("%w: %v", ErrTornFrame, err)
+	}
+	d.consumed += frameHeaderLen + plen
+	return op, nil
+}
+
+// Consumed reports the byte length of the intact frames decoded so far
+// — after a torn tail stops a scan, this is the offset to truncate the
+// log to.
+func (d *OpReader) Consumed() int64 { return d.consumed }
+
+// scanWAL streams every intact record of the log at path through fn.
+// It returns the byte offset of the end of the last intact record: a
+// torn or corrupt tail (the expected aftermath of a crash mid-append)
+// simply ends the scan, and the caller truncates the file to validLen
+// before appending again. A missing file is an empty log.
+func scanWAL(path string, fn func(Op)) (validLen int64, err error) {
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, 0, nil
+			return 0, nil
 		}
-		return nil, 0, fmt.Errorf("persist: reading WAL: %w", err)
+		return 0, fmt.Errorf("persist: opening WAL: %w", err)
 	}
-	off := int64(0)
+	defer f.Close()
+	dec := NewOpReader(f)
 	for {
-		rest := data[off:]
-		if len(rest) < frameHeaderLen {
-			break // torn header or clean EOF
-		}
-		plen := int64(binary.LittleEndian.Uint32(rest))
-		sum := binary.LittleEndian.Uint32(rest[4:])
-		if plen > maxFrameLen || frameHeaderLen+plen > int64(len(rest)) {
-			break // implausible length or torn payload
-		}
-		payload := rest[frameHeaderLen : frameHeaderLen+plen]
-		if crc32.ChecksumIEEE(payload) != sum {
-			break // corrupt record
-		}
-		op, err := decodeOp(payload)
+		op, err := dec.Next()
 		if err != nil {
-			break // framed but undecodable: treat as corruption, stop
+			if err == io.EOF || errors.Is(err, ErrTornFrame) {
+				return dec.Consumed(), nil
+			}
+			return 0, fmt.Errorf("persist: reading WAL: %w", err)
 		}
-		ops = append(ops, op)
-		off += frameHeaderLen + plen
+		fn(op)
 	}
-	return ops, off, nil
 }
 
 // openWALForAppend opens (creating if needed) the log for appending,

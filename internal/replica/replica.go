@@ -1,0 +1,351 @@
+// Package replica implements the client half of WAL-shipping
+// replication: a Follower bootstraps a read-only core.System from a
+// primary's snapshot (GET /api/repl/snapshot), then tails the
+// primary's write-ahead log over long-polled HTTP
+// (GET /api/repl/wal?from=<seq>) and applies each shipped operation
+// through core.System.ApplyOps. When the primary compacts its log past
+// the follower's cursor, the follower detects the gap (HTTP 410, or a
+// checkpoint sequence ahead of its cursor) and re-bootstraps from a
+// fresh snapshot transfer — in place, so handlers holding the System
+// keep working. The server half (the endpoints a primary serves) lives
+// in internal/webui; the read-scattering router over a fleet of
+// followers lives in internal/replica/router.
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+)
+
+// Default tuning.
+const (
+	// DefaultPollWait is the server-side long-poll hold requested per
+	// WAL poll.
+	DefaultPollWait = 10 * time.Second
+	// DefaultRetryInterval is the pause after a failed poll before
+	// trying again.
+	DefaultRetryInterval = 500 * time.Millisecond
+	// applyChunk bounds how many decoded operations are applied per
+	// ApplyOps call while draining one response, so a long catch-up
+	// stream never buffers wholesale.
+	applyChunk = 512
+)
+
+// Config wires a Follower.
+type Config struct {
+	// Primary is the primary's base URL (e.g. "http://primary:8080").
+	Primary string
+	// Bootstrap builds the follower System from a snapshot transfer —
+	// the raw bytes served by GET /api/repl/snapshot. It must assemble
+	// the same deterministic substrate set (schemas, TI/WS matrices,
+	// classifier construction) as the primary, since only table
+	// contents and classifier state travel in the snapshot;
+	// cqads.OpenFollower with the primary's Options is the standard
+	// implementation.
+	Bootstrap func(snapshot []byte) (*core.System, error)
+	// Client issues the HTTP requests; nil uses a client without a
+	// global timeout (long polls hold connections open; cancellation
+	// comes from contexts).
+	Client *http.Client
+	// PollWait is the long-poll hold requested from the primary; 0
+	// means DefaultPollWait.
+	PollWait time.Duration
+	// RetryInterval is the pause after a failed poll; 0 means
+	// DefaultRetryInterval.
+	RetryInterval time.Duration
+}
+
+// Follower is a live replica: a read-only System plus the background
+// loop that keeps it converged with its primary.
+type Follower struct {
+	cfg    Config
+	sys    *core.System
+	cancel context.CancelFunc
+	done   chan struct{}
+	// started guards Start/stop transitions; the loop runs at most
+	// once.
+	started atomic.Bool
+	// lastErr is the most recent sync failure, cleared by a successful
+	// round — surfaced so operators can see a wedged follower.
+	lastErr atomic.Value // syncErr
+}
+
+// syncErr boxes an error for atomic.Value (which cannot store nil
+// directly and requires a consistent concrete type).
+type syncErr struct{ err error }
+
+// Connect performs the initial state transfer: it fetches the
+// primary's snapshot, builds the follower System through
+// cfg.Bootstrap, and returns a Follower that is NOT yet tailing the
+// log — call Start, or drive SyncOnce manually (tests do).
+func Connect(ctx context.Context, cfg Config) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("replica: Config.Primary is required")
+	}
+	if cfg.Bootstrap == nil {
+		return nil, fmt.Errorf("replica: Config.Bootstrap is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = DefaultRetryInterval
+	}
+	f := &Follower{cfg: cfg, done: make(chan struct{})}
+	blob, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := cfg.Bootstrap(blob)
+	if err != nil {
+		return nil, fmt.Errorf("replica: bootstrapping from snapshot: %w", err)
+	}
+	f.sys = sys
+	return f, nil
+}
+
+// StartFollower is Connect followed by Start: the returned Follower is
+// bootstrapped and tailing the primary's log until Close.
+func StartFollower(ctx context.Context, cfg Config) (*Follower, error) {
+	f, err := Connect(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Start()
+	return f, nil
+}
+
+// System returns the replica System. It is valid for the Follower's
+// whole life: re-bootstraps swap table contents in place, never the
+// pointer.
+func (f *Follower) System() *core.System { return f.sys }
+
+// Err returns the most recent sync failure, nil when the last round
+// succeeded.
+func (f *Follower) Err() error {
+	if v, ok := f.lastErr.Load().(syncErr); ok {
+		return v.err
+	}
+	return nil
+}
+
+// Start launches the tail loop. Repeated calls are no-ops.
+func (f *Follower) Start() {
+	if !f.started.CompareAndSwap(false, true) {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.run(ctx)
+}
+
+// Close stops the tail loop and waits for it to exit. The System keeps
+// serving reads from its last applied state. Close is idempotent and
+// safe on a never-Started follower.
+func (f *Follower) Close() {
+	if f.cancel != nil {
+		f.cancel()
+	}
+	if f.started.Load() {
+		<-f.done
+	}
+}
+
+// Promote stops replication and flips the System writable — the
+// manual-failover escape hatch behind POST /api/repl/promote. The
+// stream is stopped BEFORE the flip so no shipped operation can race a
+// direct write.
+func (f *Follower) Promote() error {
+	f.Close()
+	return f.sys.Promote()
+}
+
+// run is the tail loop: long-poll, apply, repeat; re-bootstrap on
+// compaction gaps; back off on errors. Failures are logged on state
+// transitions (an error appearing, changing, or clearing) rather than
+// per retry, so a wedged follower — a primary that stays down, a
+// mis-seeded environment that diverges on every apply — is visible in
+// the process log without flooding it at the retry cadence.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := f.SyncOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if prev := f.Err(); prev == nil || prev.Error() != err.Error() {
+				log.Printf("replica: sync with %s failing (retrying every %v): %v", f.cfg.Primary, f.cfg.RetryInterval, err)
+			}
+			f.lastErr.Store(syncErr{err})
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(f.cfg.RetryInterval):
+			}
+			continue
+		}
+		if f.Err() != nil {
+			log.Printf("replica: sync with %s recovered", f.cfg.Primary)
+		}
+		f.lastErr.Store(syncErr{})
+	}
+}
+
+// errSnapshotNeeded is the internal signal that the primary compacted
+// past our cursor.
+var errSnapshotNeeded = errors.New("replica: primary compacted past our cursor; snapshot re-transfer needed")
+
+// SyncOnce performs one replication round: a single long-polled WAL
+// fetch, streaming-applied in chunks — or, when the primary has
+// compacted past our cursor, one snapshot re-transfer. It returns the
+// number of operations applied. Exported so tests (and diagnostics)
+// can step a follower deterministically without the background loop.
+func (f *Follower) SyncOnce(ctx context.Context) (applied int, err error) {
+	applied, err = f.pollAndApply(ctx)
+	if errors.Is(err, errSnapshotNeeded) {
+		if err := f.rebootstrap(ctx); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	return applied, err
+}
+
+// pollAndApply issues one GET /api/repl/wal long poll and applies the
+// returned frames.
+func (f *Follower) pollAndApply(ctx context.Context) (int, error) {
+	from := f.sys.AppliedSeq()
+	url := fmt.Sprintf("%s/api/repl/wal?from=%d&wait=%dms", f.cfg.Primary, from, f.cfg.PollWait.Milliseconds())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("replica: polling WAL: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return 0, errSnapshotNeeded
+	default:
+		return 0, fmt.Errorf("replica: WAL poll: primary answered %s", resp.Status)
+	}
+	if seq, err := strconv.ParseUint(resp.Header.Get("X-Cqads-Seq"), 10, 64); err == nil {
+		f.sys.NotePrimarySeq(seq)
+	}
+
+	// Decode and apply in bounded chunks so a deep catch-up stream is
+	// never buffered wholesale.
+	dec := persist.NewOpReader(resp.Body)
+	chunk := make([]persist.Op, 0, applyChunk)
+	applied := 0
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := f.sys.ApplyOps(chunk); err != nil {
+			var gap *core.GapError
+			if errors.As(err, &gap) {
+				return errSnapshotNeeded
+			}
+			return err
+		}
+		applied += len(chunk)
+		metrics.Repl.OpsApplied.Add(int64(len(chunk)))
+		chunk = chunk[:0]
+		return nil
+	}
+	for {
+		op, err := dec.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			// A torn wire frame means the connection died mid-stream:
+			// apply what arrived intact and re-poll from the new cursor.
+			if errors.Is(err, persist.ErrTornFrame) {
+				break
+			}
+			return applied, fmt.Errorf("replica: decoding WAL stream: %w", err)
+		}
+		chunk = append(chunk, op)
+		if len(chunk) == applyChunk {
+			if err := flush(); err != nil {
+				return applied, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return applied, err
+	}
+	f.noteLag()
+	return applied, nil
+}
+
+// rebootstrap re-transfers the snapshot and resets the System in
+// place.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	blob, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		return err
+	}
+	snap, err := persist.DecodeSnapshot(blob)
+	if err != nil {
+		return fmt.Errorf("replica: decoding snapshot transfer: %w", err)
+	}
+	if err := f.sys.ResetToSnapshot(snap); err != nil {
+		return err
+	}
+	f.noteLag()
+	return nil
+}
+
+// fetchSnapshot performs one snapshot transfer.
+func (f *Follower) fetchSnapshot(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+"/api/repl/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("replica: fetching snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replica: snapshot transfer: primary answered %s", resp.Status)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replica: reading snapshot transfer: %w", err)
+	}
+	metrics.Repl.SnapshotsFetched.Add(1)
+	return blob, nil
+}
+
+// noteLag publishes the current lag gauge.
+func (f *Follower) noteLag() {
+	st := f.sys.Status().Replication
+	metrics.Repl.LagOps.Set(int64(st.LagOps))
+}

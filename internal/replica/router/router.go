@@ -1,0 +1,297 @@
+// Package router scatters batch question loads across a fleet of read
+// replicas. It is deliberately thin: it speaks only the public HTTP
+// surface (GET /healthz to track which replicas are alive and caught
+// up, POST /api/ask/batch to answer question chunks), holds no
+// core.System, and reports per-question raw JSON so the caller — the
+// primary's webui — can merge remote answers with local fallbacks
+// byte-identically.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ForwardedHeader marks a scatter request so a replica that is itself
+// fronted by a router answers locally instead of re-scattering.
+const ForwardedHeader = "X-Cqads-Forwarded"
+
+// ErrNoReplicas is the per-item error when no replica is healthy; the
+// caller answers those questions locally.
+var ErrNoReplicas = errors.New("router: no healthy replicas")
+
+// Default tuning.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultMaxLagOps     = 512
+	DefaultTimeout       = 15 * time.Second
+)
+
+// Config wires a Router.
+type Config struct {
+	// Replicas are the base URLs of the read replicas.
+	Replicas []string
+	// Client issues probes and scatter requests; nil uses a client
+	// with DefaultTimeout.
+	Client *http.Client
+	// ProbeInterval is the health-check cadence; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// MaxLagOps marks a replica unhealthy when its reported
+	// replication lag exceeds it — a lagging replica would answer from
+	// a visibly stale corpus. 0 means DefaultMaxLagOps; negative
+	// disables the lag check.
+	MaxLagOps int64
+}
+
+// ReplicaHealth is one replica's last probe outcome.
+type ReplicaHealth struct {
+	URL     string
+	Healthy bool
+	// State is the replica's /healthz state ("serving", ...); empty
+	// when the probe failed outright.
+	State string
+	// LagOps is the replication lag the replica reported.
+	LagOps int64
+	// Err describes the most recent probe failure.
+	Err string
+}
+
+// Router tracks replica health and scatters batches.
+type Router struct {
+	cfg  Config
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	health map[string]ReplicaHealth
+}
+
+// New builds a Router, runs one synchronous probe round (so the first
+// scatter already knows who is healthy), and starts the background
+// prober. Close releases it.
+func New(cfg Config) *Router {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: DefaultTimeout}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.MaxLagOps == 0 {
+		cfg.MaxLagOps = DefaultMaxLagOps
+	}
+	r := &Router{
+		cfg:    cfg,
+		stop:   make(chan struct{}),
+		health: make(map[string]ReplicaHealth, len(cfg.Replicas)),
+	}
+	r.probeAll(context.Background())
+	r.wg.Add(1)
+	go r.probeLoop()
+	return r
+}
+
+// Close stops the prober.
+func (r *Router) Close() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// Health reports the last probe outcome per replica, in Config order.
+func (r *Router) Health() []ReplicaHealth {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ReplicaHealth, 0, len(r.cfg.Replicas))
+	for _, u := range r.cfg.Replicas {
+		out = append(out, r.health[u])
+	}
+	return out
+}
+
+// CheckNow runs one probe round immediately (tests and operators; the
+// background loop does this on its own cadence).
+func (r *Router) CheckNow(ctx context.Context) { r.probeAll(ctx) }
+
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll(context.Background())
+		}
+	}
+}
+
+// probeAll probes every replica concurrently.
+func (r *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, u := range r.cfg.Replicas {
+		wg.Add(1)
+		go func(u string) {
+			defer wg.Done()
+			h := r.probe(ctx, u)
+			r.mu.Lock()
+			r.health[u] = h
+			r.mu.Unlock()
+		}(u)
+	}
+	wg.Wait()
+}
+
+// probe hits one replica's /healthz. Healthy means: reachable, HTTP
+// 200, a non-recovering state, and lag within MaxLagOps. A
+// "write-failed" replica still serves reads, so it stays routable.
+func (r *Router) probe(ctx context.Context, base string) ReplicaHealth {
+	h := ReplicaHealth{URL: base}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	var body struct {
+		State  string `json:"state"`
+		LagOps int64  `json:"lag_ops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		h.Err = fmt.Sprintf("decoding healthz: %v", err)
+		return h
+	}
+	h.State = body.State
+	h.LagOps = body.LagOps
+	if resp.StatusCode != http.StatusOK {
+		h.Err = fmt.Sprintf("healthz answered %s", resp.Status)
+		return h
+	}
+	if r.cfg.MaxLagOps > 0 && body.LagOps > r.cfg.MaxLagOps {
+		h.Err = fmt.Sprintf("lagging %d ops (max %d)", body.LagOps, r.cfg.MaxLagOps)
+		return h
+	}
+	h.Healthy = true
+	return h
+}
+
+// healthyURLs snapshots the currently routable replicas.
+func (r *Router) healthyURLs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.cfg.Replicas))
+	for _, u := range r.cfg.Replicas {
+		if r.health[u].Healthy {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Item is one question's scatter outcome: the replica's raw JSON
+// answer object (exactly what GET /api/ask would have returned), or
+// the error that prevented one — the caller answers those locally.
+type Item struct {
+	Index int
+	JSON  json.RawMessage
+	Err   error
+}
+
+// AskBatch scatters questions across the healthy replicas in
+// contiguous chunks — one chunk per replica, sized evenly — and
+// gathers the per-question answers back into input order. A chunk
+// whose replica fails mid-flight is reported as per-item errors, never
+// retried here: the caller's local fallback is both simpler and faster
+// than a second network round trip.
+func (r *Router) AskBatch(ctx context.Context, domain string, questions []string) []Item {
+	items := make([]Item, len(questions))
+	for i := range items {
+		items[i].Index = i
+	}
+	if len(questions) == 0 {
+		return items
+	}
+	urls := r.healthyURLs()
+	if len(urls) == 0 {
+		for i := range items {
+			items[i].Err = ErrNoReplicas
+		}
+		return items
+	}
+	if len(urls) > len(questions) {
+		urls = urls[:len(questions)]
+	}
+	var wg sync.WaitGroup
+	for c := range urls {
+		// Chunk c covers [start, end): questions dealt as evenly as
+		// possible, remainder spread over the leading chunks.
+		per, rem := len(questions)/len(urls), len(questions)%len(urls)
+		start := c*per + min(c, rem)
+		end := start + per
+		if c < rem {
+			end++
+		}
+		wg.Add(1)
+		go func(url string, start, end int) {
+			defer wg.Done()
+			results, err := r.askChunk(ctx, url, domain, questions[start:end])
+			for i := start; i < end; i++ {
+				if err != nil {
+					items[i].Err = err
+					continue
+				}
+				items[i].JSON = results[i-start]
+			}
+		}(urls[c], start, end)
+	}
+	wg.Wait()
+	return items
+}
+
+// askChunk sends one chunk to one replica and returns the raw
+// per-question objects.
+func (r *Router) askChunk(ctx context.Context, base, domain string, questions []string) ([]json.RawMessage, error) {
+	body, err := json.Marshal(map[string]any{"domain": domain, "questions": questions})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/api/ask/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, "1")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("router: %s: %w", base, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: %s answered %s", base, resp.Status)
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("router: decoding %s response: %w", base, err)
+	}
+	if len(out.Results) != len(questions) {
+		return nil, fmt.Errorf("router: %s returned %d results for %d questions", base, len(out.Results), len(questions))
+	}
+	return out.Results, nil
+}

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeReplica is a minimal replica surface: /healthz with a scripted
+// state, /api/ask/batch echoing per-question JSON tagged with the
+// replica's name.
+type fakeReplica struct {
+	name    string
+	state   atomic.Value // string
+	lag     atomic.Int64
+	batches atomic.Int64 // scatter requests served
+	srv     *httptest.Server
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{name: name}
+	f.state.Store("serving")
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		state := f.state.Load().(string)
+		w.Header().Set("Content-Type", "application/json")
+		if state == "recovering" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"state": state, "lag_ops": f.lag.Load()})
+	})
+	mux.HandleFunc("POST /api/ask/batch", func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(ForwardedHeader) == "" {
+			t.Errorf("scatter request to %s missing %s header", f.name, ForwardedHeader)
+		}
+		var req struct {
+			Domain    string   `json:"domain"`
+			Questions []string `json:"questions"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.batches.Add(1)
+		results := make([]json.RawMessage, len(req.Questions))
+		for i, q := range req.Questions {
+			results[i] = json.RawMessage(fmt.Sprintf(`{"replica":%q,"q":%q,"domain":%q}`, f.name, q, req.Domain))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newRouter builds a router over the fakes with the background prober
+// effectively idle (tests drive CheckNow explicitly).
+func newRouter(t *testing.T, maxLag int64, replicas ...*fakeReplica) *Router {
+	t.Helper()
+	urls := make([]string, len(replicas))
+	for i, f := range replicas {
+		urls[i] = f.srv.URL
+	}
+	r := New(Config{Replicas: urls, ProbeInterval: time.Hour, MaxLagOps: maxLag})
+	t.Cleanup(r.Close)
+	return r
+}
+
+func questions(n int) []string {
+	qs := make([]string, n)
+	for i := range qs {
+		qs[i] = fmt.Sprintf("question %d", i)
+	}
+	return qs
+}
+
+// TestScatterGatherOrder: chunks land on every healthy replica and the
+// gathered items come back in input order with the replica's payload.
+func TestScatterGatherOrder(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newRouter(t, 0, a, b)
+	qs := questions(7)
+	items := rt.AskBatch(context.Background(), "cars", qs)
+	if len(items) != len(qs) {
+		t.Fatalf("%d items for %d questions", len(items), len(qs))
+	}
+	byReplica := map[string]int{}
+	for i, item := range items {
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		var got struct{ Replica, Q, Domain string }
+		if err := json.Unmarshal(item.JSON, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Q != qs[i] || got.Domain != "cars" {
+			t.Fatalf("item %d answered %q/%q, want %q/cars", i, got.Q, got.Domain, qs[i])
+		}
+		byReplica[got.Replica]++
+	}
+	// 7 questions over 2 replicas: a contiguous 4/3 split.
+	if byReplica["a"] != 4 || byReplica["b"] != 3 {
+		t.Fatalf("chunk split = %v, want a:4 b:3", byReplica)
+	}
+}
+
+// TestUnhealthyReplicaSkipped: a recovering replica receives no
+// chunks; a lagging one is failed out by the lag threshold.
+func TestUnhealthyReplicaSkipped(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newRouter(t, 100, a, b)
+
+	b.state.Store("recovering")
+	rt.CheckNow(context.Background())
+	for _, item := range rt.AskBatch(context.Background(), "", questions(4)) {
+		if item.Err != nil {
+			t.Fatalf("scatter with one healthy replica: %v", item.Err)
+		}
+	}
+	if got := b.batches.Load(); got != 0 {
+		t.Fatalf("recovering replica served %d batches", got)
+	}
+
+	b.state.Store("serving")
+	b.lag.Store(5000) // over threshold
+	rt.CheckNow(context.Background())
+	h := rt.Health()
+	if !h[0].Healthy || h[1].Healthy {
+		t.Fatalf("health = %+v, want a healthy, b lagged out", h)
+	}
+	if h[1].Err == "" {
+		t.Fatal("lagged replica reports no reason")
+	}
+
+	// write-failed still serves reads, so it stays routable.
+	b.lag.Store(0)
+	b.state.Store("write-failed")
+	rt.CheckNow(context.Background())
+	if h := rt.Health(); !h[1].Healthy {
+		t.Fatalf("write-failed replica failed out: %+v", h[1])
+	}
+}
+
+// TestAllDownFallsBackToCaller: with no healthy replica every item
+// carries ErrNoReplicas; a replica dying mid-flight yields per-item
+// errors for its chunk only.
+func TestAllDownFallsBackToCaller(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newRouter(t, 0, a, b)
+
+	// b dies after the probe round: its chunk errors, a's succeeds.
+	b.srv.Close()
+	items := rt.AskBatch(context.Background(), "", questions(6))
+	var okCount, errCount int
+	for _, item := range items {
+		if item.Err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount != 3 || errCount != 3 {
+		t.Fatalf("mid-flight death: %d ok, %d err; want 3/3", okCount, errCount)
+	}
+
+	a.srv.Close()
+	rt.CheckNow(context.Background())
+	for i, item := range rt.AskBatch(context.Background(), "", questions(3)) {
+		if !errors.Is(item.Err, ErrNoReplicas) {
+			t.Fatalf("item %d: %v, want ErrNoReplicas", i, item.Err)
+		}
+	}
+}
+
+// TestMoreReplicasThanQuestions: a one-question batch goes to exactly
+// one replica, with no empty chunks dispatched.
+func TestMoreReplicasThanQuestions(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	rt := newRouter(t, 0, a, b)
+	items := rt.AskBatch(context.Background(), "", questions(1))
+	if len(items) != 1 || items[0].Err != nil {
+		t.Fatalf("items = %+v", items)
+	}
+	if total := a.batches.Load() + b.batches.Load(); total != 1 {
+		t.Fatalf("%d batch requests for one question", total)
+	}
+}

@@ -8,6 +8,7 @@ package webui
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -17,43 +18,83 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/persist"
+	"repro/internal/replica/router"
 	"repro/internal/schema"
 	"repro/internal/sql"
 	"repro/internal/sqldb"
 )
 
+// Promoter flips a follower writable and stops its replication stream
+// — implemented by replica.Follower and wired in by the process that
+// owns the tail loop.
+type Promoter interface {
+	Promote() error
+}
+
+// Options configures the optional replication roles of a Server.
+type Options struct {
+	// Router, when set, makes POST /api/ask/batch scatter question
+	// chunks across the healthy read replicas it tracks and gather the
+	// answers; questions whose chunk fails are answered locally, so
+	// the endpoint degrades to local execution rather than erroring.
+	Router *router.Router
+	// Promoter, when set, serves POST /api/repl/promote — flipping
+	// this follower writable for manual failover. Without it the
+	// endpoint falls back to core.System.Promote (no stream to stop).
+	Promoter Promoter
+}
+
 // Server is the HTTP front end over a running CQAds instance.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
-	tpl *template.Template
+	sys  *core.System
+	mux  *http.ServeMux
+	tpl  *template.Template
+	opts Options
 }
 
 // NewServer wraps sys. The handler serves:
 //
-//	GET /                   the question form
-//	GET /ask?q=...          HTML answer table (optional &domain=...)
-//	GET /api/ask?q=...      JSON answers
-//	GET /api/status         corpus versions + persistence state
-//	POST /api/ads           ingest one ad: {"domain": ..., "record": {...}}
-//	DELETE /api/ads/{id}    expire an ad (?domain=... required)
+//	GET /                     the question form
+//	GET /ask?q=...            HTML answer table (optional &domain=...)
+//	GET /api/ask?q=...        JSON answers
+//	POST /api/ask/batch       JSON answers for many questions at once
+//	GET /api/status           corpus versions + persistence/replication state
+//	GET /healthz              cheap liveness probe (serving/recovering/write-failed)
+//	POST /api/ads             ingest one ad: {"domain": ..., "record": {...}}
+//	DELETE /api/ads/{id}      expire an ad (?domain=... required)
+//	GET /api/repl/snapshot    replication: initial state transfer
+//	GET /api/repl/wal?from=N  replication: long-polled framed op stream
+//	POST /api/repl/promote    replication: flip this follower writable
 //
 // The ingestion endpoints mutate the live store: an ad POSTed here is
 // returned by /api/ask seconds (in fact, immediately) later, and a
-// DELETEd ad stops appearing at once.
-func NewServer(sys *core.System) *Server {
+// DELETEd ad stops appearing at once. The /api/repl endpoints are the
+// WAL-shipping protocol: a durable primary serves snapshot + wal to
+// followers (internal/replica), and a follower serves promote.
+func NewServer(sys *core.System) *Server { return NewServerWith(sys, Options{}) }
+
+// NewServerWith is NewServer plus replication-role options.
+func NewServerWith(sys *core.System, opts Options) *Server {
 	s := &Server{
-		sys: sys,
-		mux: http.NewServeMux(),
-		tpl: template.Must(template.New("page").Parse(pageTemplate)),
+		sys:  sys,
+		mux:  http.NewServeMux(),
+		tpl:  template.Must(template.New("page").Parse(pageTemplate)),
+		opts: opts,
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/ask", s.handleAsk)
 	s.mux.HandleFunc("/api/ask", s.handleAPI)
+	s.mux.HandleFunc("POST /api/ask/batch", s.handleAskBatch)
 	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
 	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
+	s.mux.HandleFunc("GET /api/repl/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /api/repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("POST /api/repl/promote", s.handleReplPromote)
 	return s
 }
 
@@ -87,7 +128,8 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// handleStatus reports the live corpus and durability state:
+// handleStatus reports the live corpus, durability and replication
+// state:
 //
 //	GET /api/status
 //
@@ -96,7 +138,10 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 // is durable and, when it is, the last logged operation sequence, the
 // sequence the on-disk snapshot covers, the current WAL size, and the
 // wall time of the last checkpoint — the numbers an operator needs to
-// judge replay distance after a crash.
+// judge replay distance after a crash. The replication block reports
+// the node's role, its applied/observed sequence cursors and lag, plus
+// the process-wide shipping counters (ops shipped and applied,
+// snapshot transfers, last observed lag).
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Status()
 	type domainJSON struct {
@@ -113,10 +158,30 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		WALBytes       int64  `json:"wal_bytes,omitempty"`
 		LastCheckpoint string `json:"last_checkpoint,omitempty"`
 		Failed         bool   `json:"failed,omitempty"`
+		// LastCompactError surfaces a failing background compaction —
+		// the only checkpoint path with no caller to return an error
+		// to.
+		LastCompactError string `json:"last_compact_error,omitempty"`
+	}
+	type replCountersJSON struct {
+		OpsShipped       int64 `json:"ops_shipped"`
+		OpsApplied       int64 `json:"ops_applied"`
+		SnapshotsServed  int64 `json:"snapshots_served"`
+		SnapshotsFetched int64 `json:"snapshots_fetched"`
+		LagOps           int64 `json:"lag_ops"`
+	}
+	type replicationJSON struct {
+		Role       string           `json:"role"`
+		AppliedSeq uint64           `json:"applied_seq"`
+		PrimarySeq uint64           `json:"primary_seq"`
+		LagOps     uint64           `json:"lag_ops"`
+		ReadOnly   bool             `json:"read_only"`
+		Counters   replCountersJSON `json:"counters"`
 	}
 	out := struct {
 		Domains     []domainJSON    `json:"domains"`
 		Persistence persistenceJSON `json:"persistence"`
+		Replication replicationJSON `json:"replication"`
 	}{Domains: []domainJSON{}}
 	for _, d := range st.Domains {
 		out.Domains = append(out.Domains, domainJSON{
@@ -124,18 +189,59 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	out.Persistence = persistenceJSON{
-		Enabled:       st.Persistence.Enabled,
-		Dir:           st.Persistence.Dir,
-		Seq:           st.Persistence.Seq,
-		CheckpointSeq: st.Persistence.CheckpointSeq,
-		WALBytes:      st.Persistence.WALBytes,
-		Failed:        st.Persistence.Failed,
+		Enabled:          st.Persistence.Enabled,
+		Dir:              st.Persistence.Dir,
+		Seq:              st.Persistence.Seq,
+		CheckpointSeq:    st.Persistence.CheckpointSeq,
+		WALBytes:         st.Persistence.WALBytes,
+		Failed:           st.Persistence.Failed,
+		LastCompactError: st.Persistence.LastCompactError,
 	}
 	if !st.Persistence.LastCheckpoint.IsZero() {
 		out.Persistence.LastCheckpoint = st.Persistence.LastCheckpoint.Format(time.RFC3339Nano)
 	}
+	out.Replication = replicationJSON{
+		Role:       st.Replication.Role,
+		AppliedSeq: st.Replication.AppliedSeq,
+		PrimarySeq: st.Replication.PrimarySeq,
+		LagOps:     st.Replication.LagOps,
+		ReadOnly:   st.Replication.ReadOnly,
+		Counters: replCountersJSON{
+			OpsShipped:       metrics.Repl.OpsShipped.Load(),
+			OpsApplied:       metrics.Repl.OpsApplied.Load(),
+			SnapshotsServed:  metrics.Repl.SnapshotsServed.Load(),
+			SnapshotsFetched: metrics.Repl.SnapshotsFetched.Load(),
+			LagOps:           metrics.Repl.LagOps.Load(),
+		},
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)
+}
+
+// handleHealthz is the cheap probe for load balancers and the
+// replication router:
+//
+//	GET /healthz
+//
+// Body: {"state", "role", "applied_seq", "lag_ops"}. State is one of
+// "serving" (200), "write-failed" (200 — reads still work; the
+// durability latch only refuses ingestion until restart), and
+// "recovering" (503 — a follower is mid-re-bootstrap and reads may
+// straddle old and new corpus; probes should steer traffic away until
+// it clears).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	health := s.sys.Health()
+	st := s.sys.Status().Replication
+	w.Header().Set("Content-Type", "application/json")
+	if health == core.HealthRecovering {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"state":       health,
+		"role":        st.Role,
+		"applied_seq": st.AppliedSeq,
+		"lag_ops":     st.LagOps,
+	})
 }
 
 // handleInsertAd ingests one ad into a live domain:
@@ -167,12 +273,28 @@ func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.sys.InsertAd(req.Domain, values)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
+		jsonError(w, ingestErrorStatus(err), "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	_ = json.NewEncoder(w).Encode(map[string]any{"domain": req.Domain, "id": id})
+}
+
+// ingestErrorStatus classifies an InsertAd/DeleteAd failure: a
+// durability fault is the server's problem (503 — the ad may even sit
+// in memory unlogged; the error text carries its id), a read-only
+// replica is a routing problem (403 — write to the primary or
+// promote), anything else is the request's problem.
+func ingestErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDurabilityLost):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrReadOnlyReplica):
+		return http.StatusForbidden
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // handleDeleteAd expires an ad:
@@ -193,11 +315,143 @@ func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.DeleteAd(domain, sqldb.RowID(id)); err != nil {
-		jsonError(w, http.StatusNotFound, "%v", err)
+		status := http.StatusNotFound
+		if s := ingestErrorStatus(err); s != http.StatusBadRequest {
+			status = s // durability fault or read-only replica, not a missing row
+		}
+		jsonError(w, status, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{"domain": domain, "id": id})
+}
+
+// maxReplPollWait caps how long one GET /api/repl/wal request may be
+// held open; followers re-poll, so the cap only bounds a single
+// request's lifetime.
+const maxReplPollWait = 30 * time.Second
+
+// handleReplSnapshot serves the initial state transfer:
+//
+//	GET /api/repl/snapshot
+//
+// Body: the raw current snapshot blob (the on-disk checkpoint format;
+// persist.DecodeSnapshot parses it). A follower restores it wholesale
+// and starts polling the WAL from the snapshot's sequence. Only
+// durable primaries can serve it; others answer 409.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.sys.ReplSnapshotBlob()
+	if err != nil {
+		if errors.Is(err, core.ErrNotPrimary) {
+			jsonError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		jsonError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	metrics.Repl.SnapshotsServed.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(blob)
+}
+
+// handleReplWAL ships the operation log:
+//
+//	GET /api/repl/wal?from=<seq>[&wait=<duration>]
+//
+// Responds 200 with a stream of length+CRC-framed operations (the WAL
+// wire format; persist.OpReader decodes it) whose sequence exceeds
+// `from`, plus X-Cqads-Seq (the primary's last committed sequence) and
+// X-Cqads-Checkpoint-Seq headers. With `wait`, an up-to-date follower
+// is long-polled: the request blocks until new operations commit or
+// the wait elapses (then 200 with an empty body — a heartbeat carrying
+// the current sequence). When compaction has discarded the range above
+// `from`, the response is 410 Gone and the follower must re-bootstrap
+// from /api/repl/snapshot.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid from parameter %q", r.URL.Query().Get("from"))
+		return
+	}
+	var wait time.Duration
+	if ws := r.URL.Query().Get("wait"); ws != "" {
+		wait, err = time.ParseDuration(ws)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "invalid wait parameter %q", ws)
+			return
+		}
+		wait = min(wait, maxReplPollWait)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		// Watch channel first, then the state check: the other order
+		// can miss a commit that lands between them.
+		watch, err := s.sys.ReplWatch()
+		if err != nil {
+			if errors.Is(err, core.ErrNotPrimary) {
+				jsonError(w, http.StatusConflict, "%v", err)
+				return
+			}
+			jsonError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		ops, seq, ckpt, err := s.sys.ReplOpsSince(from)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if from < ckpt {
+			// Compaction discarded (from, ckpt]; the follower needs a
+			// snapshot re-transfer.
+			w.Header().Set("X-Cqads-Checkpoint-Seq", strconv.FormatUint(ckpt, 10))
+			jsonError(w, http.StatusGone, "log compacted past seq %d (checkpoint is %d); re-bootstrap from /api/repl/snapshot", from, ckpt)
+			return
+		}
+		if len(ops) > 0 || !time.Now().Before(deadline) {
+			var buf []byte
+			for _, op := range ops {
+				if buf, err = persist.AppendFrame(buf, op); err != nil {
+					jsonError(w, http.StatusInternalServerError, "%v", err)
+					return
+				}
+			}
+			metrics.Repl.OpsShipped.Add(int64(len(ops)))
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Cqads-Seq", strconv.FormatUint(seq, 10))
+			w.Header().Set("X-Cqads-Checkpoint-Seq", strconv.FormatUint(ckpt, 10))
+			_, _ = w.Write(buf)
+			return
+		}
+		select {
+		case <-watch:
+		case <-r.Context().Done():
+			return
+		case <-time.After(time.Until(deadline)):
+		}
+	}
+}
+
+// handleReplPromote flips a follower writable:
+//
+//	POST /api/repl/promote
+//
+// The manual-failover escape hatch: replication stops (when the server
+// was wired with the follower's tail loop via Options.Promoter) and
+// the System accepts InsertAd/DeleteAd from then on. Responds with the
+// new role; errors on non-followers.
+func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
+	var err error
+	if s.opts.Promoter != nil {
+		err = s.opts.Promoter.Promote()
+	} else {
+		err = s.sys.Promote()
+	}
+	if err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"role": s.sys.Status().Replication.Role})
 }
 
 // convertRecord maps a JSON record onto schema-typed sqldb values:
@@ -301,32 +555,27 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	s.render(w, p)
 }
 
-func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
-	q := strings.TrimSpace(r.URL.Query().Get("q"))
-	if q == "" {
-		// jsonError, not http.Error: the latter would label the JSON
-		// body text/plain.
-		jsonError(w, http.StatusBadRequest, "missing q parameter")
-		return
-	}
-	res, err := s.ask(r.URL.Query().Get("domain"), q)
-	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	type apiAnswer struct {
-		Exact          bool              `json:"exact"`
-		RankSim        float64           `json:"rank_sim"`
-		SimilarityUsed string            `json:"similarity_used,omitempty"`
-		Record         map[string]string `json:"record"`
-	}
-	out := struct {
-		Domain         string      `json:"domain"`
-		Interpretation string      `json:"interpretation"`
-		SQL            string      `json:"sql"`
-		ExactCount     int         `json:"exact_count"`
-		Answers        []apiAnswer `json:"answers"`
-	}{
+// apiAnswer and apiResult are the JSON shape of one answered question,
+// shared by GET /api/ask and POST /api/ask/batch (the batch endpoint's
+// per-question objects are exactly the single endpoint's body, so
+// answers diff byte-identically across primaries and replicas).
+type apiAnswer struct {
+	Exact          bool              `json:"exact"`
+	RankSim        float64           `json:"rank_sim"`
+	SimilarityUsed string            `json:"similarity_used,omitempty"`
+	Record         map[string]string `json:"record"`
+}
+
+type apiResult struct {
+	Domain         string      `json:"domain"`
+	Interpretation string      `json:"interpretation"`
+	SQL            string      `json:"sql"`
+	ExactCount     int         `json:"exact_count"`
+	Answers        []apiAnswer `json:"answers"`
+}
+
+func buildAPIResult(res *core.Result) apiResult {
+	out := apiResult{
 		Domain:         res.Domain,
 		Interpretation: res.Interpretation.String(),
 		SQL:            res.SQL,
@@ -347,8 +596,93 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 			Record:         rec,
 		})
 	}
+	return out
+}
+
+func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		// jsonError, not http.Error: the latter would label the JSON
+		// body text/plain.
+		jsonError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	res, err := s.ask(r.URL.Query().Get("domain"), q)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	_ = json.NewEncoder(w).Encode(buildAPIResult(res))
+}
+
+// handleAskBatch answers many questions in one call:
+//
+//	POST /api/ask/batch
+//	{"domain": "cars", "questions": ["cheapest honda", ...]}
+//
+// Response: {"results": [...]} with one entry per question in input
+// order — each either the exact object GET /api/ask would return or
+// {"error": "..."}. Domain is optional; empty classifies per question.
+//
+// On a server built with Options.Router, the questions are scattered
+// in chunks across the healthy read replicas and gathered; any chunk
+// whose replica fails (or lags past the router's threshold) is
+// answered locally, so the endpoint never gets worse than local
+// execution. Scatter requests carry X-Cqads-Forwarded so a replica
+// that is itself fronted by a router answers locally instead of
+// re-scattering.
+func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Domain    string   `json:"domain"`
+		Questions []string `json:"questions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Questions) == 0 {
+		jsonError(w, http.StatusBadRequest, "no questions")
+		return
+	}
+	results := make([]any, len(req.Questions))
+	pending := req.Questions
+	pendingIdx := make([]int, len(req.Questions))
+	for i := range pendingIdx {
+		pendingIdx[i] = i
+	}
+	if rt := s.opts.Router; rt != nil && r.Header.Get(router.ForwardedHeader) == "" {
+		scattered := rt.AskBatch(r.Context(), req.Domain, req.Questions)
+		pending = pending[:0]
+		pendingIdx = pendingIdx[:0]
+		for i, item := range scattered {
+			if item.Err != nil {
+				pending = append(pending, req.Questions[i])
+				pendingIdx = append(pendingIdx, i)
+				continue
+			}
+			results[i] = item.JSON
+		}
+	}
+	if len(pending) > 0 {
+		for i, br := range s.askBatchLocal(req.Domain, pending) {
+			if br.Err != nil {
+				results[pendingIdx[i]] = map[string]string{"error": br.Err.Error()}
+				continue
+			}
+			results[pendingIdx[i]] = buildAPIResult(br.Result)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
+}
+
+// askBatchLocal runs a batch on this node's System.
+func (s *Server) askBatchLocal(domain string, questions []string) []core.BatchResult {
+	if domain != "" {
+		return s.sys.AskInDomainBatch(domain, questions, 0)
+	}
+	return s.sys.AskBatch(questions, 0)
 }
 
 func (s *Server) ask(domain, q string) (*core.Result, error) {
