@@ -4,8 +4,10 @@
 // Usage:
 //
 //	cqadsweb [-addr :8080] [-seed N] [-ads N] [-data DIR]
+//	         [-domains cars,csjobs,...]
 //	         [-ingest 2s] [-expire 30s]
 //	         [-replicate-from URL | -replicas URL1,URL2,...]
+//	         [-shards "cars=http://a,csjobs=http://b,..."]
 //
 // With -ingest set, the server keeps the corpus live: a background
 // writer posts a freshly generated ad to a rotating domain every
@@ -38,6 +40,21 @@
 //     POST /api/ask/batch fans question chunks across the healthy
 //     followers (lag-aware /healthz probes) and answers any failed
 //     chunk locally.
+//
+// Sharding roles:
+//
+//   - -domains cars,csjobs makes this server a SHARD: it hosts (and,
+//     with -data, persists and replicates) only the named domains and
+//     rejects ads addressed elsewhere with HTTP 421. A follower of a
+//     shard must use the same -domains (plus -seed/-ads) as its
+//     primary.
+//   - -shards "cars=http://a,..." makes this process the shard FRONT
+//     TIER: it holds no corpus, classifies each question once (same
+//     -seed/-ads as the shards so routing matches a monolith), and
+//     forwards questions, batches and ingest to the owning shards,
+//     scatter-gathering /api/status and /healthz into a cluster view.
+//     Unreachable shards degrade to empty answers with the error in
+//     the response envelope; other domains are unaffected.
 package main
 
 import (
@@ -58,9 +75,69 @@ import (
 	"repro/internal/replica"
 	"repro/internal/replica/router"
 	"repro/internal/schema"
+	"repro/internal/shard"
 	"repro/internal/sqldb"
 	"repro/internal/webui"
 )
+
+// runFrontTier serves the shard front tier: parse the shard map, build
+// the routing classifier (the same construction a monolith with these
+// options would classify with), and route every request to the owning
+// shard until a shutdown signal.
+func runFrontTier(addr, shardMap string, opts cqads.Options) {
+	m, err := shard.ParseMap(shardMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fail a typo'd shard map at startup, not as silent per-query
+	// 404s: every mapped domain must be one the classifier can route.
+	valid := make(map[string]bool, len(schema.DomainNames))
+	for _, d := range schema.DomainNames {
+		valid[d] = true
+	}
+	for d := range m {
+		if !valid[d] {
+			log.Fatalf("-shards maps unknown domain %q (valid: %s)", d, strings.Join(schema.DomainNames, ", "))
+		}
+	}
+	qc, err := cqads.NewQuestionClassifier(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := shard.New(shard.Config{Shards: m, Classifier: qc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: shard.NewServer(rt)}
+	errc := make(chan error, 1)
+	urls := make(map[string]bool, len(m))
+	for _, u := range m {
+		urls[u] = true
+	}
+	go func() {
+		fmt.Printf("CQAds front tier listening on %s, routing %d domains across %d shards\n",
+			addr, len(m), len(urls))
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down front tier: draining requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -71,9 +148,27 @@ func main() {
 	expire := flag.Duration("expire", 0, "delete the oldest ingested ad per interval (requires -ingest)")
 	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this base URL (requires the primary's -seed/-ads)")
 	replicas := flag.String("replicas", "", "comma-separated follower base URLs to scatter /api/ask/batch across")
+	domains := flag.String("domains", "", "comma-separated subset of ads domains this server hosts (shard mode; default: all eight)")
+	shardMap := flag.String("shards", "", `front-tier mode: comma-separated domain=URL shard map (e.g. "cars=http://a,csjobs=http://b"); this process holds no corpus and routes to the shards`)
 	flag.Parse()
 
+	if *shardMap != "" {
+		if *dataDir != "" || *ingest > 0 || *replicateFrom != "" || *replicas != "" || *domains != "" {
+			log.Fatal("-shards runs a corpus-less front tier: it is incompatible with -data, -ingest, -replicate-from, -replicas and -domains")
+		}
+		runFrontTier(*addr, *shardMap, cqads.Options{Seed: *seed, AdsPerDomain: *ads})
+		return
+	}
+
 	opts := cqads.Options{Seed: *seed, AdsPerDomain: *ads, DataDir: *dataDir}
+	if *domains != "" {
+		for _, d := range strings.Split(*domains, ",") {
+			if d = strings.TrimSpace(d); d != "" {
+				opts.Domains = append(opts.Domains, d)
+			}
+		}
+		fmt.Printf("shard mode: hosting %s\n", strings.Join(opts.Domains, ", "))
+	}
 	var sys *cqads.System
 	var follower *replica.Follower
 	webOpts := webui.Options{}

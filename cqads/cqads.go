@@ -78,9 +78,29 @@
 // Replication block reports the node's role, applied/observed
 // sequence cursors and lag. The full protocol and consistency
 // guarantees are documented in the repository root package.
+//
+// # Sharding
+//
+// Writes scale by splitting the eight domains across processes.
+// Options.Domains builds a SHARD: a System hosting (populating,
+// persisting, replicating) only the named domains, byte-identical per
+// domain to a monolith built from the same Seed, and rejecting ingest
+// addressed to other domains with core.ErrNotHosted. A shard front
+// tier (internal/shard; `cqadsweb -shards "cars=http://a,..."`)
+// classifies each question once with NewQuestionClassifier — the same
+// construction a monolith classifies with, built from the same
+// Seed/AdsPerDomain — and forwards it to the owning shard, so a
+// sharded cluster answers Ask/AskBatch bit-identically to a single
+// process; an unreachable shard degrades only its own domains. Shards
+// compose with replication: a durable shard ships its (hosted-only)
+// WAL to followers built with the same Options.Domains. The sharding
+// model is documented in the repository root package.
 package cqads
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/adsgen"
 	"repro/internal/classify"
 	"repro/internal/core"
@@ -156,7 +176,12 @@ type Options struct {
 	// AdsPerDomain is the table size per domain (default 500, the
 	// paper's seed-ads count).
 	AdsPerDomain int
-	// Domains restricts the loaded domains (default: all eight).
+	// Domains restricts the hosted domains (default: all eight) —
+	// shard mode. The System populates, persists and answers only
+	// these domains, built byte-identically to the same domains in a
+	// full environment with the same Seed, and refuses ingest
+	// addressed to the other (known, but empty and unhosted) domains
+	// with core.ErrNotHosted.
 	Domains []string
 	// MaxAnswers caps answers per question (default 30).
 	MaxAnswers int
@@ -226,11 +251,38 @@ func OpenFollower(opts Options, snapshot []byte) (*System, error) {
 	return core.OpenFollower(cfg, snap)
 }
 
+// canonicalIndex places a domain in schema.DomainNames — the seed
+// derivations below key on it, NOT on the domain's position in a
+// possibly-restricted Options.Domains list, so a shard hosting a
+// subset builds byte-identical tables, matrices and training sets for
+// its domains to the ones a full monolith builds. That identity is
+// what lets a sharded cluster answer bit-identically to a monolith.
+func canonicalIndex(domain string) (int, error) {
+	for i, d := range schema.DomainNames {
+		if d == domain {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cqads: unknown domain %q (valid: %s)", domain, strings.Join(schema.DomainNames, ", "))
+}
+
 // buildEnv assembles the synthetic environment: generated ads,
 // simulated query logs (TI-matrix), the synthetic-corpus WS-matrix,
 // and a JBBSM classifier trained on generated questions — all
-// deterministic in opts.Seed.
+// deterministic in opts.Seed. With Options.Domains restricted, only
+// the hosted tables are populated and trained on, but every per-domain
+// artifact is built exactly as the full environment builds it (the
+// WS-matrix always spans all eight schemas), so the subset environment
+// is a projection of the monolith environment, never a reshuffle.
 func buildEnv(opts Options) (core.Config, error) {
+	return buildEnvFor(opts, false)
+}
+
+// buildEnvFor is buildEnv with a classifier-only mode: the front tier
+// needs the trained classifier but never ranks answers, so the TI and
+// WS matrices — roughly half the otherwise-discarded startup work —
+// are skipped.
+func buildEnvFor(opts Options, classifierOnly bool) (core.Config, error) {
 	if opts.AdsPerDomain <= 0 {
 		opts.AdsPerDomain = 500
 	}
@@ -238,25 +290,57 @@ func buildEnv(opts Options) (core.Config, error) {
 	if len(domains) == 0 {
 		domains = schema.DomainNames
 	}
+	hosted := make(map[string]bool, len(domains))
+	for _, d := range domains {
+		if _, err := canonicalIndex(d); err != nil {
+			return core.Config{}, err
+		}
+		hosted[d] = true
+	}
+	// Schema build covers all eight domains so a shard can tell a
+	// known-but-elsewhere domain (typed core.ErrNotHosted, HTTP 421)
+	// from a truly unknown one; only the hosted tables are populated,
+	// get TI matrices, and train the classifier.
 	db := sqldb.NewDB()
-	var schemas []*schema.Schema
 	ti := make(map[string]*qlog.TIMatrix, len(domains))
-	for i, d := range domains {
+	for ci, d := range schema.DomainNames {
 		s := schema.ByName(d)
-		schemas = append(schemas, s)
-		g := adsgen.NewGenerator(opts.Seed + int64(i)*7919)
+		if !hosted[d] {
+			if _, err := db.CreateTable(s); err != nil {
+				return core.Config{}, err
+			}
+			continue
+		}
+		g := adsgen.NewGenerator(opts.Seed + int64(ci)*7919)
 		if _, err := g.Populate(db, s, opts.AdsPerDomain); err != nil {
 			return core.Config{}, err
+		}
+		if classifierOnly {
+			continue
 		}
 		sim := qlog.NewSimulator(s, opts.Seed+101)
 		ti[d] = qlog.BuildTIMatrix(sim.Simulate(d, 500))
 	}
-	ws := wsmatrix.BuildForDomains(schemas, 40, opts.Seed+202)
+	// The WS-matrix is shared vocabulary knowledge: build it over all
+	// eight schemas regardless of the hosted subset, so word-pair
+	// similarities (and therefore ranked partial answers) agree across
+	// every topology slicing the same seed.
+	var ws *wsmatrix.Matrix
+	if !classifierOnly {
+		allSchemas := make([]*schema.Schema, len(schema.DomainNames))
+		for i, d := range schema.DomainNames {
+			allSchemas[i] = schema.ByName(d)
+		}
+		ws = wsmatrix.BuildForDomains(allSchemas, 40, opts.Seed+202)
+	}
 
 	cls := classify.NewJBBSM()
-	for i, d := range domains {
+	for ci, d := range schema.DomainNames {
+		if !hosted[d] {
+			continue
+		}
 		tbl, _ := db.TableForDomain(d)
-		gen := questions.NewGenerator(tbl, opts.Seed+303+int64(i))
+		gen := questions.NewGenerator(tbl, opts.Seed+303+int64(ci))
 		train := gen.Generate(200, questions.DefaultOptions())
 		docs := make([][]string, len(train))
 		for j := range train {
@@ -264,7 +348,7 @@ func buildEnv(opts Options) (core.Config, error) {
 		}
 		cls.Train(d, docs)
 	}
-	return core.Config{
+	cfg := core.Config{
 		DB:            db,
 		Classifier:    cls,
 		TI:            ti,
@@ -277,7 +361,43 @@ func buildEnv(opts Options) (core.Config, error) {
 		TrainOnIngest: opts.TrainOnIngest,
 		DataDir:       opts.DataDir,
 		CompactBytes:  opts.CompactBytes,
-	}, nil
+	}
+	if len(opts.Domains) > 0 {
+		// Shard mode: the System hosts (and snapshots, replays,
+		// replicates) only these domains; ingest addressed elsewhere
+		// fails with core.ErrNotHosted.
+		cfg.Domains = append([]string(nil), opts.Domains...)
+	}
+	return cfg, nil
+}
+
+// QuestionClassifier is a standalone routing classifier for a shard
+// front tier: it classifies questions into domains exactly as a
+// monolith System built from the same Options would, without holding
+// any ads corpus of its own at serving time. It implements the
+// internal/shard Classifier interface.
+type QuestionClassifier struct {
+	cls classify.Classifier
+}
+
+// ClassifyQuestion routes one question to its ads domain.
+func (qc *QuestionClassifier) ClassifyQuestion(question string) (string, error) {
+	return core.ClassifyQuestion(qc.cls, question)
+}
+
+// NewQuestionClassifier builds the routing classifier for a shard
+// front tier. It trains over the full eight-domain environment —
+// regardless of opts.Domains — because the front tier must route
+// across every domain the cluster hosts; Seed and AdsPerDomain must
+// match the shards' so routing decisions equal a monolith's.
+func NewQuestionClassifier(opts Options) (*QuestionClassifier, error) {
+	opts.Domains = nil
+	opts.DataDir = ""
+	cfg, err := buildEnvFor(opts, true)
+	if err != nil {
+		return nil, err
+	}
+	return &QuestionClassifier{cls: cfg.Classifier}, nil
 }
 
 // DomainNames lists the eight built-in ads domains.

@@ -176,4 +176,61 @@
 //     then writes are accepted, so a stale primary's stream can never
 //     race a post-promotion write. Automatic failover and quorum
 //     writes are deliberately out of scope (see ROADMAP).
+//
+// # Sharding model
+//
+// Writes scale horizontally by splitting the eight ads domains across
+// processes (internal/shard). The partitioning unit is the domain:
+// tables, snapshot sections and WAL operations are already
+// domain-tagged, so a SHARD is simply a System hosting a subset
+// (core.Config.Domains; `cqadsweb -domains cars,csjobs`) — it
+// populates, indexes, persists (its own DataDir, WAL and fsync
+// cadence) and replicates only those domains, and refuses ingest
+// addressed elsewhere with the typed core.ErrNotHosted (HTTP 421).
+// Its snapshots and WAL carry only hosted domains; a durable shard
+// therefore refuses to open a store holding other domains (a
+// checkpoint would destroy them), while a FOLLOWER — which keeps no
+// local store — may bootstrap from a wider primary's snapshot as a
+// partial replica, filtering foreign-domain snapshot sections and WAL
+// records on the Domain field.
+//
+//   - Ownership and routing. The FRONT TIER (shard.Router behind
+//     shard.Server; `cqadsweb -shards "cars=http://a,..."`) holds no
+//     corpus. It classifies each question exactly once — with the same
+//     classifier construction a monolith uses, so the routing decision
+//     is the decision a monolith would have made — and forwards to the
+//     shard owning the classified domain, proxying the shard's answer
+//     bytes verbatim. Batch questions are grouped per owning shard,
+//     scattered in parallel, and gathered back into input order;
+//     ingest fans out by the ad's Domain field; /api/status and
+//     /healthz scatter-gather a cluster view with per-shard health.
+//
+//   - Equivalence. Every per-domain artifact is derived from the
+//     domain's canonical identity (its index in schema.DomainNames),
+//     never from its position in a shard's subset, and the
+//     word-similarity matrix always spans all eight schemas — so a
+//     shard's slice of the corpus is byte-identical to the monolith's
+//     and the cluster answers bit-identically to a single process.
+//     The cross-topology harness (internal/core/shardequiv_test.go,
+//     internal/shard/equiv_test.go, both built on
+//     internal/shard/shardtest) proves monolith, 8-shard and 2-shard
+//     topologies answer the 650-question workload identically at both
+//     the core API and the HTTP byte level.
+//
+//   - Degraded reads. Ownership is static, so a dead shard cannot be
+//     routed around: its domains answer an empty-answers envelope
+//     carrying the error (HTTP 502 on the single-question endpoint)
+//     while every other domain is unaffected, and the cluster health
+//     rolls up serving/degraded/down. A question the classifier cannot
+//     place is broadcast to every hosted domain and the best
+//     single-domain answer wins deterministically.
+//
+//   - Composition with replication. A shard is a durable System, hence
+//     implicitly a replication primary: it ships only its hosted
+//     domains (its WAL contains nothing else), so a shard can carry
+//     its own follower fleet (`cqadsweb -replicate-from` with the
+//     shard's -domains) and the two scaling axes — domains across
+//     shards, reads across replicas — compose per shard. Shard
+//     rebalancing (moving a domain between shards) and per-shard
+//     admission control are open items (see ROADMAP).
 package repro

@@ -65,9 +65,9 @@ func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.R
 // insertAdLocked is the storage-plus-classifier half of InsertAd. On
 // persistent systems the caller holds persister.mu.
 func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
-	tbl, ok := s.db.TableForDomain(domain)
-	if !ok {
-		return 0, fmt.Errorf("core: unknown domain %q", domain)
+	tbl, err := s.hostedTable(domain)
+	if err != nil {
+		return 0, err
 	}
 	id, err := tbl.Insert(values)
 	if err != nil {
@@ -111,9 +111,9 @@ func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
 
 // deleteAdLocked is the storage half of DeleteAd.
 func (s *System) deleteAdLocked(domain string, id sqldb.RowID) error {
-	tbl, ok := s.db.TableForDomain(domain)
-	if !ok {
-		return fmt.Errorf("core: unknown domain %q", domain)
+	tbl, err := s.hostedTable(domain)
+	if err != nil {
+		return err
 	}
 	return tbl.Delete(id)
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/boolean"
@@ -243,9 +242,9 @@ func dropSets(n, depth int) []map[int]bool {
 // ranking-comparison experiments (Fig. 5) hand this same pool to every
 // ranker so approaches differ only in ordering.
 func (s *System) PartialCandidates(domain string, in *boolean.Interpretation) ([]sqldb.RowID, error) {
-	tbl, ok := s.db.TableForDomain(domain)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown domain %q", domain)
+	tbl, err := s.hostedTable(domain)
+	if err != nil {
+		return nil, err
 	}
 	sel := BuildSelect(tbl.Schema(), in, 0)
 	exact, err := sql.Exec(s.db, sel)

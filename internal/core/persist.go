@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,10 @@ func Open(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := guardShardStore(cfg, st); err != nil {
+		st.Close()
+		return nil, err
+	}
 	hadSnapshot := false
 	if snap := st.LoadedSnapshot(); snap != nil {
 		hadSnapshot = true
@@ -146,13 +151,94 @@ func Open(cfg Config) (*System, error) {
 	return sys, nil
 }
 
+// guardShardStore refuses to attach a System to a data directory
+// whose domain set differs from the System's hosted set, in either
+// direction. Every checkpoint exports exactly the hosted tables and
+// truncates the WAL, so opening a WIDER store would destroy the
+// unhosted domains' durable data, and opening a NARROWER store (a
+// shard's directory re-opened unsharded or with extra domains) would
+// persist freshly seed-fabricated tables next to the real cluster
+// state — both silently, at the first compaction or graceful
+// shutdown. A directory with no snapshot yet (first run) carries no
+// state to protect and always passes. (Domain-filtered recovery is
+// still available where it is safe — followers keep no local store,
+// so OpenFollower may bootstrap a partial replica from a wider
+// primary's snapshot.)
+func guardShardStore(cfg Config, st *persist.Store) error {
+	hosted := make(map[string]bool)
+	if len(cfg.Domains) > 0 {
+		for _, d := range cfg.Domains {
+			hosted[d] = true
+		}
+	} else {
+		for _, d := range cfg.DB.Domains() {
+			hosted[d] = true
+		}
+	}
+	snap := st.LoadedSnapshot()
+	if snap == nil {
+		return nil
+	}
+	inStore := make(map[string]bool, len(snap.Tables))
+	foreign := make(map[string]bool)
+	for _, td := range snap.Tables {
+		inStore[td.Domain] = true
+		if !hosted[td.Domain] {
+			foreign[td.Domain] = true
+		}
+	}
+	for _, op := range st.Tail() {
+		inStore[op.Domain] = true
+		if !hosted[op.Domain] {
+			foreign[op.Domain] = true
+		}
+	}
+	if len(foreign) > 0 {
+		return fmt.Errorf("core: data directory %s holds domains this shard does not host (%s); a checkpoint would destroy them — open with a matching Config.Domains or a fresh directory",
+			st.Dir(), strings.Join(sortedKeys(foreign), ", "))
+	}
+	missing := make(map[string]bool)
+	for d := range hosted {
+		if !inStore[d] {
+			missing[d] = true
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("core: data directory %s belongs to a shard that does not host %s; a checkpoint would persist seed-fabricated tables for them — open with the directory's own Config.Domains or a fresh directory",
+			st.Dir(), strings.Join(sortedKeys(missing), ", "))
+	}
+	return nil
+}
+
+// sortedKeys renders a set deterministically for error messages.
+func sortedKeys(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for d := range set {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // restoreSnapshot replaces the contents of cfg.DB's tables with the
-// snapshot image and imports the classifier state.
+// snapshot image and imports the classifier state. When cfg.Domains
+// restricts the hosted set (shard mode), sections for domains the
+// database knows but the shard does not host are skipped — that is
+// how a follower bootstraps a partial replica from a wider primary's
+// snapshot; sections for domains the database has never heard of
+// still fail loudly as corruption.
 func restoreSnapshot(cfg Config, snap *persist.Snapshot) error {
+	hosted := make(map[string]bool, len(cfg.Domains))
+	for _, d := range cfg.Domains {
+		hosted[d] = true
+	}
 	for _, td := range snap.Tables {
 		tbl, ok := cfg.DB.TableForDomain(td.Domain)
 		if !ok {
 			return fmt.Errorf("core: snapshot has domain %q but the database does not", td.Domain)
+		}
+		if len(hosted) > 0 && !hosted[td.Domain] {
+			continue // known domain, hosted elsewhere: filtered
 		}
 		attrs := tbl.Schema().Attrs
 		if len(td.Columns) != len(attrs) {
@@ -183,6 +269,16 @@ func restoreSnapshot(cfg Config, snap *persist.Snapshot) error {
 // ingest path (no logging — the persister is not attached yet), and
 // verifies each insert lands on the RowID the log recorded.
 func (s *System) replayOp(op persist.Op) error {
+	if s.sharded && !s.hosted[op.Domain] {
+		if _, ok := s.db.TableForDomain(op.Domain); ok {
+			// WAL filtering on the Domain field: a partial follower
+			// being shipped a wider primary's log applies only its own
+			// operations. Domains the database has never heard of fall
+			// through and fail loudly as corruption, same as on an
+			// unsharded system.
+			return nil
+		}
+	}
 	switch op.Kind {
 	case persist.OpInsert:
 		values := make(map[string]sqldb.Value, len(op.Columns))
@@ -279,7 +375,7 @@ func (s *System) Checkpoint() error {
 func (s *System) checkpointLocked() error {
 	p := s.persist
 	snap := &persist.Snapshot{}
-	for _, domain := range s.db.Domains() {
+	for _, domain := range s.domains {
 		tbl, _ := s.db.TableForDomain(domain)
 		slots, rows := tbl.ExportState()
 		attrs := tbl.Schema().Attrs
@@ -389,7 +485,7 @@ type Status struct {
 func (s *System) Status() Status {
 	var st Status
 	st.Replication = s.replicationStatus()
-	for _, domain := range s.db.Domains() {
+	for _, domain := range s.domains {
 		tbl, _ := s.db.TableForDomain(domain)
 		st.Domains = append(st.Domains, DomainStatus{
 			Domain:  domain,

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -90,6 +91,9 @@ func OpenFollower(cfg Config, snap *persist.Snapshot) (*System, error) {
 		return nil, fmt.Errorf("core: OpenFollower requires a snapshot")
 	}
 	cfg.DataDir = "" // no local durability on replicas
+	if err := guardFollowerSnapshot(cfg, snap); err != nil {
+		return nil, err
+	}
 	if err := restoreSnapshot(cfg, snap); err != nil {
 		return nil, err
 	}
@@ -102,6 +106,34 @@ func OpenFollower(cfg Config, snap *persist.Snapshot) (*System, error) {
 	f.primarySeq.Store(snap.Seq)
 	sys.follower = f
 	return sys, nil
+}
+
+// guardFollowerSnapshot requires the primary's snapshot to cover
+// every domain this follower hosts: a hosted domain absent from the
+// transfer would keep its freshly seeded table and silently answer
+// with data the cluster never ingested, while still reporting role
+// "follower". The snapshot may be WIDER than the hosted set — that is
+// a partial follower, and restoreSnapshot/replayOp filter the rest.
+func guardFollowerSnapshot(cfg Config, snap *persist.Snapshot) error {
+	hosted := cfg.Domains
+	if len(hosted) == 0 {
+		hosted = cfg.DB.Domains()
+	}
+	covered := make(map[string]bool, len(snap.Tables))
+	for _, td := range snap.Tables {
+		covered[td.Domain] = true
+	}
+	var missing []string
+	for _, d := range hosted {
+		if !covered[d] {
+			missing = append(missing, d)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("core: the primary's snapshot does not cover hosted domain(s) %s — the follower must be built with (a subset of) the primary's Config.Domains",
+			strings.Join(missing, ", "))
+	}
+	return nil
 }
 
 // ApplyOps applies a contiguous run of shipped operations in sequence
@@ -163,6 +195,9 @@ func (s *System) ResetToSnapshot(snap *persist.Snapshot) error {
 	}
 	f.rebootstrapping.Store(true)
 	defer f.rebootstrapping.Store(false)
+	if err := guardFollowerSnapshot(f.cfg, snap); err != nil {
+		return err
+	}
 	if err := restoreSnapshot(f.cfg, snap); err != nil {
 		return err
 	}

@@ -6,7 +6,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +32,14 @@ const DefaultMaxAnswers = 30
 type Config struct {
 	// DB holds one populated table per ads domain.
 	DB *sqldb.DB
+	// Domains, when non-empty, restricts the System to hosting only
+	// these domains (shard mode): taggers and similarity bundles are
+	// built only for them, Ask/AskInDomain and ingestion refuse other
+	// domains with a typed *NotHostedError, snapshots export only the
+	// hosted tables, and recovery replay skips snapshot sections and
+	// WAL operations tagged with other domains. Every entry must name
+	// a table present in DB. Empty hosts everything DB holds.
+	Domains []string
 	// Classifier routes questions to domains; nil disables
 	// classification (AskInDomain still works).
 	Classifier classify.Classifier
@@ -88,11 +98,19 @@ const DefaultCompactBytes = 4 << 20
 // including mutation: InsertAd/DeleteAd may run while other goroutines
 // Ask. See the package documentation for the invalidation contract.
 type System struct {
-	db            *sqldb.DB
-	classifier    classify.Classifier
-	taggers       map[string]*trie.Tagger
-	sims          map[string]*rank.Similarity
-	dedups        map[string]*dedupState
+	db         *sqldb.DB
+	classifier classify.Classifier
+	taggers    map[string]*trie.Tagger
+	sims       map[string]*rank.Similarity
+	dedups     map[string]*dedupState
+	// domains is the hosted-domain list (Config.Domains, or every DB
+	// domain); hosted is its membership set, and sharded reports
+	// whether Config.Domains restricted the System to a subset — only
+	// then do recovery and replication filter foreign-domain data
+	// instead of treating it as corruption.
+	domains       []string
+	hosted        map[string]bool
+	sharded       bool
 	maxAnswers    int
 	depth         int
 	strict        bool
@@ -156,8 +174,9 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// New builds a System from cfg. Every domain table in cfg.DB gets a
-// tagger and a similarity bundle.
+// New builds a System from cfg. Every hosted domain table in cfg.DB
+// gets a tagger and a similarity bundle; Config.Domains restricts the
+// hosted set (shard mode), empty hosts everything.
 func New(cfg Config) (*System, error) {
 	if cfg.DB == nil {
 		return nil, fmt.Errorf("core: Config.DB is required")
@@ -167,6 +186,7 @@ func New(cfg Config) (*System, error) {
 		classifier:    cfg.Classifier,
 		taggers:       make(map[string]*trie.Tagger),
 		sims:          make(map[string]*rank.Similarity),
+		hosted:        make(map[string]bool),
 		maxAnswers:    cfg.MaxAnswers,
 		depth:         cfg.RelaxationDepth,
 		strict:        cfg.StrictBoolean,
@@ -179,7 +199,25 @@ func New(cfg Config) (*System, error) {
 	if s.depth <= 0 {
 		s.depth = 1
 	}
-	for _, domain := range cfg.DB.Domains() {
+	if len(cfg.Domains) > 0 {
+		s.sharded = true
+		for _, domain := range cfg.Domains {
+			if _, ok := cfg.DB.TableForDomain(domain); !ok {
+				return nil, fmt.Errorf("core: Config.Domains names %q but the database has no such table", domain)
+			}
+			if s.hosted[domain] {
+				return nil, fmt.Errorf("core: Config.Domains names %q twice", domain)
+			}
+			s.hosted[domain] = true
+			s.domains = append(s.domains, domain)
+		}
+	} else {
+		s.domains = cfg.DB.Domains()
+		for _, domain := range s.domains {
+			s.hosted[domain] = true
+		}
+	}
+	for _, domain := range s.domains {
 		tbl, _ := cfg.DB.TableForDomain(domain)
 		sch := tbl.Schema()
 		if cfg.UseSynonyms {
@@ -195,13 +233,50 @@ func New(cfg Config) (*System, error) {
 	}
 	if cfg.Dedup {
 		s.dedups = make(map[string]*dedupState)
-		for _, domain := range cfg.DB.Domains() {
+		for _, domain := range s.domains {
 			tbl, _ := cfg.DB.TableForDomain(domain)
 			s.dedups[domain] = &dedupState{}
 			s.dedupFor(domain, tbl) // warm the cache at the build version
 		}
 	}
 	return s, nil
+}
+
+// ErrNotHosted marks every *NotHostedError: the domain exists but this
+// System is a shard that does not host it (Config.Domains). Callers
+// route the request to the owning shard instead of treating it as a
+// bad request.
+var ErrNotHosted = errors.New("core: domain is not hosted by this shard")
+
+// NotHostedError reports an operation addressed to a known domain that
+// this shard does not host. errors.Is(err, ErrNotHosted) matches it.
+type NotHostedError struct {
+	// Domain is the requested domain.
+	Domain string
+	// Hosted lists the domains this shard does host.
+	Hosted []string
+}
+
+func (e *NotHostedError) Error() string {
+	return fmt.Sprintf("core: domain %q is not hosted by this shard (hosted: %s)",
+		e.Domain, strings.Join(e.Hosted, ", "))
+}
+
+// Is makes errors.Is(err, ErrNotHosted) succeed.
+func (e *NotHostedError) Is(target error) bool { return target == ErrNotHosted }
+
+// hostedTable resolves a domain to its table, distinguishing a domain
+// unknown to the database from one present but not hosted by this
+// shard (typed *NotHostedError).
+func (s *System) hostedTable(domain string) (*sqldb.Table, error) {
+	tbl, ok := s.db.TableForDomain(domain)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown domain %q", domain)
+	}
+	if !s.hosted[domain] {
+		return nil, &NotHostedError{Domain: domain, Hosted: s.Domains()}
+	}
+	return tbl, nil
 }
 
 // dedupFor returns the current near-duplicate representatives of a
@@ -225,8 +300,13 @@ func (s *System) dedupFor(domain string, tbl *sqldb.Table) *dedup.Result {
 	return st.res
 }
 
-// Domains lists the domains the system can answer questions in.
-func (s *System) Domains() []string { return s.db.Domains() }
+// Domains lists the domains the system can answer questions in — the
+// hosted subset when Config.Domains restricted it (shard mode).
+func (s *System) Domains() []string {
+	out := make([]string, len(s.domains))
+	copy(out, s.domains)
+	return out
+}
 
 // Tagger exposes the tagger of a domain (used by experiments).
 func (s *System) Tagger(domain string) *trie.Tagger { return s.taggers[domain] }
@@ -242,11 +322,26 @@ func (s *System) Ask(question string) (*Result, error) {
 	if s.classifier == nil {
 		return nil, fmt.Errorf("core: Ask requires a classifier; use AskInDomain")
 	}
-	domain, _, err := s.classifier.Classify(questionTokens(question))
+	domain, err := ClassifyQuestion(s.classifier, question)
 	if err != nil {
-		return nil, fmt.Errorf("core: classifying question: %w", err)
+		return nil, err
 	}
 	return s.AskInDomain(domain, question)
+}
+
+// ClassifyQuestion routes one question to its ads domain through c,
+// applying exactly the tokenization System.Ask uses. Exported so a
+// front tier (internal/shard) can classify once and forward to the
+// owning shard with the same routing decision a monolith would make.
+func ClassifyQuestion(c classify.Classifier, question string) (string, error) {
+	if c == nil {
+		return "", fmt.Errorf("core: no classifier configured")
+	}
+	domain, _, err := c.Classify(questionTokens(question))
+	if err != nil {
+		return "", fmt.Errorf("core: classifying question: %w", err)
+	}
+	return domain, nil
 }
 
 // AskInDomain answers a question against one ads domain, running the
@@ -254,9 +349,9 @@ func (s *System) Ask(question string) (*Result, error) {
 // resolution → SQL → exact answers → ranked partial answers.
 func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	start := time.Now()
-	tbl, ok := s.db.TableForDomain(domain)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown domain %q", domain)
+	tbl, err := s.hostedTable(domain)
+	if err != nil {
+		return nil, err
 	}
 	tagger := s.taggers[domain]
 	sch := tbl.Schema()

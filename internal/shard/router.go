@@ -1,0 +1,465 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTimeout bounds one upstream shard call when Config.Client is
+// nil.
+const DefaultTimeout = 15 * time.Second
+
+// DefaultProbeTimeout bounds one /healthz or /api/status probe. Kept
+// far below the data-path timeout: a single wedged shard must not
+// stall the whole cluster health view past a load balancer's own
+// probe deadline.
+const DefaultProbeTimeout = 2 * time.Second
+
+// Config wires a Router.
+type Config struct {
+	// Shards maps each hosted domain to the base URL of the shard
+	// serving it (ParseMap produces this). The same URL may own
+	// several domains.
+	Shards map[string]string
+	// Classifier routes questions without an explicit domain; nil
+	// makes such requests fail with a RouteError instead of routing.
+	Classifier Classifier
+	// Client issues every upstream request; nil uses a client with
+	// Timeout (or DefaultTimeout).
+	Client *http.Client
+	// Timeout configures the default client; ignored when Client is
+	// set. 0 means DefaultTimeout.
+	Timeout time.Duration
+	// ProbeTimeout bounds each ClusterStatus/ClusterHealth probe; 0
+	// means DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+}
+
+// Router owns the routing table of a shard cluster: classify once,
+// forward to the owner, scatter-gather batches and cluster probes. It
+// is safe for concurrent use and spawns no background goroutines —
+// every scatter joins before its method returns.
+type Router struct {
+	owner        map[string]string   // domain → base URL
+	domains      []string            // hosted domains, sorted
+	urls         []string            // unique shard URLs, sorted
+	byURL        map[string][]string // base URL → its domains, sorted
+	cls          Classifier
+	client       *http.Client
+	probeTimeout time.Duration
+}
+
+// New builds a Router over a parsed shard map.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: Config.Shards is empty")
+	}
+	client := cfg.Client
+	if client == nil {
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = DefaultTimeout
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = DefaultProbeTimeout
+	}
+	r := &Router{
+		owner:        make(map[string]string, len(cfg.Shards)),
+		byURL:        make(map[string][]string),
+		cls:          cfg.Classifier,
+		client:       client,
+		probeTimeout: probeTimeout,
+	}
+	for domain, base := range cfg.Shards {
+		r.owner[domain] = base
+		r.domains = append(r.domains, domain)
+		r.byURL[base] = append(r.byURL[base], domain)
+	}
+	sort.Strings(r.domains)
+	for base, ds := range r.byURL {
+		sort.Strings(ds)
+		r.urls = append(r.urls, base)
+	}
+	sort.Strings(r.urls)
+	return r, nil
+}
+
+// Close releases pooled upstream connections.
+func (r *Router) Close() { r.client.CloseIdleConnections() }
+
+// Domains lists the hosted domains, sorted.
+func (r *Router) Domains() []string {
+	out := make([]string, len(r.domains))
+	copy(out, r.domains)
+	return out
+}
+
+// Owner reports the shard base URL hosting a domain.
+func (r *Router) Owner(domain string) (string, bool) {
+	base, ok := r.owner[domain]
+	return base, ok
+}
+
+// Route classifies a question into its owning domain.
+func (r *Router) Route(question string) (string, error) {
+	if r.cls == nil {
+		return "", fmt.Errorf("shard: no classifier configured; pass an explicit domain")
+	}
+	return r.cls.ClassifyQuestion(question)
+}
+
+// Proxied is one upstream answer, verbatim: the owning shard's HTTP
+// status and JSON body, byte-identical to what the shard (and
+// therefore a monolith) would have served directly.
+type Proxied struct {
+	// Domain the request was routed to ("" for a broadcast merge).
+	Domain string
+	// Status is the shard's HTTP status code.
+	Status int
+	// Body is the shard's response body.
+	Body []byte
+}
+
+// Ask answers one question through the cluster: classify (when domain
+// is empty), forward GET /api/ask to the owning shard, and return its
+// verbatim response. A question the classifier cannot place falls
+// back to broadcast-and-merge across every hosted domain. Errors are
+// always *RouteError.
+func (r *Router) Ask(ctx context.Context, domain, question string) (*Proxied, error) {
+	if domain == "" {
+		if r.cls == nil {
+			// A missing classifier is a configuration fault, not an
+			// unclassifiable question: fail as documented instead of
+			// silently broadcasting every query N-wide.
+			_, err := r.Route(question)
+			return nil, &RouteError{Err: err}
+		}
+		d, err := r.Route(question)
+		if err != nil {
+			return r.askBroadcast(ctx, question, err)
+		}
+		domain = d
+	}
+	return r.askOwned(ctx, domain, question)
+}
+
+// askOwned forwards one question to the shard owning domain.
+func (r *Router) askOwned(ctx context.Context, domain, question string) (*Proxied, error) {
+	base, ok := r.owner[domain]
+	if !ok {
+		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
+	}
+	q := url.Values{"domain": {domain}, "q": {question}}
+	status, body, err := r.do(ctx, http.MethodGet, base, "/api/ask?"+q.Encode(), nil, "")
+	if err != nil {
+		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
+	}
+	return &Proxied{Domain: domain, Status: status, Body: body}, nil
+}
+
+// askBroadcast is the unclassifiable-question fallback: the question
+// is asked in every hosted domain concurrently and the best
+// single-domain answer wins — most exact answers, then most answers,
+// then canonical (sorted) domain order, so the merge is deterministic.
+// classifyErr is surfaced when no shard answers at all.
+func (r *Router) askBroadcast(ctx context.Context, question string, classifyErr error) (*Proxied, error) {
+	type cand struct {
+		domain  string
+		proxied *Proxied
+		exact   int
+		answers int
+	}
+	results := make([]*cand, len(r.domains))
+	var wg sync.WaitGroup
+	for i, domain := range r.domains {
+		wg.Add(1)
+		go func(i int, domain string) {
+			defer wg.Done()
+			p, err := r.askOwned(ctx, domain, question)
+			if err != nil || p.Status != http.StatusOK {
+				return
+			}
+			var body struct {
+				ExactCount int               `json:"exact_count"`
+				Answers    []json.RawMessage `json:"answers"`
+			}
+			if json.Unmarshal(p.Body, &body) != nil {
+				return
+			}
+			results[i] = &cand{domain: domain, proxied: p, exact: body.ExactCount, answers: len(body.Answers)}
+		}(i, domain)
+	}
+	wg.Wait()
+	var best *cand
+	for _, c := range results { // sorted domain order breaks ties
+		if c == nil {
+			continue
+		}
+		if best == nil || c.exact > best.exact || (c.exact == best.exact && c.answers > best.answers) {
+			best = c
+		}
+	}
+	if best == nil {
+		if classifyErr == nil {
+			return nil, &RouteError{Err: fmt.Errorf("no shard answered the broadcast")}
+		}
+		return nil, &RouteError{Err: fmt.Errorf("unclassifiable and no shard answered the broadcast: %w", classifyErr)}
+	}
+	p := *best.proxied
+	p.Domain = "" // a merged answer was not routed to one domain
+	return &p, nil
+}
+
+// Item is one question's outcome in a scattered batch: the owning
+// shard's raw per-question JSON object (exactly the entry a monolith's
+// POST /api/ask/batch would carry), or the *RouteError that prevented
+// one.
+type Item struct {
+	Index  int
+	Domain string
+	JSON   json.RawMessage
+	Err    error
+}
+
+// AskBatch answers many questions through the cluster. Each question
+// is classified once (unless domain pins them all), the questions are
+// grouped by owning shard — one POST /api/ask/batch per hosted domain,
+// scattered in parallel — and the per-question answers are gathered
+// back into input order. A failed group fails only its own questions
+// (typed *RouteError per item); unclassifiable questions fall back to
+// broadcast-and-merge individually.
+func (r *Router) AskBatch(ctx context.Context, domain string, questions []string) []Item {
+	items := make([]Item, len(questions))
+	groups := make(map[string][]int)
+	type unrouted struct {
+		idx int
+		err error // the classification failure, surfaced if broadcast also fails
+	}
+	var broadcast []unrouted
+	for i, q := range questions {
+		items[i].Index = i
+		d := domain
+		if d == "" {
+			routed, err := r.Route(q)
+			if err != nil {
+				if r.cls == nil {
+					// Configuration fault, not an unclassifiable
+					// question — no broadcast (see Ask).
+					items[i].Err = &RouteError{Err: err}
+					continue
+				}
+				broadcast = append(broadcast, unrouted{idx: i, err: err})
+				continue
+			}
+			d = routed
+		}
+		items[i].Domain = d
+		if _, ok := r.owner[d]; !ok {
+			items[i].Err = &RouteError{Domain: d, Err: ErrNoShard}
+			continue
+		}
+		groups[d] = append(groups[d], i)
+	}
+	var wg sync.WaitGroup
+	for d, idxs := range groups {
+		wg.Add(1)
+		go func(d string, idxs []int) {
+			defer wg.Done()
+			r.askGroup(ctx, d, questions, idxs, items)
+		}(d, idxs)
+	}
+	for _, u := range broadcast {
+		wg.Add(1)
+		go func(i int, classifyErr error) {
+			defer wg.Done()
+			p, err := r.askBroadcast(ctx, questions[i], classifyErr)
+			if err != nil {
+				items[i].Err = err
+				return
+			}
+			items[i].JSON = json.RawMessage(p.Body)
+		}(u.idx, u.err)
+	}
+	wg.Wait()
+	return items
+}
+
+// askGroup sends one domain's questions to its owning shard and
+// scatters the per-question answers back into the item slots, which
+// are disjoint across groups.
+func (r *Router) askGroup(ctx context.Context, domain string, questions []string, idxs []int, items []Item) {
+	base := r.owner[domain]
+	fail := func(err error) {
+		for _, i := range idxs {
+			items[i].Err = err
+		}
+	}
+	chunk := make([]string, len(idxs))
+	for j, i := range idxs {
+		chunk[j] = questions[i]
+	}
+	body, err := json.Marshal(map[string]any{"domain": domain, "questions": chunk})
+	if err != nil {
+		fail(&RouteError{Domain: domain, Shard: base, Err: err})
+		return
+	}
+	status, respBody, err := r.do(ctx, http.MethodPost, base, "/api/ask/batch", body, "application/json")
+	if err != nil {
+		fail(&RouteError{Domain: domain, Shard: base, Err: err})
+		return
+	}
+	if status != http.StatusOK {
+		fail(&RouteError{Domain: domain, Shard: base, Status: status,
+			Err: fmt.Errorf("batch refused: %s", bytes.TrimSpace(respBody))})
+		return
+	}
+	var out struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(respBody, &out); err != nil {
+		fail(&RouteError{Domain: domain, Shard: base, Status: status, Err: fmt.Errorf("decoding batch response: %w", err)})
+		return
+	}
+	if len(out.Results) != len(idxs) {
+		fail(&RouteError{Domain: domain, Shard: base, Status: status,
+			Err: fmt.Errorf("shard returned %d results for %d questions", len(out.Results), len(idxs))})
+		return
+	}
+	for j, i := range idxs {
+		items[i].JSON = out.Results[j]
+	}
+}
+
+// ForwardAd fans one POST /api/ads body out to the shard owning the
+// ad's Domain field, returning the shard's verbatim response.
+func (r *Router) ForwardAd(ctx context.Context, domain string, body []byte) (*Proxied, error) {
+	base, ok := r.owner[domain]
+	if !ok {
+		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
+	}
+	status, respBody, err := r.do(ctx, http.MethodPost, base, "/api/ads", body, "application/json")
+	if err != nil {
+		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
+	}
+	return &Proxied{Domain: domain, Status: status, Body: respBody}, nil
+}
+
+// ForwardDelete forwards DELETE /api/ads/{id}?domain=... to the owning
+// shard.
+func (r *Router) ForwardDelete(ctx context.Context, domain, id string) (*Proxied, error) {
+	base, ok := r.owner[domain]
+	if !ok {
+		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
+	}
+	q := url.Values{"domain": {domain}}
+	status, respBody, err := r.do(ctx, http.MethodDelete, base, "/api/ads/"+url.PathEscape(id)+"?"+q.Encode(), nil, "")
+	if err != nil {
+		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
+	}
+	return &Proxied{Domain: domain, Status: status, Body: respBody}, nil
+}
+
+// ShardView is one shard's slice of a scatter-gathered cluster probe.
+type ShardView struct {
+	// URL is the shard's base URL; Domains the domains it owns.
+	URL     string   `json:"url"`
+	Domains []string `json:"domains"`
+	// Reachable reports whether the probe got an HTTP response at all.
+	Reachable bool `json:"reachable"`
+	// StatusCode is the shard's HTTP status (0 when unreachable).
+	StatusCode int `json:"status_code,omitempty"`
+	// State is the shard's /healthz state ("serving", "recovering",
+	// "write-failed"); empty for /api/status probes and failures.
+	State string `json:"state,omitempty"`
+	// Body is the shard's raw JSON response (status probes only).
+	Body json.RawMessage `json:"status,omitempty"`
+	// Error describes the probe failure.
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterStatus scatter-gathers GET /api/status across every shard,
+// one view per unique shard URL in sorted order.
+func (r *Router) ClusterStatus(ctx context.Context) []ShardView {
+	return r.probeAll(ctx, "/api/status", false)
+}
+
+// ClusterHealth scatter-gathers GET /healthz across every shard.
+func (r *Router) ClusterHealth(ctx context.Context) []ShardView {
+	return r.probeAll(ctx, "/healthz", true)
+}
+
+// probeAll hits one path on every unique shard URL concurrently,
+// each probe bounded by the probe timeout so a wedged shard cannot
+// stall the cluster view for the data path's much longer deadline.
+func (r *Router) probeAll(ctx context.Context, path string, health bool) []ShardView {
+	ctx, cancel := context.WithTimeout(ctx, r.probeTimeout)
+	defer cancel()
+	views := make([]ShardView, len(r.urls))
+	var wg sync.WaitGroup
+	for i, base := range r.urls {
+		views[i] = ShardView{URL: base, Domains: r.byURL[base]}
+		wg.Add(1)
+		go func(v *ShardView, base string) {
+			defer wg.Done()
+			status, body, err := r.do(ctx, http.MethodGet, base, path, nil, "")
+			if err != nil {
+				v.Error = err.Error()
+				return
+			}
+			v.Reachable = true
+			v.StatusCode = status
+			if health {
+				var h struct {
+					State string `json:"state"`
+				}
+				if json.Unmarshal(body, &h) == nil {
+					v.State = h.State
+				}
+				return
+			}
+			if json.Valid(body) {
+				v.Body = json.RawMessage(body)
+			} else {
+				v.Error = "shard returned invalid JSON"
+			}
+		}(&views[i], base)
+	}
+	wg.Wait()
+	return views
+}
+
+// do issues one upstream request and slurps the response.
+func (r *Router) do(ctx context.Context, method, base, pathAndQuery string, body []byte, contentType string) (int, []byte, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+pathAndQuery, reader)
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("reading response: %w", err)
+	}
+	return resp.StatusCode, respBody, nil
+}

@@ -1,0 +1,344 @@
+package shard_test
+
+// Fault injection against the front tier: slow shards (deadline
+// exceeded), shards answering 503 (the write-failed latch), shards
+// mid-recovery, and partial-batch failures. Every test asserts
+// input-order gather and typed *shard.RouteError envelopes, and every
+// test finishes with a goleak-style goroutine-count check — the
+// router promises to spawn nothing that outlives its calls.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// checkGoroutines snapshots the goroutine count and returns a check
+// to run after the test's servers and routers are closed: the count
+// must return to the baseline (retrying briefly — http internals wind
+// down asynchronously) or the test fails with a full stack dump.
+// Register it FIRST via t.Cleanup so it runs after the other cleanups.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// tableClassifier routes by exact question text.
+type tableClassifier map[string]string
+
+func (c tableClassifier) ClassifyQuestion(q string) (string, error) {
+	if d, ok := c[q]; ok {
+		return d, nil
+	}
+	return "", fmt.Errorf("unclassifiable question %q", q)
+}
+
+// cannedResult is the minimal per-question answer object a fake shard
+// returns.
+func cannedResult(domain, q string) json.RawMessage {
+	b, _ := json.Marshal(map[string]any{
+		"domain": domain, "interpretation": q, "sql": "",
+		"exact_count": 1, "answers": []any{map[string]any{"exact": true, "rank_sim": 1.0, "record": map[string]string{}}},
+	})
+	return b
+}
+
+// fakeShard serves the two endpoints the router calls, answering
+// canned results; hook overrides the whole handler when non-nil.
+func fakeShard(t *testing.T, domain string, hook http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hook != nil {
+			hook(w, r)
+			return
+		}
+		switch {
+		case r.URL.Path == "/api/ask":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(cannedResult(domain, r.URL.Query().Get("q")))
+		case r.URL.Path == "/api/ask/batch":
+			var req struct {
+				Questions []string `json:"questions"`
+			}
+			_ = json.NewDecoder(r.Body).Decode(&req)
+			results := make([]json.RawMessage, len(req.Questions))
+			for i, q := range req.Questions {
+				results[i] = cannedResult(domain, q)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
+		case r.URL.Path == "/healthz":
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]string{"state": "serving"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// newRouter wires a Router over fake shards with a short upstream
+// timeout, registering cleanups in leak-check-friendly order.
+func newRouter(t *testing.T, shards map[string]string, cls shard.Classifier, timeout time.Duration) *shard.Router {
+	t.Helper()
+	rt, err := shard.New(shard.Config{
+		Shards:     shards,
+		Classifier: cls,
+		Client:     &http.Client{Timeout: timeout},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestRouterSlowShardDeadline: a shard that answers slower than the
+// client timeout fails only its own questions, with a typed error;
+// the fast shard's answers land in input order.
+func TestRouterSlowShardDeadline(t *testing.T) {
+	checkGoroutines(t)
+	release := make(chan struct{})
+	slow := fakeShard(t, "cars", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done(): // client gave up
+		case <-release: // test over; let the server close cleanly
+		}
+	})
+	t.Cleanup(func() { close(release) })
+	fast := fakeShard(t, "csjobs", nil)
+	cls := tableClassifier{"q-cars": "cars", "q-jobs": "csjobs"}
+	rt := newRouter(t, map[string]string{"cars": slow.URL, "csjobs": fast.URL}, cls, 150*time.Millisecond)
+
+	questions := []string{"q-cars", "q-jobs", "q-cars", "q-jobs"}
+	items := rt.AskBatch(context.Background(), "", questions)
+	if len(items) != len(questions) {
+		t.Fatalf("got %d items", len(items))
+	}
+	for i, item := range items {
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+		if i%2 == 0 { // cars: the slow shard
+			var re *shard.RouteError
+			if !errors.As(item.Err, &re) {
+				t.Fatalf("slow-shard item %d error = %v, want *RouteError", i, item.Err)
+			}
+			if re.Domain != "cars" || re.Shard != slow.URL || re.Status != 0 {
+				t.Errorf("slow-shard RouteError = %+v", re)
+			}
+			continue
+		}
+		if item.Err != nil || item.JSON == nil {
+			t.Errorf("fast-shard item %d: err=%v", i, item.Err)
+		}
+	}
+	// Single-question path times out with the same typed error.
+	if _, err := rt.Ask(context.Background(), "", "q-cars"); err == nil {
+		t.Fatal("slow-shard Ask succeeded")
+	} else {
+		var re *shard.RouteError
+		if !errors.As(err, &re) || re.Domain != "cars" {
+			t.Fatalf("slow-shard Ask error = %v", err)
+		}
+	}
+}
+
+// TestRouterShard503: a shard whose durability latch tripped answers
+// 503; the batch path reports it as a typed error carrying the
+// status, and the single-question path proxies the shard's own
+// response so the caller sees exactly what the shard said.
+func TestRouterShard503(t *testing.T) {
+	checkGoroutines(t)
+	latched := fakeShard(t, "cars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "durability lost"})
+	})
+	healthy := fakeShard(t, "csjobs", nil)
+	cls := tableClassifier{"q-cars": "cars", "q-jobs": "csjobs"}
+	rt := newRouter(t, map[string]string{"cars": latched.URL, "csjobs": healthy.URL}, cls, time.Second)
+
+	items := rt.AskBatch(context.Background(), "", []string{"q-jobs", "q-cars"})
+	if items[0].Err != nil {
+		t.Fatalf("healthy item failed: %v", items[0].Err)
+	}
+	var re *shard.RouteError
+	if !errors.As(items[1].Err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("latched item error = %v, want RouteError with 503", items[1].Err)
+	}
+	p, err := rt.Ask(context.Background(), "", "q-cars")
+	if err != nil {
+		t.Fatalf("Ask should proxy the shard's 503, got error %v", err)
+	}
+	if p.Status != http.StatusServiceUnavailable {
+		t.Fatalf("proxied status = %d", p.Status)
+	}
+}
+
+// TestRouterShardRecovering: a shard mid-re-bootstrap reports
+// "recovering" on /healthz; the cluster rollup degrades without going
+// down, and the per-shard state is visible in the front tier's probe.
+func TestRouterShardRecovering(t *testing.T) {
+	checkGoroutines(t)
+	recovering := fakeShard(t, "cars", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"state": "recovering"})
+			return
+		}
+		http.NotFound(w, r)
+	})
+	healthy := fakeShard(t, "csjobs", nil)
+	rt := newRouter(t, map[string]string{"cars": recovering.URL, "csjobs": healthy.URL}, nil, time.Second)
+	front := httptest.NewServer(shard.NewServer(rt))
+	t.Cleanup(front.Close)
+
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		State  string `json:"state"`
+		Shards []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || health.State != "degraded" {
+		t.Fatalf("cluster health = %d %q, want 200 degraded", resp.StatusCode, health.State)
+	}
+	states := map[string]string{}
+	for _, sh := range health.Shards {
+		states[sh.URL] = sh.State
+	}
+	if states[recovering.URL] != "recovering" || states[healthy.URL] != "serving" {
+		t.Fatalf("per-shard states = %v", states)
+	}
+	// This router has no classifier: a domain-less question must fail
+	// with the typed error as documented — never broadcast.
+	if _, err := rt.Ask(context.Background(), "", "anything"); err == nil {
+		t.Fatal("classifier-less router answered a domain-less question")
+	} else {
+		var re *shard.RouteError
+		if !errors.As(err, &re) {
+			t.Fatalf("classifier-less error = %v, want *RouteError", err)
+		}
+	}
+	items := rt.AskBatch(context.Background(), "", []string{"a", "b"})
+	for i, item := range items {
+		var re *shard.RouteError
+		if !errors.As(item.Err, &re) {
+			t.Fatalf("classifier-less batch item %d error = %v, want *RouteError", i, item.Err)
+		}
+	}
+}
+
+// TestRouterPartialBatchFailure: one shard is plain dead (connection
+// refused). Its questions degrade with typed errors, every other
+// question answers, and the gather preserves input order even with
+// the failures interleaved.
+func TestRouterPartialBatchFailure(t *testing.T) {
+	checkGoroutines(t)
+	dead := fakeShard(t, "cars", nil)
+	deadURL := dead.URL
+	dead.Close()
+	okA := fakeShard(t, "csjobs", nil)
+	okB := fakeShard(t, "jewellery", nil)
+	cls := tableClassifier{"q-cars": "cars", "q-jobs": "csjobs", "q-gold": "jewellery"}
+	rt := newRouter(t, map[string]string{
+		"cars": deadURL, "csjobs": okA.URL, "jewellery": okB.URL,
+	}, cls, time.Second)
+
+	questions := []string{"q-jobs", "q-cars", "q-gold", "q-cars", "q-jobs"}
+	items := rt.AskBatch(context.Background(), "", questions)
+	for i, item := range items {
+		if item.Index != i {
+			t.Fatalf("item %d carries index %d", i, item.Index)
+		}
+		if questions[i] == "q-cars" {
+			var re *shard.RouteError
+			if !errors.As(item.Err, &re) || re.Domain != "cars" {
+				t.Errorf("dead-shard item %d error = %v", i, item.Err)
+			}
+			continue
+		}
+		if item.Err != nil {
+			t.Errorf("healthy item %d failed: %v", i, item.Err)
+			continue
+		}
+		var res struct {
+			Domain string `json:"domain"`
+		}
+		if err := json.Unmarshal(item.JSON, &res); err != nil || res.Domain != cls[questions[i]] {
+			t.Errorf("item %d answered domain %q, want %q", i, res.Domain, cls[questions[i]])
+		}
+	}
+	// An unknown domain is typed ErrNoShard, not a transport error.
+	if _, err := rt.Ask(context.Background(), "boats", "any"); !errors.Is(err, shard.ErrNoShard) {
+		t.Fatalf("unknown-domain error = %v, want ErrNoShard", err)
+	}
+}
+
+// TestRouterBroadcastFallback: a question the classifier cannot place
+// is broadcast to every hosted domain and the best answer wins —
+// never an error while any shard answers.
+func TestRouterBroadcastFallback(t *testing.T) {
+	checkGoroutines(t)
+	a := fakeShard(t, "cars", nil)
+	// csjobs answers with more exact matches, so it must win the merge.
+	b := fakeShard(t, "csjobs", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/ask" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"domain":"csjobs","exact_count":5,"answers":[{},{},{},{},{}]}`))
+	})
+	cls := tableClassifier{} // classifies nothing
+	rt := newRouter(t, map[string]string{"cars": a.URL, "csjobs": b.URL}, cls, time.Second)
+
+	p, err := rt.Ask(context.Background(), "", "complete gibberish")
+	if err != nil {
+		t.Fatalf("broadcast fallback errored: %v", err)
+	}
+	var res struct {
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal(p.Body, &res); err != nil || res.Domain != "csjobs" {
+		t.Fatalf("broadcast winner = %s", p.Body)
+	}
+	items := rt.AskBatch(context.Background(), "", []string{"gibberish one", "gibberish two"})
+	for i, item := range items {
+		if item.Err != nil || item.JSON == nil {
+			t.Errorf("broadcast batch item %d: %v", i, item.Err)
+		}
+	}
+}

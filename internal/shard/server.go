@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Server is the front tier's HTTP surface: the same /api contract a
+// single cqadsweb node serves, answered by routing to the shard
+// cluster behind a Router. It holds no corpus — every answer byte
+// comes from a shard — so the front tier scales horizontally and
+// restarts statelessly.
+//
+//	GET  /                 cluster topology (domains → shard URLs)
+//	GET  /api/ask?q=...    classify once, forward to the owning shard
+//	POST /api/ask/batch    group per shard, scatter, gather in order
+//	POST /api/ads          fan out by the ad's Domain field
+//	DELETE /api/ads/{id}   forward (?domain=... required)
+//	GET  /api/status       scatter-gathered per-shard status view
+//	GET  /healthz          cluster health rollup with per-shard states
+//
+// Degraded mode: when a shard is unreachable its domains answer an
+// empty-answers envelope carrying the error, with HTTP 502 on the
+// single-question endpoint; other domains are unaffected.
+type Server struct {
+	rt  *Router
+	mux *http.ServeMux
+}
+
+// NewServer wraps a Router in the front-tier handler.
+func NewServer(rt *Router) *Server {
+	s := &Server{rt: rt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("GET /api/ask", s.handleAsk)
+	s.mux.HandleFunc("POST /api/ask/batch", s.handleAskBatch)
+	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
+	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// jsonError mirrors webui's error envelope.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// degradedEnvelope is the empty answer a dead shard's domain serves:
+// the shape clients already parse, with the failure attached.
+type degradedEnvelope struct {
+	Domain  string     `json:"domain"`
+	Answers []struct{} `json:"answers"`
+	Error   string     `json:"error"`
+}
+
+func degraded(err error) degradedEnvelope {
+	env := degradedEnvelope{Answers: []struct{}{}, Error: err.Error()}
+	var re *RouteError
+	if errors.As(err, &re) {
+		env.Domain = re.Domain
+	}
+	return env
+}
+
+// routeErrorStatus maps a routing failure to the front tier's HTTP
+// status: a domain nobody hosts is the request's problem (404), an
+// unanswering shard is the cluster's (502).
+func routeErrorStatus(err error) int {
+	if errors.Is(err, ErrNoShard) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadGateway
+}
+
+// proxy copies an upstream shard response verbatim.
+func proxy(w http.ResponseWriter, p *Proxied) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(p.Status)
+	_, _ = w.Write(p.Body)
+}
+
+// handleIndex reports the cluster topology.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	owners := make(map[string]string, len(s.rt.domains))
+	for _, d := range s.rt.domains {
+		owners[d], _ = s.rt.Owner(d)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"service": "cqads front tier",
+		"domains": owners,
+		"shards":  s.rt.urls,
+	})
+}
+
+// handleAsk answers one question: classified once here, answered by
+// the owning shard, proxied byte-identically.
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		jsonError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	p, err := s.rt.Ask(r.Context(), r.URL.Query().Get("domain"), q)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(routeErrorStatus(err))
+		_ = json.NewEncoder(w).Encode(degraded(err))
+		return
+	}
+	proxy(w, p)
+}
+
+// handleAskBatch scatters a batch across the cluster and gathers the
+// answers in input order. Entries from healthy shards are the exact
+// bytes a monolith would return; entries whose shard failed carry the
+// degraded envelope — other entries are unaffected, so the batch as a
+// whole still answers 200.
+func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Domain    string   `json:"domain"`
+		Questions []string `json:"questions"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Questions) == 0 {
+		jsonError(w, http.StatusBadRequest, "no questions")
+		return
+	}
+	items := s.rt.AskBatch(r.Context(), req.Domain, req.Questions)
+	results := make([]any, len(items))
+	for i, item := range items {
+		if item.Err != nil {
+			results[i] = degraded(item.Err)
+			continue
+		}
+		results[i] = item.JSON
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"results": results})
+}
+
+// handleInsertAd fans one ad out to the shard owning its Domain field,
+// forwarding the body untouched so the shard's schema conversion (and
+// error reporting) is authoritative.
+func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var probe struct {
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if probe.Domain == "" {
+		jsonError(w, http.StatusBadRequest, "missing domain field")
+		return
+	}
+	p, err := s.rt.ForwardAd(r.Context(), probe.Domain, body)
+	if err != nil {
+		jsonError(w, routeErrorStatus(err), "%v", err)
+		return
+	}
+	proxy(w, p)
+}
+
+// handleDeleteAd forwards an expiry to the owning shard.
+func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
+	domain := r.URL.Query().Get("domain")
+	if domain == "" {
+		jsonError(w, http.StatusBadRequest, "missing domain parameter")
+		return
+	}
+	p, err := s.rt.ForwardDelete(r.Context(), domain, r.PathValue("id"))
+	if err != nil {
+		jsonError(w, routeErrorStatus(err), "%v", err)
+		return
+	}
+	proxy(w, p)
+}
+
+// Cluster health states served by the front tier's /healthz.
+const (
+	// ClusterServing: every shard is reachable and serving.
+	ClusterServing = "serving"
+	// ClusterDegraded: at least one shard is unreachable or unhealthy;
+	// its domains answer empty with errors, the rest serve normally.
+	ClusterDegraded = "degraded"
+	// ClusterDown: no shard answered; the front tier cannot serve.
+	ClusterDown = "down"
+)
+
+// rollup folds per-shard health into one cluster state.
+func rollup(views []ShardView) string {
+	healthy := 0
+	for _, v := range views {
+		if v.Reachable && v.StatusCode == http.StatusOK && v.State == "serving" {
+			healthy++
+		}
+	}
+	switch healthy {
+	case len(views):
+		return ClusterServing
+	case 0:
+		return ClusterDown
+	default:
+		return ClusterDegraded
+	}
+}
+
+// handleHealthz scatter-gathers shard /healthz probes into a cluster
+// rollup: 200 while any shard serves (the front tier still answers
+// the live domains), 503 only when the whole cluster is down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	views := s.rt.ClusterHealth(r.Context())
+	state := rollup(views)
+	w.Header().Set("Content-Type", "application/json")
+	if state == ClusterDown {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{"state": state, "shards": views})
+}
+
+// handleStatus scatter-gathers shard /api/status reports into one
+// cluster view, each shard's own report embedded verbatim.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	views := s.rt.ClusterStatus(r.Context())
+	reachable := 0
+	for _, v := range views {
+		if v.Reachable {
+			reachable++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"cluster": map[string]any{
+			"shards_total":     len(views),
+			"shards_reachable": reachable,
+		},
+		"shards": views,
+	})
+}

@@ -1,0 +1,112 @@
+// Package shard splits the ads domains across processes. Each SHARD is
+// an ordinary cqadsweb server hosting a subset of the domains
+// (core.Config.Domains / `cqadsweb -domains`): it owns those tables,
+// their write-ahead log and snapshots, and may itself have read
+// replicas. The FRONT TIER (Router + Server, `cqadsweb -shards`) holds
+// no corpus at all: it classifies each incoming question exactly once
+// — with the same classifier construction a monolith uses, so the
+// routing decision is identical — and forwards the question to the
+// shard owning the classified domain, proxying the shard's answer
+// bytes verbatim. Batch questions are grouped per owning shard and
+// scattered in parallel, then gathered back into input order; ingest
+// is fanned out by the ad's Domain field; /api/status and /healthz are
+// scatter-gathered into a cluster view.
+//
+// Failure model: ownership is static, so an unreachable shard cannot
+// be routed around — its domains degrade to empty answers with the
+// error surfaced in the response envelope while every other domain
+// keeps answering. A question the classifier cannot place is
+// broadcast to every hosted domain and the best single-domain answer
+// wins (most exact answers, then most answers, then canonical domain
+// order) — the router never panics on adversarial input.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// Classifier routes a question to its ads domain. The standard
+// implementation is cqads.NewQuestionClassifier, built with the same
+// Seed/AdsPerDomain as the shards so the front tier routes exactly as
+// a monolith would classify.
+type Classifier interface {
+	ClassifyQuestion(question string) (string, error)
+}
+
+// ErrNoShard reports a domain no shard in the map hosts: either the
+// request named an unknown domain or the shard map does not cover the
+// classifier's output.
+var ErrNoShard = errors.New("shard: no shard hosts the domain")
+
+// RouteError is the typed failure envelope for one routed request: it
+// names the domain the request was routed to and the shard that
+// failed to answer. errors.Is unwraps through Err (so transport
+// timeouts, context cancellation and ErrNoShard stay matchable), and
+// Status carries the shard's HTTP status when the shard answered at
+// all.
+type RouteError struct {
+	// Domain the request was routed to ("" when classification itself
+	// failed and broadcast found no answer).
+	Domain string
+	// Shard is the owning shard's base URL ("" for ErrNoShard).
+	Shard string
+	// Status is the shard's HTTP status code, 0 when the shard was
+	// unreachable (transport error, timeout).
+	Status int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RouteError) Error() string {
+	switch {
+	case e.Shard == "":
+		return fmt.Sprintf("shard: domain %q: %v", e.Domain, e.Err)
+	case e.Status != 0:
+		return fmt.Sprintf("shard: domain %q at %s answered %d: %v", e.Domain, e.Shard, e.Status, e.Err)
+	default:
+		return fmt.Sprintf("shard: domain %q at %s unreachable: %v", e.Domain, e.Shard, e.Err)
+	}
+}
+
+func (e *RouteError) Unwrap() error { return e.Err }
+
+// ParseMap parses a `-shards` flag value: comma-separated domain=URL
+// pairs, e.g.
+//
+//	cars=http://a:8081,motorcycles=http://a:8081,csjobs=http://b:8082
+//
+// The same URL may serve several domains (a multi-domain shard).
+// Entries are trimmed and empty entries skipped (trailing commas are
+// harmless); URLs must be absolute http or https, and a domain may be
+// mapped only once. Trailing slashes are stripped so joined request
+// paths are canonical.
+func ParseMap(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		domain, raw, ok := strings.Cut(entry, "=")
+		domain = strings.TrimSpace(domain)
+		raw = strings.TrimSpace(raw)
+		if !ok || domain == "" || raw == "" {
+			return nil, fmt.Errorf("shard: map entry %q is not domain=URL", entry)
+		}
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("shard: map entry %q: %q is not an absolute http(s) URL", entry, raw)
+		}
+		if _, dup := out[domain]; dup {
+			return nil, fmt.Errorf("shard: domain %q is mapped twice", domain)
+		}
+		out[domain] = strings.TrimRight(u.String(), "/")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shard: empty shard map")
+	}
+	return out, nil
+}

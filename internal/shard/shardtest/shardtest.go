@@ -1,0 +1,193 @@
+// Package shardtest builds the topologies the cross-topology
+// equivalence harness compares: a monolith System, sharded Systems
+// hosting domain subsets, and full HTTP clusters (shard webui servers
+// behind a front tier). Every builder derives from one cqads.Options
+// value, so by construction each topology answers over the same
+// deterministic corpus — the tests then assert the answers are
+// bit-identical. It also generates the paper-sized 650-question
+// workload (80 cars + 570 across the other seven domains, Sec. 5.1)
+// used to drive the comparison.
+package shardtest
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/cqads"
+	"repro/internal/questions"
+	"repro/internal/schema"
+	"repro/internal/shard"
+	"repro/internal/webui"
+)
+
+// Options is the shared deterministic base every topology in one
+// comparison must be built from.
+func Options(adsPerDomain int) cqads.Options {
+	return cqads.Options{Seed: 42, AdsPerDomain: adsPerDomain}
+}
+
+// Groups8 is the one-domain-per-shard partition.
+func Groups8() [][]string {
+	out := make([][]string, len(schema.DomainNames))
+	for i, d := range schema.DomainNames {
+		out[i] = []string{d}
+	}
+	return out
+}
+
+// Groups2 is the four-domains-per-shard partition.
+func Groups2() [][]string {
+	names := schema.DomainNames
+	half := len(names) / 2
+	return [][]string{
+		append([]string(nil), names[:half]...),
+		append([]string(nil), names[half:]...),
+	}
+}
+
+// NewClassifier builds the front-tier routing classifier for opts —
+// the construction a monolith with the same options classifies with.
+func NewClassifier(tb testing.TB, opts cqads.Options) *cqads.QuestionClassifier {
+	tb.Helper()
+	qc, err := cqads.NewQuestionClassifier(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return qc
+}
+
+// OpenMonolith builds the single-process topology.
+func OpenMonolith(tb testing.TB, opts cqads.Options) *cqads.System {
+	tb.Helper()
+	opts.Domains = nil
+	sys, err := cqads.Open(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// OpenShardSystems builds one System per group, each hosting only its
+// group's domains.
+func OpenShardSystems(tb testing.TB, opts cqads.Options, groups [][]string) []*cqads.System {
+	tb.Helper()
+	systems := make([]*cqads.System, len(groups))
+	for i, group := range groups {
+		o := opts
+		o.Domains = group
+		sys, err := cqads.Open(o)
+		if err != nil {
+			tb.Fatalf("opening shard %v: %v", group, err)
+		}
+		systems[i] = sys
+	}
+	return systems
+}
+
+// Workload generates the 650-question test workload from the
+// monolith's tables, mirroring the paper's survey split: 80 cars
+// questions plus 570 across the other seven domains. The questions
+// (and their order) are deterministic in opts.Seed, and the shards'
+// tables are byte-identical per domain, so one workload drives every
+// topology.
+func Workload(tb testing.TB, opts cqads.Options, sys *cqads.System) []string {
+	tb.Helper()
+	const (
+		carsCount   = 80
+		othersTotal = 570
+	)
+	seedBase := opts.Seed
+	perOther := othersTotal / (len(schema.DomainNames) - 1)
+	extra := othersTotal % (len(schema.DomainNames) - 1)
+	var out []string
+	for i, d := range schema.DomainNames {
+		n := perOther
+		if d == "cars" {
+			n = carsCount
+		} else if i <= extra {
+			n++
+		}
+		tbl, ok := sys.DB().TableForDomain(d)
+		if !ok {
+			tb.Fatalf("monolith has no table for %q", d)
+		}
+		gen := questions.NewGenerator(tbl, seedBase+404+int64(i))
+		for _, q := range gen.Generate(n, questions.DefaultOptions()) {
+			out = append(out, q.Text)
+		}
+	}
+	if len(out) != carsCount+othersTotal {
+		tb.Fatalf("workload has %d questions, want %d", len(out), carsCount+othersTotal)
+	}
+	return out
+}
+
+// Cluster is one sharded HTTP topology: shard webui servers, the
+// routing table over them, and the front tier.
+type Cluster struct {
+	Groups  [][]string
+	Systems []*cqads.System
+	Servers []*httptest.Server
+	// Map is the domain → shard base URL routing table.
+	Map    map[string]string
+	Router *shard.Router
+	Front  *httptest.Server
+}
+
+// StartCluster builds the shard Systems for groups, serves each
+// behind a webui server, and fronts them with a shard.Server routing
+// through cls.
+func StartCluster(tb testing.TB, opts cqads.Options, groups [][]string, cls shard.Classifier) *Cluster {
+	tb.Helper()
+	c := &Cluster{
+		Groups:  groups,
+		Systems: OpenShardSystems(tb, opts, groups),
+		Map:     make(map[string]string),
+	}
+	for i, sys := range c.Systems {
+		srv := httptest.NewServer(webui.NewServer(sys))
+		c.Servers = append(c.Servers, srv)
+		for _, d := range groups[i] {
+			c.Map[d] = srv.URL
+		}
+	}
+	rt, err := shard.New(shard.Config{Shards: c.Map, Classifier: cls})
+	if err != nil {
+		c.Close()
+		tb.Fatal(err)
+	}
+	c.Router = rt
+	c.Front = httptest.NewServer(shard.NewServer(rt))
+	tb.Cleanup(c.Close)
+	return c
+}
+
+// KillShard makes shard i unreachable (its listener closes), leaving
+// the rest of the cluster untouched — the degraded-mode scenario.
+func (c *Cluster) KillShard(i int) {
+	if c.Servers[i] != nil {
+		c.Servers[i].Close()
+		c.Servers[i] = nil
+	}
+}
+
+// Close tears the cluster down; safe to call twice (Cleanup does).
+func (c *Cluster) Close() {
+	if c.Front != nil {
+		c.Front.Close()
+		c.Front = nil
+	}
+	if c.Router != nil {
+		c.Router.Close()
+		c.Router = nil
+	}
+	for i := range c.Servers {
+		c.KillShard(i)
+	}
+	for _, sys := range c.Systems {
+		if sys != nil {
+			_ = sys.Close()
+		}
+	}
+	c.Systems = nil
+}

@@ -285,13 +285,18 @@ func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
 // durability fault is the server's problem (503 — the ad may even sit
 // in memory unlogged; the error text carries its id), a read-only
 // replica is a routing problem (403 — write to the primary or
-// promote), anything else is the request's problem.
+// promote), an ad addressed to a domain this shard does not host is a
+// misdirected request (421 — the shard front tier routes by the
+// Domain field; landing here means the shard map and the request
+// disagree), anything else is the request's problem.
 func ingestErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrDurabilityLost):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrReadOnlyReplica):
 		return http.StatusForbidden
+	case errors.Is(err, core.ErrNotHosted):
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusBadRequest
 	}
@@ -609,7 +614,15 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.ask(r.URL.Query().Get("domain"), q)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, "%v", err)
+		// A question addressed to a domain this shard does not host is
+		// a misdirected request (421), same as the ingest path — a
+		// front tier with a stale shard map can tell it from a plain
+		// bad request. Everything else is the request's problem.
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrNotHosted) {
+			status = http.StatusMisdirectedRequest
+		}
+		jsonError(w, status, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
