@@ -7,7 +7,8 @@
 //	         [-domains cars,csjobs,...]
 //	         [-ingest 2s] [-expire 30s]
 //	         [-replicate-from URL | -replicas URL1,URL2,...]
-//	         [-shards "cars=http://a,csjobs=http://b,..."]
+//	         [-replica-set URL1,URL2,URL3 -advertise URL [-lease 2s]]
+//	         [-shards "cars=http://a1|http://a2,csjobs=http://b,..."]
 //
 // With -ingest set, the server keeps the corpus live: a background
 // writer posts a freshly generated ad to a rotating domain every
@@ -40,6 +41,16 @@
 //     POST /api/ask/batch fans question chunks across the healthy
 //     followers (lag-aware /healthz probes) and answers any failed
 //     chunk locally.
+//   - -replica-set URL1,URL2,URL3 (with -advertise and -data) makes
+//     this server a symmetric PEER in a self-healing replica set. All
+//     members run the same flags (each with its own -advertise and
+//     -data); a lease-based election picks one leader, the rest tail
+//     its WAL, and when the leader dies the freshest follower
+//     auto-promotes within the -lease timeout. Writes accept
+//     ?ack=local|quorum: quorum waits until a majority of the set has
+//     durably applied the op, so those writes survive any single
+//     failure. GET /api/repl/leader reports the set's current leader
+//     for clients (and the front tier) to follow.
 //
 // Sharding roles:
 //
@@ -72,6 +83,7 @@ import (
 
 	"repro/cqads"
 	"repro/internal/adsgen"
+	"repro/internal/failover"
 	"repro/internal/replica"
 	"repro/internal/replica/router"
 	"repro/internal/schema"
@@ -104,7 +116,7 @@ func runFrontTier(addr, shardMap string, opts cqads.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := shard.New(shard.Config{Shards: m, Classifier: qc})
+	rt, err := shard.New(shard.Config{Groups: m, Classifier: qc})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -115,11 +127,13 @@ func runFrontTier(addr, shardMap string, opts cqads.Options) {
 	srv := &http.Server{Addr: addr, Handler: shard.NewServer(rt)}
 	errc := make(chan error, 1)
 	urls := make(map[string]bool, len(m))
-	for _, u := range m {
-		urls[u] = true
+	for _, members := range m {
+		for _, u := range members {
+			urls[u] = true
+		}
 	}
 	go func() {
-		fmt.Printf("CQAds front tier listening on %s, routing %d domains across %d shards\n",
+		fmt.Printf("CQAds front tier listening on %s, routing %d domains across %d shard nodes\n",
 			addr, len(m), len(urls))
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
@@ -149,12 +163,15 @@ func main() {
 	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this base URL (requires the primary's -seed/-ads)")
 	replicas := flag.String("replicas", "", "comma-separated follower base URLs to scatter /api/ask/batch across")
 	domains := flag.String("domains", "", "comma-separated subset of ads domains this server hosts (shard mode; default: all eight)")
-	shardMap := flag.String("shards", "", `front-tier mode: comma-separated domain=URL shard map (e.g. "cars=http://a,csjobs=http://b"); this process holds no corpus and routes to the shards`)
+	shardMap := flag.String("shards", "", `front-tier mode: comma-separated domain=group shard map where a group is one URL or a "|"-separated replica set (e.g. "cars=http://a1|http://a2|http://a3,csjobs=http://b"); this process holds no corpus and routes to the shards, following each set's elected leader`)
+	replicaSet := flag.String("replica-set", "", `self-healing peer mode: comma-separated advertised base URLs of every replica-set member including this node (e.g. "http://a:8081,http://b:8082,http://c:8083"); requires -data and -advertise`)
+	advertise := flag.String("advertise", "", "this node's advertised base URL, as it appears in -replica-set and in peers' flags")
+	lease := flag.Duration("lease", 0, "base leader-lease timeout before followers campaign (0 uses the failover default; must be several times the 250ms heartbeat)")
 	flag.Parse()
 
 	if *shardMap != "" {
-		if *dataDir != "" || *ingest > 0 || *replicateFrom != "" || *replicas != "" || *domains != "" {
-			log.Fatal("-shards runs a corpus-less front tier: it is incompatible with -data, -ingest, -replicate-from, -replicas and -domains")
+		if *dataDir != "" || *ingest > 0 || *replicateFrom != "" || *replicas != "" || *domains != "" || *replicaSet != "" {
+			log.Fatal("-shards runs a corpus-less front tier: it is incompatible with -data, -ingest, -replicate-from, -replicas, -domains and -replica-set")
 		}
 		runFrontTier(*addr, *shardMap, cqads.Options{Seed: *seed, AdsPerDomain: *ads})
 		return
@@ -171,9 +188,46 @@ func main() {
 	}
 	var sys *cqads.System
 	var follower *replica.Follower
+	var agent *failover.Agent
 	webOpts := webui.Options{}
 
-	if *replicateFrom != "" {
+	if *replicaSet != "" {
+		if *advertise == "" || *dataDir == "" {
+			log.Fatal("-replica-set needs -advertise (this node's URL in the set) and -data (peers are durable)")
+		}
+		if *replicateFrom != "" {
+			log.Fatal("-replica-set is incompatible with -replicate-from: the failover agent owns the replication tail")
+		}
+		members := map[string]bool{strings.TrimRight(*advertise, "/"): true}
+		peers := []string{}
+		for _, u := range strings.Split(*replicaSet, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				members[u] = true
+				peers = append(peers, u)
+			}
+		}
+		// Election majority and write quorum must agree on the set size.
+		opts.ReplicaSet = len(members)
+		s, err := cqads.OpenPeer(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys = s
+		agent, err = failover.New(failover.Config{
+			Self:         strings.TrimRight(*advertise, "/"),
+			Peers:        peers,
+			Sys:          sys,
+			LeaseTimeout: *lease,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		webOpts.Failover = agent
+		st := sys.Status()
+		fmt.Printf("replica-set peer %s (%d members, quorum %d): %s at seq %d\n",
+			*advertise, len(members), len(members)/2+1, st.Persistence.Dir, st.Persistence.Seq)
+		agent.Start()
+	} else if *replicateFrom != "" {
 		if *dataDir != "" || *ingest > 0 {
 			log.Fatal("-replicate-from is incompatible with -data and -ingest: followers replicate the primary's corpus")
 		}
@@ -241,6 +295,9 @@ func main() {
 
 	select {
 	case err := <-errc:
+		if agent != nil {
+			agent.Close()
+		}
 		if follower != nil {
 			follower.Close()
 		}
@@ -254,6 +311,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	if agent != nil {
+		agent.Close() // stop electing and tailing before the store goes away
 	}
 	if follower != nil {
 		follower.Close() // stop tailing before the store goes away

@@ -79,6 +79,38 @@
 // sequence cursors and lag. The full protocol and consistency
 // guarantees are documented in the repository root package.
 //
+// # Failover
+//
+// Replication heals itself when nodes are symmetric. OpenPeer builds a
+// replica-set member: a durable node that recovers from its own
+// snapshot + WAL, spools every operation it applies from a leader into
+// that same log, and can therefore be elected and serve the stream
+// itself. An internal/failover Agent on each member (`cqadsweb
+// -replica-set a,b,c -advertise URL`) runs lease-based leader
+// election: the leader heartbeats every member, a follower whose lease
+// lapses campaigns at the next epoch, and votes enforce log freshness
+// (highest applied epoch, then sequence), so only a member holding
+// every quorum-acked write can win. Epochs fence the log — every WAL
+// frame is stamped with the term that produced it, a deposed leader's
+// un-replicated suffix fails the stream's log-matching check (HTTP
+// 409) and the node re-bootstraps from the new leader's snapshot,
+// dropping the divergent writes.
+//
+// Durability above local disk is per write: the WithAck ingest
+// variants (and the webui's ?ack= parameter) take AckLocal — the
+// default, confirmed on the local fsync'd WAL — or AckQuorum,
+// confirmed only after Options.ReplicaSet/2+1 members have durably
+// applied the write, so it survives the leader dying the next instant.
+// Follower acknowledgements ride the existing WAL long-poll (a
+// follower's poll cursor is its durable apply position); a write that
+// cannot reach a majority within Options.AckTimeout returns
+// ErrQuorumUnavailable (HTTP 202: durable locally, id assigned,
+// retrying would duplicate). Ingest admission control sheds load with
+// ErrOverloaded (HTTP 429 + Retry-After) when the WAL backlog passes
+// Options.MaxWALBytes or Options.MaxPendingQuorum quorum writes are
+// already queued. The election protocol, fencing rules and quorum
+// arithmetic are documented in internal/failover and internal/core.
+//
 // # Sharding
 //
 // Writes scale by splitting the eight domains across processes.
@@ -100,6 +132,7 @@ package cqads
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/adsgen"
 	"repro/internal/classify"
@@ -145,6 +178,32 @@ type (
 // follower for manual failover (System.Promote, or the webui's
 // POST /api/repl/promote).
 var ErrReadOnlyReplica = core.ErrReadOnlyReplica
+
+// Replica-set error surface (see the Failover section above). A
+// rejected write on an unpromoted replica matches both
+// ErrReadOnlyReplica and ErrNotLeader.
+var (
+	// ErrNotLeader marks a write addressed to a node that is not its
+	// replica set's current leader; re-resolve via GET /api/repl/leader.
+	ErrNotLeader = core.ErrNotLeader
+	// ErrQuorumUnavailable reports an AckQuorum write that is durable
+	// locally but did not reach a majority within the ack timeout.
+	ErrQuorumUnavailable = core.ErrQuorumUnavailable
+	// ErrOverloaded reports ingest admission control shedding load
+	// (HTTP 429 at the web layer); nothing was written.
+	ErrOverloaded = core.ErrOverloaded
+)
+
+// AckLevel is a write's durability requirement — AckLocal (the
+// default: confirmed on the local fsync'd WAL) or AckQuorum (confirmed
+// once a majority of the replica set has durably applied it), accepted
+// by the WithAck ingest variants and the webui's ?ack= parameter.
+type AckLevel = core.AckLevel
+
+const (
+	AckLocal  = core.AckLocal
+	AckQuorum = core.AckQuorum
+)
 
 // Schema types for callers defining their own ads domains.
 type (
@@ -209,6 +268,22 @@ type Options struct {
 	// compaction; 0 uses core.DefaultCompactBytes, negative disables
 	// automatic compaction.
 	CompactBytes int64
+	// ReplicaSet is the size of the replica set this node belongs to
+	// (counting itself). It defines the majority AckQuorum writes wait
+	// for: ReplicaSet/2 follower acknowledgements plus the local
+	// append. 0 or 1 makes AckQuorum equivalent to AckLocal.
+	ReplicaSet int
+	// AckTimeout bounds an AckQuorum write's wait for follower
+	// acknowledgements; 0 uses core.DefaultAckTimeout.
+	AckTimeout time.Duration
+	// MaxPendingQuorum caps concurrently waiting AckQuorum writes
+	// before admission control answers ErrOverloaded; 0 uses
+	// core.DefaultMaxPendingQuorum, negative disables the check.
+	MaxPendingQuorum int
+	// MaxWALBytes is the WAL backlog beyond which ingest admission
+	// control sheds writes with ErrOverloaded; 0 uses
+	// core.DefaultMaxWALBytes, negative disables the check.
+	MaxWALBytes int64
 }
 
 // Open builds a ready-to-query System over the synthetic eight-domain
@@ -249,6 +324,23 @@ func OpenFollower(opts Options, snapshot []byte) (*System, error) {
 		return nil, err
 	}
 	return core.OpenFollower(cfg, snap)
+}
+
+// OpenPeer builds a symmetric replica-set member: a durable node
+// (opts.DataDir is required) that starts read-only, recovers its
+// corpus from its own snapshot + WAL like Open, and spools every
+// operation it later applies from a leader into that same log — so it
+// can be elected, serve the replication stream itself, and survive
+// restarts, unlike the memory-only followers OpenFollower builds.
+// This is the node an internal/failover Agent manages (`cqadsweb
+// -replica-set a,b,c` wires the whole role). Set opts.ReplicaSet so
+// quorum-acked writes know their majority.
+func OpenPeer(opts Options) (*System, error) {
+	cfg, err := buildEnv(opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenPeer(cfg)
 }
 
 // canonicalIndex places a domain in schema.DomainNames — the seed
@@ -349,18 +441,22 @@ func buildEnvFor(opts Options, classifierOnly bool) (core.Config, error) {
 		cls.Train(d, docs)
 	}
 	cfg := core.Config{
-		DB:            db,
-		Classifier:    cls,
-		TI:            ti,
-		WS:            ws,
-		MaxAnswers:    opts.MaxAnswers,
-		UseSynonyms:   opts.UseSynonyms,
-		StrictBoolean: opts.StrictBoolean,
-		Dedup:         opts.Dedup,
-		BatchWorkers:  opts.BatchWorkers,
-		TrainOnIngest: opts.TrainOnIngest,
-		DataDir:       opts.DataDir,
-		CompactBytes:  opts.CompactBytes,
+		DB:               db,
+		Classifier:       cls,
+		TI:               ti,
+		WS:               ws,
+		MaxAnswers:       opts.MaxAnswers,
+		UseSynonyms:      opts.UseSynonyms,
+		StrictBoolean:    opts.StrictBoolean,
+		Dedup:            opts.Dedup,
+		BatchWorkers:     opts.BatchWorkers,
+		TrainOnIngest:    opts.TrainOnIngest,
+		DataDir:          opts.DataDir,
+		CompactBytes:     opts.CompactBytes,
+		ReplicaSet:       opts.ReplicaSet,
+		AckTimeout:       opts.AckTimeout,
+		MaxPendingQuorum: opts.MaxPendingQuorum,
+		MaxWALBytes:      opts.MaxWALBytes,
 	}
 	if len(opts.Domains) > 0 {
 		// Shard mode: the System hosts (and snapshots, replays,

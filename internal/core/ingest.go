@@ -35,31 +35,63 @@ import (
 // write-ahead logged and fsync'd before InsertAd returns: a nil error
 // means the ad survives a process kill.
 func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
+	return s.InsertAdWithAck(domain, values, AckLocal)
+}
+
+// InsertAdWithAck is InsertAd with an explicit durability level. With
+// AckQuorum on a replica-set node, the call returns only after
+// ReplicaSet/2+1 nodes have durably applied the insert; on timeout
+// the returned error wraps ErrQuorumUnavailable and the id is still
+// valid — the ad is durable locally, just not yet on a majority.
+func (s *System) InsertAdWithAck(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, error) {
 	if err := s.writable(); err != nil {
 		return 0, err
 	}
-	if p := s.persist; p != nil {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if err := p.ingestable(); err != nil {
-			return 0, err
-		}
-		id, err := s.insertAdLocked(domain, values)
-		if err != nil {
-			return 0, err
-		}
-		if err := p.store.Append([]persist.Op{insertOpFor(domain, id, values)}); err != nil {
-			// The row is in memory but not durably logged: memory and
-			// log have diverged, so latch ingestion shut (see
-			// persister.failed) and surface the id with the error so
-			// the caller can compensate.
-			p.failed.Store(true)
-			return id, fmt.Errorf("core: ad %d inserted but not logged (%v): %w", id, err, ErrDurabilityLost)
-		}
-		s.maybeCompact()
-		return id, nil
+	if s.persist == nil {
+		return s.insertAdLocked(domain, values)
 	}
-	return s.insertAdLocked(domain, values)
+	id, seq, err := s.insertAdDurable(domain, values, ack)
+	if err != nil {
+		return id, err
+	}
+	if ack == AckQuorum {
+		// The ingest lock is released: the followers being awaited
+		// acquire it to apply this very write.
+		if err := s.awaitQuorum(seq); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+// insertAdDurable is the under-lock half of a durable insert: table
+// mutation plus WAL append as one critical section, returning the
+// assigned log sequence for quorum tracking.
+func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, uint64, error) {
+	p := s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ingestable(); err != nil {
+		return 0, 0, err
+	}
+	if err := s.admitLocked(ack); err != nil {
+		return 0, 0, err
+	}
+	id, err := s.insertAdLocked(domain, values)
+	if err != nil {
+		return 0, 0, err
+	}
+	ops := []persist.Op{insertOpFor(domain, id, values)}
+	if err := p.store.Append(ops); err != nil {
+		// The row is in memory but not durably logged: memory and
+		// log have diverged, so latch ingestion shut (see
+		// persister.failed) and surface the id with the error so
+		// the caller can compensate.
+		p.failed.Store(true)
+		return id, 0, fmt.Errorf("core: ad %d inserted but not logged (%v): %w", id, err, ErrDurabilityLost)
+	}
+	s.maybeCompact()
+	return id, ops[0].Seq, nil
 }
 
 // insertAdLocked is the storage-plus-classifier half of InsertAd. On
@@ -87,26 +119,49 @@ func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value) (s
 // already-deleted ad is an error. On a persistent system the deletion
 // is write-ahead logged and fsync'd before DeleteAd returns.
 func (s *System) DeleteAd(domain string, id sqldb.RowID) error {
+	return s.DeleteAdWithAck(domain, id, AckLocal)
+}
+
+// DeleteAdWithAck is DeleteAd with an explicit durability level (see
+// InsertAdWithAck for the AckQuorum contract).
+func (s *System) DeleteAdWithAck(domain string, id sqldb.RowID, ack AckLevel) error {
 	if err := s.writable(); err != nil {
 		return err
 	}
-	if p := s.persist; p != nil {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		if err := p.ingestable(); err != nil {
-			return err
-		}
-		if err := s.deleteAdLocked(domain, id); err != nil {
-			return err
-		}
-		if err := p.store.Append([]persist.Op{{Kind: persist.OpDelete, Domain: domain, ID: id}}); err != nil {
-			p.failed.Store(true) // unlogged delete: memory and log diverged
-			return fmt.Errorf("core: ad %d deleted but not logged (%v): %w", id, err, ErrDurabilityLost)
-		}
-		s.maybeCompact()
-		return nil
+	if s.persist == nil {
+		return s.deleteAdLocked(domain, id)
 	}
-	return s.deleteAdLocked(domain, id)
+	seq, err := s.deleteAdDurable(domain, id, ack)
+	if err != nil {
+		return err
+	}
+	if ack == AckQuorum {
+		return s.awaitQuorum(seq)
+	}
+	return nil
+}
+
+// deleteAdDurable is the under-lock half of a durable delete.
+func (s *System) deleteAdDurable(domain string, id sqldb.RowID, ack AckLevel) (uint64, error) {
+	p := s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ingestable(); err != nil {
+		return 0, err
+	}
+	if err := s.admitLocked(ack); err != nil {
+		return 0, err
+	}
+	if err := s.deleteAdLocked(domain, id); err != nil {
+		return 0, err
+	}
+	ops := []persist.Op{{Kind: persist.OpDelete, Domain: domain, ID: id}}
+	if err := p.store.Append(ops); err != nil {
+		p.failed.Store(true) // unlogged delete: memory and log diverged
+		return 0, fmt.Errorf("core: ad %d deleted but not logged (%v): %w", id, err, ErrDurabilityLost)
+	}
+	s.maybeCompact()
+	return ops[0].Seq, nil
 }
 
 // deleteAdLocked is the storage half of DeleteAd.
@@ -143,42 +198,29 @@ type IngestResult struct {
 // win over per-ad InsertAd calls). workers <= 0 uses
 // Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, workers int) []IngestResult {
+	results, _ := s.InsertAdBatchWithAck(domain, ads, workers, AckLocal)
+	return results
+}
+
+// InsertAdBatchWithAck is InsertAdBatch with an explicit durability
+// level. The returned error is the quorum outcome: non-nil (wrapping
+// ErrQuorumUnavailable) when AckQuorum could not confirm a majority
+// in time — the per-ad results are still valid and locally durable,
+// exactly as with InsertAdWithAck.
+func (s *System) InsertAdBatchWithAck(domain string, ads []map[string]sqldb.Value, workers int, ack AckLevel) ([]IngestResult, error) {
 	if err := s.writable(); err != nil {
 		results := make([]IngestResult, len(ads))
 		for i := range results {
 			results[i] = IngestResult{Index: i, Err: err}
 		}
-		return results
+		return results, nil
 	}
-	if p := s.persist; p != nil {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		results := make([]IngestResult, len(ads))
-		if err := p.ingestable(); err != nil {
-			for i := range results {
-				results[i] = IngestResult{Index: i, Err: err}
-			}
-			return results
+	if s.persist != nil {
+		results, seq := s.insertAdBatchDurable(domain, ads, ack)
+		if ack == AckQuorum && seq != 0 {
+			return results, s.awaitQuorum(seq)
 		}
-		ops := make([]persist.Op, 0, len(ads))
-		for i, ad := range ads {
-			id, err := s.insertAdLocked(domain, ad)
-			results[i] = IngestResult{Index: i, ID: id, Err: err}
-			if err == nil {
-				ops = append(ops, insertOpFor(domain, id, ad))
-			}
-		}
-		if err := p.store.Append(ops); err != nil {
-			p.failed.Store(true) // unlogged inserts: memory and log diverged
-			for i := range results {
-				if results[i].Err == nil {
-					results[i].Err = fmt.Errorf("core: ad %d inserted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
-				}
-			}
-			return results
-		}
-		s.maybeCompact()
-		return results
+		return results, nil
 	}
 	if workers <= 0 {
 		workers = s.batchWorkers
@@ -186,7 +228,51 @@ func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, work
 	return pool.Map(ads, workers, func(i int, ad map[string]sqldb.Value) IngestResult {
 		id, err := s.InsertAd(domain, ad)
 		return IngestResult{Index: i, ID: id, Err: err}
-	})
+	}), nil
+}
+
+// insertAdBatchDurable applies and logs a batch under the ingest lock
+// with one fsync, returning the last logged sequence (0 when nothing
+// was logged) for quorum tracking.
+func (s *System) insertAdBatchDurable(domain string, ads []map[string]sqldb.Value, ack AckLevel) ([]IngestResult, uint64) {
+	p := s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	results := make([]IngestResult, len(ads))
+	if err := p.ingestable(); err != nil {
+		for i := range results {
+			results[i] = IngestResult{Index: i, Err: err}
+		}
+		return results, 0
+	}
+	if err := s.admitLocked(ack); err != nil {
+		for i := range results {
+			results[i] = IngestResult{Index: i, Err: err}
+		}
+		return results, 0
+	}
+	ops := make([]persist.Op, 0, len(ads))
+	for i, ad := range ads {
+		id, err := s.insertAdLocked(domain, ad)
+		results[i] = IngestResult{Index: i, ID: id, Err: err}
+		if err == nil {
+			ops = append(ops, insertOpFor(domain, id, ad))
+		}
+	}
+	if len(ops) == 0 {
+		return results, 0
+	}
+	if err := p.store.Append(ops); err != nil {
+		p.failed.Store(true) // unlogged inserts: memory and log diverged
+		for i := range results {
+			if results[i].Err == nil {
+				results[i].Err = fmt.Errorf("core: ad %d inserted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
+			}
+		}
+		return results, 0
+	}
+	s.maybeCompact()
+	return results, ops[len(ops)-1].Seq
 }
 
 // DeleteAdBatch deletes many ads from one domain, returning per-ad
@@ -196,49 +282,76 @@ func (s *System) InsertAdBatch(domain string, ads []map[string]sqldb.Value, work
 // single fsync, like InsertAdBatch. workers <= 0 uses
 // Config.BatchWorkers, then GOMAXPROCS.
 func (s *System) DeleteAdBatch(domain string, ids []sqldb.RowID, workers int) []IngestResult {
+	results, _ := s.DeleteAdBatchWithAck(domain, ids, workers, AckLocal)
+	return results
+}
+
+// DeleteAdBatchWithAck is DeleteAdBatch with an explicit durability
+// level (see InsertAdBatchWithAck for the AckQuorum contract).
+func (s *System) DeleteAdBatchWithAck(domain string, ids []sqldb.RowID, workers int, ack AckLevel) ([]IngestResult, error) {
 	if err := s.writable(); err != nil {
 		results := make([]IngestResult, len(ids))
 		for i := range results {
 			results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
 		}
-		return results
+		return results, nil
 	}
-	if p := s.persist; p != nil {
-		p.mu.Lock()
-		defer p.mu.Unlock()
-		results := make([]IngestResult, len(ids))
-		if err := p.ingestable(); err != nil {
-			for i := range results {
-				results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
-			}
-			return results
+	if s.persist != nil {
+		results, seq := s.deleteAdBatchDurable(domain, ids, ack)
+		if ack == AckQuorum && seq != 0 {
+			return results, s.awaitQuorum(seq)
 		}
-		ops := make([]persist.Op, 0, len(ids))
-		for i, id := range ids {
-			err := s.deleteAdLocked(domain, id)
-			results[i] = IngestResult{Index: i, ID: id, Err: err}
-			if err == nil {
-				ops = append(ops, persist.Op{Kind: persist.OpDelete, Domain: domain, ID: id})
-			}
-		}
-		if err := p.store.Append(ops); err != nil {
-			p.failed.Store(true) // unlogged deletes: memory and log diverged
-			for i := range results {
-				if results[i].Err == nil {
-					results[i].Err = fmt.Errorf("core: ad %d deleted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
-				}
-			}
-			return results
-		}
-		s.maybeCompact()
-		return results
+		return results, nil
 	}
 	if workers <= 0 {
 		workers = s.batchWorkers
 	}
 	return pool.Map(ids, workers, func(i int, id sqldb.RowID) IngestResult {
 		return IngestResult{Index: i, ID: id, Err: s.DeleteAd(domain, id)}
-	})
+	}), nil
+}
+
+// deleteAdBatchDurable applies and logs a delete batch under the
+// ingest lock with one fsync, returning the last logged sequence.
+func (s *System) deleteAdBatchDurable(domain string, ids []sqldb.RowID, ack AckLevel) ([]IngestResult, uint64) {
+	p := s.persist
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	results := make([]IngestResult, len(ids))
+	if err := p.ingestable(); err != nil {
+		for i := range results {
+			results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
+		}
+		return results, 0
+	}
+	if err := s.admitLocked(ack); err != nil {
+		for i := range results {
+			results[i] = IngestResult{Index: i, ID: ids[i], Err: err}
+		}
+		return results, 0
+	}
+	ops := make([]persist.Op, 0, len(ids))
+	for i, id := range ids {
+		err := s.deleteAdLocked(domain, id)
+		results[i] = IngestResult{Index: i, ID: id, Err: err}
+		if err == nil {
+			ops = append(ops, persist.Op{Kind: persist.OpDelete, Domain: domain, ID: id})
+		}
+	}
+	if len(ops) == 0 {
+		return results, 0
+	}
+	if err := p.store.Append(ops); err != nil {
+		p.failed.Store(true) // unlogged deletes: memory and log diverged
+		for i := range results {
+			if results[i].Err == nil {
+				results[i].Err = fmt.Errorf("core: ad %d deleted but not logged (%v): %w", results[i].ID, err, ErrDurabilityLost)
+			}
+		}
+		return results, 0
+	}
+	s.maybeCompact()
+	return results, ops[len(ops)-1].Seq
 }
 
 // adDocument renders an ad's textual values as one classifier

@@ -44,7 +44,10 @@ type persister struct {
 	mu           sync.Mutex
 	store        *persist.Store
 	compactBytes int64
-	closed       bool
+	// maxWALBytes is the ingest admission threshold on log backlog
+	// (Config.MaxWALBytes resolved; 0 = disabled).
+	maxWALBytes int64
+	closed      bool
 	// failed latches after a WAL append error. The failing call's
 	// table mutation is already in memory but not in the log, so the
 	// two have diverged: any further logged mutation would replay onto
@@ -132,9 +135,15 @@ func Open(cfg Config) (*System, error) {
 		}
 	}
 	st.ReleaseRecoveryState()
-	p := &persister{store: st, compactBytes: cfg.CompactBytes}
+	p := &persister{store: st, compactBytes: cfg.CompactBytes, maxWALBytes: cfg.MaxWALBytes}
 	if p.compactBytes == 0 {
 		p.compactBytes = DefaultCompactBytes
+	}
+	switch {
+	case p.maxWALBytes == 0:
+		p.maxWALBytes = DefaultMaxWALBytes
+	case p.maxWALBytes < 0:
+		p.maxWALBytes = 0 // explicit opt-out
 	}
 	sys.persist = p
 	if !hadSnapshot {
@@ -472,11 +481,17 @@ type PersistenceStatus struct {
 	LastCompactError string
 }
 
+// DefaultMaxWALBytes is the default ingest admission threshold on WAL
+// backlog when Config.MaxWALBytes is 0: generous enough that only a
+// wedged or badly outpaced compactor trips it.
+const DefaultMaxWALBytes = 64 << 20
+
 // Status is the live-system report served by GET /api/status.
 type Status struct {
 	Domains     []DomainStatus
 	Persistence PersistenceStatus
 	Replication ReplicationStatus
+	Admission   AdmissionStatus
 }
 
 // Status reports per-domain corpus versions, the checkpoint/WAL state
@@ -485,6 +500,7 @@ type Status struct {
 func (s *System) Status() Status {
 	var st Status
 	st.Replication = s.replicationStatus()
+	st.Admission = s.admissionStatus()
 	for _, domain := range s.domains {
 		tbl, _ := s.db.TableForDomain(domain)
 		st.Domains = append(st.Domains, DomainStatus{

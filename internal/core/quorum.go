@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// This file is the write-durability half of self-healing replication:
+// per-write acknowledgement levels and the follower-ack tracker behind
+// them. An AckLocal write is confirmed once it is in this node's
+// fsync'd WAL — the pre-failover contract, and still the default. An
+// AckQuorum write is confirmed only after ReplicaSet/2+1 nodes
+// (counting the primary) have durably applied it, so the write
+// survives the primary dying the very next instant: any electable
+// majority contains at least one node that holds it, and elections
+// pick the freshest node. Acks ride the existing WAL-tail long poll —
+// a follower's next poll cursor IS its durable apply position, so the
+// webui reports it here via NoteFollowerAck and no extra ack channel
+// or round trip exists.
+
+// DefaultAckTimeout bounds an AckQuorum write's wait for follower
+// acknowledgements when Config.AckTimeout is 0.
+const DefaultAckTimeout = 5 * time.Second
+
+// DefaultMaxPendingQuorum is the admission cap on concurrently
+// waiting AckQuorum writes when Config.MaxPendingQuorum is 0.
+const DefaultMaxPendingQuorum = 256
+
+// ErrNotLeader marks a write or control request addressed to a node
+// that is not its replica set's current leader; the caller should
+// re-resolve the leader (GET /api/repl/leader) and retry there.
+// Rejections from unpromoted replicas match both this and
+// ErrReadOnlyReplica.
+var ErrNotLeader = errors.New("core: not the leader of this replica set")
+
+// ErrQuorumUnavailable reports an AckQuorum write that could not
+// gather ReplicaSet/2+1 durable applications within the ack timeout.
+// The write IS durable on this node and remains in the log — retrying
+// it would duplicate the ad — but the quorum guarantee was not met:
+// if this node dies before a follower catches up, the write may be
+// lost with it.
+var ErrQuorumUnavailable = errors.New("core: quorum unavailable: write is durable locally but not yet on a majority")
+
+// ErrOverloaded reports ingest admission control shedding load: the
+// WAL backlog or the pending-quorum queue is past its threshold.
+// Nothing was written; the caller should back off and retry (the web
+// layer maps this to HTTP 429 with Retry-After).
+var ErrOverloaded = errors.New("core: node overloaded: ingest admission threshold exceeded")
+
+// AckLevel is a write's durability requirement.
+type AckLevel int
+
+const (
+	// AckLocal confirms after the local fsync'd WAL append — the
+	// default, and the only level a standalone system offers.
+	AckLocal AckLevel = iota
+	// AckQuorum confirms after ReplicaSet/2+1 nodes have durably
+	// applied the write.
+	AckQuorum
+)
+
+// ParseAckLevel maps the wire form ("", "local", "quorum" — the
+// webui's ?ack= parameter) to an AckLevel.
+func ParseAckLevel(s string) (AckLevel, error) {
+	switch s {
+	case "", "local":
+		return AckLocal, nil
+	case "quorum":
+		return AckQuorum, nil
+	default:
+		return AckLocal, fmt.Errorf("core: unknown ack level %q (want local or quorum)", s)
+	}
+}
+
+// quorumState tracks each follower's durable apply position and the
+// writes waiting on them.
+type quorumState struct {
+	replicaSet int
+	ackTimeout time.Duration
+	maxPending int
+
+	mu   sync.Mutex
+	acks map[string]uint64 // follower node id -> highest durably applied seq
+	// watch is closed and replaced whenever an ack arrives, waking
+	// AwaitQuorum waiters — the same grab-check-block long-poll
+	// pattern persist.Store.Watch uses.
+	watch   chan struct{}
+	pending int
+}
+
+func newQuorumState(cfg Config) *quorumState {
+	q := &quorumState{
+		replicaSet: cfg.ReplicaSet,
+		ackTimeout: cfg.AckTimeout,
+		maxPending: cfg.MaxPendingQuorum,
+		acks:       make(map[string]uint64),
+		watch:      make(chan struct{}),
+	}
+	if q.ackTimeout == 0 {
+		q.ackTimeout = DefaultAckTimeout
+	}
+	if q.maxPending == 0 {
+		q.maxPending = DefaultMaxPendingQuorum
+	}
+	return q
+}
+
+// needAcks is how many distinct follower acknowledgements a quorum
+// write requires: ReplicaSet/2+1 nodes minus the primary itself.
+func (q *quorumState) needAcks() int {
+	if q.replicaSet <= 1 {
+		return 0
+	}
+	return q.replicaSet / 2
+}
+
+// QuorumSize reports how many nodes must durably hold an AckQuorum
+// write before it is confirmed (1 when no replica set is configured —
+// local durability is the whole quorum).
+func (s *System) QuorumSize() int {
+	return s.quorum.needAcks() + 1
+}
+
+// NoteFollowerAck records that follower node has durably applied
+// operations through seq. The webui calls this from the WAL long-poll
+// handler: a follower's poll cursor is exactly its durable apply
+// position, so the existing poll doubles as the ack channel.
+func (s *System) NoteFollowerAck(node string, seq uint64) {
+	if node == "" {
+		return
+	}
+	q := s.quorum
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if seq <= q.acks[node] {
+		return
+	}
+	q.acks[node] = seq
+	close(q.watch)
+	q.watch = make(chan struct{})
+}
+
+// awaitQuorum blocks until needAcks distinct followers have durably
+// applied through seq, or the ack timeout passes (wrapping
+// ErrQuorumUnavailable). Callers must NOT hold the ingest lock: the
+// followers being waited on acquire it to apply.
+func (s *System) awaitQuorum(seq uint64) error {
+	q := s.quorum
+	need := q.needAcks()
+	if need == 0 {
+		return nil
+	}
+	q.mu.Lock()
+	q.pending++
+	q.mu.Unlock()
+	defer func() {
+		q.mu.Lock()
+		q.pending--
+		q.mu.Unlock()
+	}()
+	timer := time.NewTimer(q.ackTimeout)
+	defer timer.Stop()
+	for {
+		q.mu.Lock()
+		got := 0
+		for _, acked := range q.acks {
+			if acked >= seq {
+				got++
+			}
+		}
+		watch := q.watch
+		q.mu.Unlock()
+		if got >= need {
+			return nil
+		}
+		select {
+		case <-watch:
+		case <-timer.C:
+			metrics.Failover.QuorumTimeouts.Add(1)
+			return fmt.Errorf("core: %d of %d required follower acks for seq %d after %v: %w",
+				got, need, seq, q.ackTimeout, ErrQuorumUnavailable)
+		}
+	}
+}
+
+// pendingQuorum reports how many AckQuorum writes are currently
+// waiting for follower acknowledgements.
+func (q *quorumState) pendingQuorum() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending
+}
+
+// admitLocked is ingest admission control, called with the ingest
+// lock held before any table is touched. It sheds load in two cases:
+// the WAL backlog has outgrown Config.MaxWALBytes (compaction cannot
+// keep up — accepting more writes only deepens the recovery debt), or
+// the write wants a quorum ack and Config.MaxPendingQuorum writes are
+// already queued on a slow or partitioned replica set.
+func (s *System) admitLocked(ack AckLevel) error {
+	p := s.persist
+	if p != nil && p.maxWALBytes > 0 {
+		if size := p.store.WALSize(); size >= p.maxWALBytes {
+			metrics.Failover.Overloads.Add(1)
+			return fmt.Errorf("core: WAL backlog %d bytes >= limit %d: %w", size, p.maxWALBytes, ErrOverloaded)
+		}
+	}
+	if ack == AckQuorum && s.quorum.maxPending > 0 && s.quorum.needAcks() > 0 {
+		if n := s.quorum.pendingQuorum(); n >= s.quorum.maxPending {
+			metrics.Failover.Overloads.Add(1)
+			return fmt.Errorf("core: %d quorum writes already pending >= limit %d: %w", n, s.quorum.maxPending, ErrOverloaded)
+		}
+	}
+	return nil
+}
+
+// AdmissionStatus reports the ingest admission thresholds and current
+// load, served in /api/status.
+type AdmissionStatus struct {
+	// MaxWALBytes is the WAL backlog threshold (0 = check disabled).
+	MaxWALBytes int64
+	// MaxPendingQuorum is the pending quorum-write cap (0 = disabled).
+	MaxPendingQuorum int
+	// PendingQuorum is the number of AckQuorum writes currently
+	// waiting for follower acknowledgements.
+	PendingQuorum int
+}
+
+func (s *System) admissionStatus() AdmissionStatus {
+	st := AdmissionStatus{PendingQuorum: s.quorum.pendingQuorum()}
+	if s.quorum.maxPending > 0 {
+		st.MaxPendingQuorum = s.quorum.maxPending
+	}
+	if p := s.persist; p != nil && p.maxWALBytes > 0 {
+		st.MaxWALBytes = p.maxWALBytes
+	}
+	return st
+}

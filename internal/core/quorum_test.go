@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseAckLevel(t *testing.T) {
+	for in, want := range map[string]AckLevel{"": AckLocal, "local": AckLocal, "quorum": AckQuorum} {
+		got, err := ParseAckLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAckLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseAckLevel("paxos"); err == nil {
+		t.Error("ParseAckLevel accepted an unknown level")
+	}
+}
+
+func TestQuorumSizing(t *testing.T) {
+	// Quorum is a majority of the replica set counting the primary;
+	// below 2 members local durability IS the quorum.
+	for _, tc := range []struct{ set, size int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3},
+	} {
+		q := newQuorumState(Config{ReplicaSet: tc.set})
+		if got := q.needAcks() + 1; got != tc.size {
+			t.Errorf("ReplicaSet %d: quorum size %d, want %d", tc.set, got, tc.size)
+		}
+	}
+}
+
+// TestAwaitQuorumCountsDistinctFollowers: one follower acking twice is
+// one vote; quorum arrives only with a second distinct follower, and a
+// stale cursor (below the write's seq) does not count.
+func TestAwaitQuorumCountsDistinctFollowers(t *testing.T) {
+	s := &System{quorum: newQuorumState(Config{ReplicaSet: 5, AckTimeout: 250 * time.Millisecond})}
+
+	s.NoteFollowerAck("node-a", 10)
+	s.NoteFollowerAck("node-a", 11)
+	s.NoteFollowerAck("node-b", 9) // stale: below seq 10
+	if err := s.awaitQuorum(10); !errors.Is(err, ErrQuorumUnavailable) {
+		t.Fatalf("one distinct ack of two required: err = %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.awaitQuorum(10) }()
+	for s.quorum.pendingQuorum() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.NoteFollowerAck("node-b", 10)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("quorum met: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("awaitQuorum never woke on the second follower ack")
+	}
+	if n := s.quorum.pendingQuorum(); n != 0 {
+		t.Fatalf("pendingQuorum = %d after completion", n)
+	}
+}
+
+// TestAdmitPendingQuorumCap: the pending-quorum admission check sheds
+// AckQuorum writes past the cap while AckLocal writes pass.
+func TestAdmitPendingQuorumCap(t *testing.T) {
+	s := &System{quorum: newQuorumState(Config{ReplicaSet: 3, MaxPendingQuorum: 1, AckTimeout: 5 * time.Second})}
+	if err := s.admitLocked(AckQuorum); err != nil {
+		t.Fatalf("admit under cap: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.awaitQuorum(1) }()
+	for s.quorum.pendingQuorum() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.admitLocked(AckQuorum); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit at cap = %v, want ErrOverloaded", err)
+	}
+	if err := s.admitLocked(AckLocal); err != nil {
+		t.Fatalf("AckLocal sheds with the quorum queue: %v", err)
+	}
+	s.NoteFollowerAck("node-a", 1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -28,6 +28,12 @@ import (
 // Promote flips the follower writable for manual failover.
 var ErrReadOnlyReplica = errors.New("core: read-only replica: writes go to the primary (or Promote this follower)")
 
+// errNotWritable is what writable() returns on an unpromoted replica:
+// it matches BOTH ErrReadOnlyReplica (the pre-failover contract) and
+// ErrNotLeader (so leader-aware clients re-resolve and retry at the
+// current leader).
+var errNotWritable = fmt.Errorf("%w; %w", ErrReadOnlyReplica, ErrNotLeader)
+
 // ErrNotPrimary is returned by the Repl* accessors on systems that
 // cannot serve a replication stream — only a durable System (Open with
 // Config.DataDir) has the snapshot + WAL pair to ship.
@@ -60,6 +66,18 @@ type followerState struct {
 	cfg Config
 	// applied is the sequence number of the last applied operation.
 	applied atomic.Uint64
+	// appliedEpoch is the leadership term of the last applied
+	// operation — the follower's half of log matching: presented to
+	// the leader with the poll cursor so a diverged log (same
+	// sequence numbers written under a fenced term) is detected
+	// instead of skipped as duplicates.
+	appliedEpoch atomic.Uint64
+	// fenceEpoch is the highest leadership term this node has
+	// acknowledged (NoteEpoch); streams and control messages from
+	// older terms are rejected. Durable peers keep the fence in the
+	// store instead so it survives restarts; this field serves
+	// memory-only followers.
+	fenceEpoch atomic.Uint64
 	// primarySeq is the primary's last observed sequence, reported by
 	// the shipping layer (NotePrimarySeq); with applied it gives the
 	// lag.
@@ -103,7 +121,38 @@ func OpenFollower(cfg Config, snap *persist.Snapshot) (*System, error) {
 	}
 	f := &followerState{cfg: cfg}
 	f.applied.Store(snap.Seq)
+	f.appliedEpoch.Store(snap.Epoch)
+	f.fenceEpoch.Store(snap.Epoch)
 	f.primarySeq.Store(snap.Seq)
+	sys.follower = f
+	return sys, nil
+}
+
+// OpenPeer builds a durable replica-set member: a System recovered
+// from its own data directory (exactly like Open) that starts as a
+// read-only follower. Peers are the unit the failover agent manages —
+// every node of a `-replica-set` is one. Unlike an OpenFollower
+// replica, a peer spools every applied operation to its local WAL
+// (Store.AppendApplied), so whichever peer wins an election already
+// holds a log identical to the stream it acknowledged and can serve
+// it onward as the new leader; and unlike a plain primary it can be
+// demoted back to follower when it loses a term. cfg.DataDir is
+// required.
+func OpenPeer(cfg Config) (*System, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("core: OpenPeer requires Config.DataDir (peers are durable)")
+	}
+	sys, err := Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := sys.persist.store
+	f := &followerState{cfg: cfg}
+	f.applied.Store(st.Seq())
+	if epoch, ok := st.EpochAt(st.Seq()); ok {
+		f.appliedEpoch.Store(epoch)
+	}
+	f.primarySeq.Store(st.Seq())
 	sys.follower = f
 	return sys, nil
 }
@@ -157,18 +206,73 @@ func (s *System) ApplyOps(ops []persist.Op) error {
 	if f.promoted.Load() {
 		return fmt.Errorf("core: follower was promoted; no longer applying the primary's stream")
 	}
+	p := s.persist
+	if p != nil {
+		// Durable peer: the apply is a memory mutation plus a local WAL
+		// spool, serialized against checkpoints exactly like primary
+		// ingest (lock order is always f.mu then p.mu).
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if err := p.ingestable(); err != nil {
+			return err
+		}
+	}
+	var spooled []persist.Op
 	for _, op := range ops {
 		applied := f.applied.Load()
 		if op.Seq <= applied {
 			continue // duplicate delivery after a re-poll
 		}
 		if op.Seq != applied+1 {
+			if err := s.spoolAppliedLocked(spooled); err != nil {
+				return err
+			}
 			return &GapError{Applied: applied, Got: op.Seq}
 		}
+		if op.Epoch < f.appliedEpoch.Load() {
+			// A valid log never decreases epochs; this stream is from a
+			// deposed leader that slipped past the transport-level fence.
+			if err := s.spoolAppliedLocked(spooled); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: shipped op %d carries fenced epoch %d (applied epoch is %d): %w",
+				op.Seq, op.Epoch, f.appliedEpoch.Load(), ErrNotLeader)
+		}
 		if err := s.replayOp(op); err != nil {
+			if serr := s.spoolAppliedLocked(spooled); serr != nil {
+				return serr
+			}
 			return err
 		}
+		if p != nil {
+			spooled = append(spooled, op)
+		}
 		f.applied.Store(op.Seq)
+		f.appliedEpoch.Store(op.Epoch)
+	}
+	if err := s.spoolAppliedLocked(spooled); err != nil {
+		return err
+	}
+	if p != nil {
+		s.maybeCompact()
+	}
+	return nil
+}
+
+// spoolAppliedLocked appends memory-applied shipped operations to the
+// local WAL of a durable peer (no-op with no ops or no store). Called
+// with f.mu and p.mu held. A spool failure latches the durability
+// fault exactly like a failed primary append: memory is ahead of the
+// log, so further ingestion or application is refused until restart.
+func (s *System) spoolAppliedLocked(ops []persist.Op) error {
+	if len(ops) == 0 || s.persist == nil {
+		return nil
+	}
+	p := s.persist
+	if err := p.store.AppendApplied(ops); err != nil {
+		p.failed.Store(true)
+		return fmt.Errorf("core: ops %d-%d applied but not spooled (%v): %w",
+			ops[0].Seq, ops[len(ops)-1].Seq, err, ErrDurabilityLost)
 	}
 	return nil
 }
@@ -198,30 +302,132 @@ func (s *System) ResetToSnapshot(snap *persist.Snapshot) error {
 	if err := guardFollowerSnapshot(f.cfg, snap); err != nil {
 		return err
 	}
+	if p := s.persist; p != nil {
+		// Durable peer: re-baseline the local store first, discarding a
+		// WAL suffix that diverged under a fenced term. If the memory
+		// restore below then fails, disk and memory disagree only until
+		// the next restart recovers from the new baseline.
+		p.mu.Lock()
+		err := p.store.ResetTo(snap)
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
 	if err := restoreSnapshot(f.cfg, snap); err != nil {
 		return err
 	}
 	f.applied.Store(snap.Seq)
+	f.appliedEpoch.Store(snap.Epoch)
 	if snap.Seq > f.primarySeq.Load() {
 		f.primarySeq.Store(snap.Seq)
 	}
 	return nil
 }
 
-// Promote flips a follower writable — the manual-failover escape
-// hatch. After Promote, InsertAd/DeleteAd succeed (in memory only: a
-// promoted follower has no local WAL) and ApplyOps/ResetToSnapshot
-// refuse, so a stale primary coming back cannot overwrite writes taken
-// after the flip. Promote is idempotent and errors on non-followers.
+// Promote flips a follower writable — the failover path, manual or
+// automatic. After Promote, InsertAd/DeleteAd succeed (durably, on a
+// peer with a local WAL; in memory only on an OpenFollower replica)
+// and ApplyOps/ResetToSnapshot refuse, so a stale primary coming back
+// cannot overwrite writes taken after the flip. Promote is idempotent
+// — on an already-writable system (a primary, a promoted follower, a
+// standalone) it is a no-op returning nil, so a failover controller
+// and an operator can race safely.
 func (s *System) Promote() error {
 	f := s.follower
 	if f == nil {
-		return fmt.Errorf("core: Promote on a non-follower system")
+		return nil // already writable: primary or standalone
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.promoted.Store(true)
 	return nil
+}
+
+// PromoteTo promotes under a new leadership term: the epoch fence is
+// raised to epoch and every subsequent write is stamped with it. This
+// is what an election winner calls — the new term on its appends is
+// what lets every other node detect and fence the old leader's late
+// frames.
+func (s *System) PromoteTo(epoch uint64) error {
+	s.NoteEpoch(epoch)
+	return s.Promote()
+}
+
+// Demote flips a replica-set peer back to read-only follower under
+// the given (newer) term — the losing side of an election, called
+// when a deposed leader learns of a higher epoch. Writes taken after
+// the new leader's term began are NOT discarded here; they sit in the
+// local log until the tail loop's log matching detects the divergence
+// and re-bootstraps from the new leader (ResetToSnapshot), which is
+// what finally drops them. Demote requires a peer (OpenPeer or
+// OpenFollower); a plain primary has no follower machinery to fall
+// back to.
+func (s *System) Demote(epoch uint64) error {
+	f := s.follower
+	if f == nil {
+		return fmt.Errorf("core: Demote requires a replica-set peer (OpenPeer)")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p := s.persist; p != nil {
+		// Writes taken while leading advanced the store past the apply
+		// cursor; resync the cursor so the tail loop resumes from the
+		// true local position (and its log matching can judge it).
+		st := p.store
+		f.applied.Store(st.Seq())
+		if e, ok := st.EpochAt(st.Seq()); ok {
+			f.appliedEpoch.Store(e)
+		}
+	}
+	f.promoted.Store(false)
+	s.NoteEpoch(epoch)
+	return nil
+}
+
+// NoteEpoch raises this node's leadership-term fence (monotonic;
+// lower values are ignored). On a durable system the fence lives in
+// the store — it stamps subsequent appends and survives restarts;
+// memory-only followers keep it on the follower state.
+func (s *System) NoteEpoch(epoch uint64) {
+	if p := s.persist; p != nil {
+		p.store.SetEpoch(epoch)
+		return
+	}
+	if f := s.follower; f != nil {
+		for {
+			cur := f.fenceEpoch.Load()
+			if epoch <= cur || f.fenceEpoch.CompareAndSwap(cur, epoch) {
+				return
+			}
+		}
+	}
+}
+
+// Epoch returns the node's current leadership-term fence.
+func (s *System) Epoch() uint64 {
+	if p := s.persist; p != nil {
+		return p.store.Epoch()
+	}
+	if f := s.follower; f != nil {
+		return f.fenceEpoch.Load()
+	}
+	return 0
+}
+
+// AppliedEpoch returns the term of the last applied (or locally
+// logged) operation — the freshness half of an election vote and the
+// epoch a follower presents for log matching.
+func (s *System) AppliedEpoch() uint64 {
+	if f := s.follower; f != nil {
+		return f.appliedEpoch.Load()
+	}
+	if p := s.persist; p != nil {
+		if e, ok := p.store.EpochAt(p.store.Seq()); ok {
+			return e
+		}
+	}
+	return 0
 }
 
 // NotePrimarySeq records the primary's last observed sequence number;
@@ -249,7 +455,7 @@ func (s *System) AppliedSeq() uint64 {
 // an unpromoted follower.
 func (s *System) writable() error {
 	if f := s.follower; f != nil && !f.promoted.Load() {
-		return ErrReadOnlyReplica
+		return errNotWritable
 	}
 	return nil
 }
@@ -306,6 +512,12 @@ type ReplicationStatus struct {
 	LagOps uint64
 	// ReadOnly reports whether direct writes are refused.
 	ReadOnly bool
+	// Epoch is the node's leadership-term fence (0 before any
+	// election).
+	Epoch uint64
+	// QuorumSize is how many nodes must durably hold an AckQuorum
+	// write before it is confirmed (1 without a replica set).
+	QuorumSize int
 }
 
 // replicationStatus assembles the Status block.
@@ -315,9 +527,17 @@ func (s *System) replicationStatus() ReplicationStatus {
 			Role:       RoleFollower,
 			AppliedSeq: f.applied.Load(),
 			PrimarySeq: f.primarySeq.Load(),
+			Epoch:      s.Epoch(),
+			QuorumSize: s.QuorumSize(),
 		}
 		if f.promoted.Load() {
 			st.Role = RolePromoted
+			if p := s.persist; p != nil {
+				// A promoted durable peer IS the leader: report its log
+				// position, not the stale apply cursor.
+				st.AppliedSeq = p.store.Seq()
+				st.PrimarySeq = st.AppliedSeq
+			}
 		} else {
 			st.ReadOnly = true
 		}
@@ -328,9 +548,12 @@ func (s *System) replicationStatus() ReplicationStatus {
 	}
 	if p := s.persist; p != nil {
 		seq := p.store.Seq()
-		return ReplicationStatus{Role: RolePrimary, AppliedSeq: seq, PrimarySeq: seq}
+		return ReplicationStatus{
+			Role: RolePrimary, AppliedSeq: seq, PrimarySeq: seq,
+			Epoch: s.Epoch(), QuorumSize: s.QuorumSize(),
+		}
 	}
-	return ReplicationStatus{Role: RoleStandalone}
+	return ReplicationStatus{Role: RoleStandalone, QuorumSize: s.QuorumSize()}
 }
 
 // Primary-side shipping accessors, served over HTTP by internal/webui.
@@ -379,4 +602,17 @@ func (s *System) ReplWatch() (<-chan struct{}, error) {
 		return nil, ErrNotPrimary
 	}
 	return p.store.Watch(), nil
+}
+
+// ReplEpochAt reports the leadership term of the logged operation at
+// seq, when the retained history (checkpoint boundary through the log
+// tip) covers it. The WAL handler uses it for log matching: a
+// follower that presents a cursor whose term disagrees with the
+// leader's history holds a diverged log and must re-bootstrap.
+func (s *System) ReplEpochAt(seq uint64) (epoch uint64, ok bool) {
+	p := s.persist
+	if p == nil {
+		return 0, false
+	}
+	return p.store.EpochAt(seq)
 }

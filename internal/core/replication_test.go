@@ -285,9 +285,14 @@ func TestPromoteFlipsWritable(t *testing.T) {
 		t.Fatal("ResetToSnapshot after Promote succeeded")
 	}
 
-	// Promote on non-followers errors.
-	if err := primary.Promote(); err == nil {
-		t.Fatal("Promote on primary succeeded")
+	// Promote on non-followers is idempotent: an already-primary node
+	// is already writable, so a failover controller and an operator
+	// can race safely.
+	if err := primary.Promote(); err != nil {
+		t.Fatalf("Promote on primary: %v", err)
+	}
+	if got := primary.Status().Replication.Role; got != RolePrimary {
+		t.Fatalf("primary role after no-op Promote = %q", got)
 	}
 }
 

@@ -88,6 +88,30 @@ type Config struct {
 	// DefaultCompactBytes; negative disables automatic compaction
 	// (explicit Checkpoint calls still work).
 	CompactBytes int64
+	// ReplicaSet is the total number of nodes in this node's replica
+	// set, itself included. Values above 1 arm quorum-acked writes:
+	// an AckQuorum ingest confirms only after ReplicaSet/2+1 nodes
+	// (the primary counts as one) have durably applied it. 0 or 1
+	// means no replica set — AckQuorum degenerates to local
+	// durability.
+	ReplicaSet int
+	// AckTimeout bounds how long an AckQuorum write waits for
+	// follower acknowledgements before returning
+	// ErrQuorumUnavailable (the write is still locally durable). 0
+	// means DefaultAckTimeout.
+	AckTimeout time.Duration
+	// MaxPendingQuorum caps the number of AckQuorum writes waiting
+	// for follower acknowledgements at once; past it, new quorum
+	// writes are refused with ErrOverloaded instead of queueing
+	// unboundedly behind a slow or partitioned replica set. 0 means
+	// DefaultMaxPendingQuorum; negative disables the cap.
+	MaxPendingQuorum int
+	// MaxWALBytes is the ingest admission threshold on WAL backlog:
+	// when the log exceeds it (compaction is wedged or cannot keep
+	// up), mutations are refused with ErrOverloaded until the backlog
+	// drains. 0 means DefaultMaxWALBytes; negative disables the
+	// check.
+	MaxWALBytes int64
 }
 
 // DefaultCompactBytes is the default WAL size that triggers automatic
@@ -116,14 +140,23 @@ type System struct {
 	strict        bool
 	batchWorkers  int
 	trainOnIngest bool
+	// cfg retains the build configuration for in-place rebuilds: a
+	// re-bootstrap (ResetToSnapshot) restores into the same DB and
+	// classifier, and a deposed primary demoting to follower reuses
+	// it as the follower config.
+	cfg Config
 	// persist is non-nil when the system was built by Open with
 	// Config.DataDir set; it owns the snapshot + WAL store and
 	// serializes ingestion so the log order equals the mutation order.
 	persist *persister
-	// follower is non-nil when the system was built by OpenFollower:
+	// follower is non-nil when the system was built by OpenFollower
+	// (memory-only replica) or OpenPeer (durable replica-set member):
 	// it owns the apply lock and replication cursor, and (until
 	// Promote) makes the system reject direct writes.
 	follower *followerState
+	// quorum tracks follower apply acknowledgements for quorum-acked
+	// writes; always present, inert when Config.ReplicaSet <= 1.
+	quorum *quorumState
 }
 
 // dedupState caches one domain's near-duplicate representatives
@@ -182,6 +215,7 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: Config.DB is required")
 	}
 	s := &System{
+		cfg:           cfg,
 		db:            cfg.DB,
 		classifier:    cfg.Classifier,
 		taggers:       make(map[string]*trie.Tagger),
@@ -239,6 +273,7 @@ func New(cfg Config) (*System, error) {
 			s.dedupFor(domain, tbl) // warm the cache at the build version
 		}
 	}
+	s.quorum = newQuorumState(cfg)
 	return s, nil
 }
 

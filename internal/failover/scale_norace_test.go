@@ -1,0 +1,7 @@
+//go:build !race
+
+package failover_test
+
+// raceScale stretches the test clocks when the race detector is on;
+// plain builds run at full speed.
+const raceScale = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package failover_test
+
+// raceScale stretches the test clocks under the race detector: its
+// instrumentation slows the election loop enough that production
+// lease/heartbeat ratios flap at the unscaled test cadence.
+const raceScale = 4

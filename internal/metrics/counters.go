@@ -51,3 +51,34 @@ var Repl struct {
 	// (primary sequence minus applied sequence).
 	LagOps Gauge
 }
+
+// Failover holds the election counters for this process: how often
+// leadership moved and why. A healthy set shows heartbeats climbing
+// and everything else flat; elections ticking without promotions means
+// split votes or unreachable majorities.
+var Failover struct {
+	// HeartbeatsSent counts lease renewals this leader issued.
+	HeartbeatsSent Counter
+	// HeartbeatsRejected counts heartbeats this node fenced for
+	// carrying a stale term — each one is a deposed leader learning
+	// about its successor.
+	HeartbeatsRejected Counter
+	// Elections counts campaigns this node started (its lease lapsed).
+	Elections Counter
+	// VotesGranted counts votes this node granted to peers.
+	VotesGranted Counter
+	// Promotions counts elections this node won.
+	Promotions Counter
+	// StepDowns counts demotions after being deposed by a higher term.
+	StepDowns Counter
+	// FencedStreams counts WAL polls this node refused because the
+	// follower's cursor diverged from its history (log matching
+	// failed) — the rejoining-old-primary signature.
+	FencedStreams Counter
+	// QuorumTimeouts counts quorum-acked writes that timed out waiting
+	// for follower acknowledgements (the write is durable locally).
+	QuorumTimeouts Counter
+	// Overloads counts writes refused by ingest admission control
+	// (WAL backlog or pending-quorum queue past threshold).
+	Overloads Counter
+}

@@ -12,7 +12,7 @@ import (
 
 // snapshotMagic opens every snapshot file; bump the digit for
 // incompatible layout changes.
-const snapshotMagic = "CQSNAP1\n"
+const snapshotMagic = "CQSNAP2\n"
 
 // Snapshot is a full point-in-time image of the store: every table's
 // live rows and slot count, plus the trained classifier state.
@@ -20,6 +20,11 @@ type Snapshot struct {
 	// Seq is the sequence number of the last operation the snapshot
 	// includes; recovery replays WAL records with Seq greater than it.
 	Seq uint64
+	// Epoch is the leadership term of the last included operation (0
+	// before any election). A follower bootstrapping from this
+	// snapshot inherits it as its applied epoch, so post-transfer log
+	// matching lines up with the leader's history.
+	Epoch uint64
 	// Tables holds one entry per ads domain.
 	Tables []TableData
 	// Classifier is the opaque classifier-state blob
@@ -62,6 +67,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) { return decodeSnapshot(data
 func encodeSnapshot(s *Snapshot) []byte {
 	b := []byte(snapshotMagic)
 	b = binary.AppendUvarint(b, s.Seq)
+	b = binary.AppendUvarint(b, s.Epoch)
 	b = binary.AppendUvarint(b, uint64(len(s.Tables)))
 	for _, t := range s.Tables {
 		b = appendString(b, t.Domain)
@@ -97,7 +103,7 @@ func decodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("persist: bad snapshot magic %q", body[:len(snapshotMagic)])
 	}
 	r := &reader{b: body, off: len(snapshotMagic)}
-	s := &Snapshot{Seq: r.uvarint()}
+	s := &Snapshot{Seq: r.uvarint(), Epoch: r.uvarint()}
 	nTables := int(r.uvarint())
 	for i := 0; i < nTables && r.err == nil; i++ {
 		t := TableData{

@@ -16,6 +16,18 @@ type walIndexEntry struct {
 	off int64
 }
 
+// epochStart marks where a leadership term begins in the sequence
+// space: operations with Seq >= firstSeq (up to the next entry) carry
+// epoch. The slice is the store's term history since the last
+// checkpoint, used for log matching: a follower presents the epoch of
+// its last applied op and the leader checks it against EpochAt, so a
+// diverged log (same sequence numbers written under a fenced term) is
+// detected instead of silently skipped as duplicates.
+type epochStart struct {
+	epoch    uint64
+	firstSeq uint64
+}
+
 // File names inside a data directory.
 const (
 	// SnapshotFile is the checkpoint image.
@@ -39,9 +51,14 @@ type Store struct {
 	walBytes int64
 	seq      uint64 // last assigned operation sequence number
 	ckptSeq  uint64 // sequence covered by the on-disk snapshot
-	snap     *Snapshot
-	tail     []Op
-	closed   bool
+	epoch    uint64 // current leadership term, stamped on appends
+	// epochs is the term history covering [ckptSeq, seq]; the first
+	// entry is the baseline at the checkpoint boundary, later entries
+	// record term changes observed in appended ops.
+	epochs []epochStart
+	snap   *Snapshot
+	tail   []Op
+	closed bool
 	// watch is closed and replaced whenever new operations commit, so
 	// long-polling WAL shippers can block until there is something to
 	// ship instead of spinning.
@@ -79,7 +96,9 @@ func Open(dir string) (*Store, error) {
 	if snap != nil {
 		st.ckptSeq = snap.Seq
 		st.seq = snap.Seq
+		st.epoch = snap.Epoch
 	}
+	st.epochs = []epochStart{{epoch: st.epoch, firstSeq: st.ckptSeq}}
 	// The log is streamed, not slurped: each intact record is filtered
 	// into the replay tail as it is decoded, so a large WAL is never
 	// buffered twice (file bytes + decoded ops).
@@ -87,11 +106,15 @@ func Open(dir string) (*Store, error) {
 		if op.Seq > st.seq {
 			st.seq = op.Seq
 		}
+		if op.Epoch > st.epoch {
+			st.epoch = op.Epoch
+		}
 		// Records at or below the checkpoint sequence are already in
 		// the snapshot: a crash between snapshot publish and WAL
 		// truncation legitimately leaves them behind.
 		if op.Seq > st.ckptSeq {
 			st.tail = append(st.tail, op)
+			st.noteEpochLocked(op)
 		}
 	})
 	if err != nil {
@@ -167,12 +190,64 @@ func (s *Store) Append(ops []Op) error {
 	for i := range ops {
 		s.seq++
 		ops[i].Seq = s.seq
+		ops[i].Epoch = s.epoch
 		if buf, err = AppendFrame(buf, ops[i]); err != nil {
 			s.seq = start // none of the batch was written
 			return err
 		}
 	}
+	return s.commitLocked(ops, buf)
+}
+
+// AppendApplied appends operations that already carry sequence numbers
+// and epochs assigned by a remote leader — the spooling path a durable
+// follower uses to keep its local log identical to the stream it
+// applied. The batch must extend the log contiguously with
+// non-decreasing epochs no older than the current term; a violation
+// means the caller is replaying a diverged or stale stream and nothing
+// is written.
+func (s *Store) AppendApplied(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("persist: store has failed, restart to recover: %w", s.failed)
+	}
+	var buf []byte
+	var err error
+	seq, epoch := s.seq, s.epochs[len(s.epochs)-1].epoch
+	for i := range ops {
+		if ops[i].Seq != seq+1 {
+			return fmt.Errorf("persist: spooled op seq %d does not extend log at %d", ops[i].Seq, seq)
+		}
+		if ops[i].Epoch < epoch {
+			return fmt.Errorf("persist: spooled op epoch %d regresses from %d (fenced stream)", ops[i].Epoch, epoch)
+		}
+		seq, epoch = ops[i].Seq, ops[i].Epoch
+		if buf, err = AppendFrame(buf, ops[i]); err != nil {
+			return err
+		}
+	}
+	s.seq = seq
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+	return s.commitLocked(ops, buf)
+}
+
+// commitLocked writes one encoded group-commit batch, fsyncs, indexes
+// it, and wakes long-polling shippers. Caller holds s.mu and has
+// already advanced s.seq past the batch.
+func (s *Store) commitLocked(ops []Op, buf []byte) error {
 	s.offsets = append(s.offsets, walIndexEntry{seq: ops[0].Seq, off: s.walBytes})
+	for i := range ops {
+		s.noteEpochLocked(ops[i])
+	}
 	n, err := s.wal.Write(buf)
 	s.walBytes += int64(n)
 	if err != nil {
@@ -187,6 +262,14 @@ func (s *Store) Append(ops []Op) error {
 	close(s.watch)
 	s.watch = make(chan struct{})
 	return nil
+}
+
+// noteEpochLocked records op's term in the epoch history if it starts
+// a new one. Caller holds s.mu.
+func (s *Store) noteEpochLocked(op Op) {
+	if last := s.epochs[len(s.epochs)-1]; op.Epoch != last.epoch {
+		s.epochs = append(s.epochs, epochStart{epoch: op.Epoch, firstSeq: op.Seq})
+	}
 }
 
 // Watch returns a channel that is closed when operations commit after
@@ -283,10 +366,12 @@ func (s *Store) WriteCheckpoint(snap *Snapshot) error {
 		return fmt.Errorf("persist: store has failed, restart to recover: %w", s.failed)
 	}
 	snap.Seq = s.seq
+	snap.Epoch = s.epochs[len(s.epochs)-1].epoch // term of the last included op
 	if err := writeSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
 		return err
 	}
 	s.ckptSeq = s.seq
+	s.epochs = []epochStart{{epoch: snap.Epoch, firstSeq: s.ckptSeq}}
 	s.snap = nil // recovery state no longer needed once superseded
 	s.tail = nil
 	if err := s.wal.Truncate(0); err != nil {
@@ -309,6 +394,87 @@ func (s *Store) WriteCheckpoint(snap *Snapshot) error {
 		return s.failed
 	}
 	s.walBytes = 0
+	return nil
+}
+
+// SetEpoch raises the store's leadership term; subsequent Appends are
+// stamped with it. Epochs are monotonic — a lower value is ignored, so
+// a late heartbeat from a deposed leader can never roll the term back.
+func (s *Store) SetEpoch(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+}
+
+// Epoch returns the current leadership term.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// EpochAt reports the term of the operation at seq. It answers for the
+// range the retained history covers — the checkpoint boundary through
+// the last appended op; outside that range ok is false and the caller
+// should fall back to a snapshot transfer. This is the serving half of
+// log matching: a follower presents (applied seq, applied epoch) and
+// the leader accepts the cursor only when the terms agree.
+func (s *Store) EpochAt(seq uint64) (epoch uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < s.epochs[0].firstSeq || seq > s.seq {
+		return 0, false
+	}
+	i := sort.Search(len(s.epochs), func(i int) bool { return s.epochs[i].firstSeq > seq })
+	return s.epochs[i-1].epoch, true
+}
+
+// ResetTo re-baselines the store to a remote leader's snapshot,
+// discarding the local log entirely — the recovery path for a deposed
+// primary whose WAL diverged under a fenced term. The snapshot is
+// published as the new checkpoint (keeping its own Seq/Epoch, unlike
+// WriteCheckpoint which stamps the local counters) and the WAL is
+// truncated; the sequence counter continues from snap.Seq.
+func (s *Store) ResetTo(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("persist: store is closed")
+	}
+	if s.failed != nil {
+		return fmt.Errorf("persist: store has failed, restart to recover: %w", s.failed)
+	}
+	if err := writeSnapshotFile(filepath.Join(s.dir, SnapshotFile), snap); err != nil {
+		return err
+	}
+	s.seq = snap.Seq
+	s.ckptSeq = snap.Seq
+	if snap.Epoch > s.epoch {
+		s.epoch = snap.Epoch
+	}
+	s.epochs = []epochStart{{epoch: snap.Epoch, firstSeq: snap.Seq}}
+	s.snap = nil
+	s.tail = nil
+	if err := s.wal.Truncate(0); err != nil {
+		// Unlike the checkpoint case the old log DIVERGES from the new
+		// baseline, so leaving it behind is not safe: latch shut.
+		s.failed = fmt.Errorf("persist: truncating WAL at reset: %w", err)
+		return s.failed
+	}
+	s.offsets = s.offsets[:0]
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		s.failed = fmt.Errorf("persist: rewinding WAL at reset: %w", err)
+		return s.failed
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.failed = fmt.Errorf("persist: syncing truncated WAL at reset: %w", err)
+		return s.failed
+	}
+	s.walBytes = 0
+	close(s.watch)
+	s.watch = make(chan struct{})
 	return nil
 }
 

@@ -26,7 +26,13 @@ const (
 // Store at append time and are strictly increasing across the life of
 // a data directory, surviving compaction.
 type Op struct {
-	Seq    uint64
+	Seq uint64
+	// Epoch is the leadership term the op was written under. A
+	// primary stamps its current epoch on every append; followers
+	// spool the leader's epochs verbatim. Along a valid log epochs
+	// never decrease, which is what lets a rejoining deposed primary's
+	// diverged suffix be detected and fenced.
+	Epoch  uint64
 	Kind   OpKind
 	Domain string
 	ID     sqldb.RowID
@@ -59,6 +65,7 @@ func AppendFrame(b []byte, op Op) ([]byte, error) {
 		return b, fmt.Errorf("persist: op has %d columns but %d values", len(op.Columns), len(op.Values))
 	}
 	payload := binary.AppendUvarint(nil, op.Seq)
+	payload = binary.AppendUvarint(payload, op.Epoch)
 	payload = append(payload, byte(op.Kind))
 	payload = appendString(payload, op.Domain)
 	payload = binary.AppendUvarint(payload, uint64(op.ID))
@@ -78,8 +85,9 @@ func AppendFrame(b []byte, op Op) ([]byte, error) {
 func decodeOp(payload []byte) (Op, error) {
 	r := &reader{b: payload}
 	op := Op{
-		Seq:  r.uvarint(),
-		Kind: OpKind(r.byteVal()),
+		Seq:   r.uvarint(),
+		Epoch: r.uvarint(),
+		Kind:  OpKind(r.byteVal()),
 	}
 	op.Domain = r.str()
 	op.ID = sqldb.RowID(r.uvarint())

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -33,9 +34,14 @@ const (
 	// DefaultPollWait is the server-side long-poll hold requested per
 	// WAL poll.
 	DefaultPollWait = 10 * time.Second
-	// DefaultRetryInterval is the pause after a failed poll before
-	// trying again.
+	// DefaultRetryInterval is the initial pause after a failed poll;
+	// consecutive failures back off exponentially from here.
 	DefaultRetryInterval = 500 * time.Millisecond
+	// DefaultMaxRetryInterval caps the exponential backoff: a whole
+	// replica set re-polling a restarting primary spreads out (each
+	// interval is jittered) instead of arriving as a thundering herd,
+	// but never waits longer than this to notice recovery.
+	DefaultMaxRetryInterval = 5 * time.Second
 	// applyChunk bounds how many decoded operations are applied per
 	// ApplyOps call while draining one response, so a long catch-up
 	// stream never buffers wholesale.
@@ -61,18 +67,32 @@ type Config struct {
 	// PollWait is the long-poll hold requested from the primary; 0
 	// means DefaultPollWait.
 	PollWait time.Duration
-	// RetryInterval is the pause after a failed poll; 0 means
-	// DefaultRetryInterval.
+	// RetryInterval is the pause after the first failed poll; 0 means
+	// DefaultRetryInterval. Consecutive failures double it (with
+	// jitter) up to MaxRetryInterval, and a success resets it.
 	RetryInterval time.Duration
+	// MaxRetryInterval caps the backoff; 0 means
+	// DefaultMaxRetryInterval.
+	MaxRetryInterval time.Duration
+	// Node is this replica's identity, sent as the X-Cqads-Node
+	// header on WAL polls so the primary can attribute apply
+	// acknowledgements for quorum-acked writes. Empty sends no
+	// header (the replica still converges; it just cannot contribute
+	// to write quorums).
+	Node string
 }
 
 // Follower is a live replica: a read-only System plus the background
 // loop that keeps it converged with its primary.
 type Follower struct {
-	cfg    Config
-	sys    *core.System
-	cancel context.CancelFunc
-	done   chan struct{}
+	cfg Config
+	// primary is the current upstream base URL (string). It starts as
+	// cfg.Primary and is re-pointed by SetPrimary when failover
+	// elects a new leader.
+	primary atomic.Value
+	sys     *core.System
+	cancel  context.CancelFunc
+	done    chan struct{}
 	// started guards Start/stop transitions; the loop runs at most
 	// once.
 	started atomic.Bool
@@ -96,16 +116,7 @@ func Connect(ctx context.Context, cfg Config) (*Follower, error) {
 	if cfg.Bootstrap == nil {
 		return nil, fmt.Errorf("replica: Config.Bootstrap is required")
 	}
-	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
-	}
-	if cfg.PollWait <= 0 {
-		cfg.PollWait = DefaultPollWait
-	}
-	if cfg.RetryInterval <= 0 {
-		cfg.RetryInterval = DefaultRetryInterval
-	}
-	f := &Follower{cfg: cfg, done: make(chan struct{})}
+	f := newFollower(cfg)
 	blob, err := f.fetchSnapshot(ctx)
 	if err != nil {
 		return nil, err
@@ -117,6 +128,56 @@ func Connect(ctx context.Context, cfg Config) (*Follower, error) {
 	f.sys = sys
 	return f, nil
 }
+
+// Attach wraps an existing replica System — typically a durable peer
+// built by core.OpenPeer that recovered its own local state — in a
+// Follower tailing cfg.Primary, with NO initial snapshot transfer.
+// The first poll presents the peer's local cursor and applied epoch;
+// the leader's log matching either streams from there or answers 409,
+// in which case the follower re-bootstraps in place. The failover
+// agent builds one of these per leadership view.
+func Attach(sys *core.System, cfg Config) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, fmt.Errorf("replica: Config.Primary is required")
+	}
+	if sys == nil {
+		return nil, fmt.Errorf("replica: Attach requires a system")
+	}
+	f := newFollower(cfg)
+	f.sys = sys
+	return f, nil
+}
+
+// newFollower applies defaults and builds the shell.
+func newFollower(cfg Config) *Follower {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = DefaultPollWait
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = DefaultRetryInterval
+	}
+	if cfg.MaxRetryInterval <= 0 {
+		cfg.MaxRetryInterval = DefaultMaxRetryInterval
+	}
+	if cfg.MaxRetryInterval < cfg.RetryInterval {
+		cfg.MaxRetryInterval = cfg.RetryInterval
+	}
+	f := &Follower{cfg: cfg, done: make(chan struct{})}
+	f.primary.Store(cfg.Primary)
+	return f
+}
+
+// Primary returns the upstream base URL the follower currently tails.
+func (f *Follower) Primary() string { return f.primary.Load().(string) }
+
+// SetPrimary re-points the follower at a new upstream — the failover
+// re-pointing hook. The next poll presents the local cursor to the
+// new leader; log matching decides whether streaming can continue or
+// a re-bootstrap is needed.
+func (f *Follower) SetPrimary(url string) { f.primary.Store(url) }
 
 // StartFollower is Connect followed by Start: the returned Follower is
 // bootstrapped and tailing the primary's log until Close.
@@ -182,6 +243,7 @@ func (f *Follower) Promote() error {
 // the process log without flooding it at the retry cadence.
 func (f *Follower) run(ctx context.Context) {
 	defer close(f.done)
+	failures := 0
 	for {
 		if ctx.Err() != nil {
 			return
@@ -191,26 +253,51 @@ func (f *Follower) run(ctx context.Context) {
 				return
 			}
 			if prev := f.Err(); prev == nil || prev.Error() != err.Error() {
-				log.Printf("replica: sync with %s failing (retrying every %v): %v", f.cfg.Primary, f.cfg.RetryInterval, err)
+				log.Printf("replica: sync with %s failing (backing off up to %v): %v", f.Primary(), f.cfg.MaxRetryInterval, err)
 			}
 			f.lastErr.Store(syncErr{err})
+			delay := f.retryDelay(failures)
+			failures++
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(f.cfg.RetryInterval):
+			case <-time.After(delay):
 			}
 			continue
 		}
+		failures = 0
 		if f.Err() != nil {
-			log.Printf("replica: sync with %s recovered", f.cfg.Primary)
+			log.Printf("replica: sync with %s recovered", f.Primary())
 		}
 		f.lastErr.Store(syncErr{})
 	}
 }
 
-// errSnapshotNeeded is the internal signal that the primary compacted
-// past our cursor.
-var errSnapshotNeeded = errors.New("replica: primary compacted past our cursor; snapshot re-transfer needed")
+// retryDelay is the pause before retry number failures+1: exponential
+// backoff from RetryInterval, capped at MaxRetryInterval, with full
+// jitter over the upper half of the interval so a replica set
+// re-polling a restarting primary spreads out instead of arriving in
+// lockstep.
+func (f *Follower) retryDelay(failures int) time.Duration {
+	d := f.cfg.RetryInterval
+	for i := 0; i < failures && d < f.cfg.MaxRetryInterval; i++ {
+		d *= 2
+	}
+	if d > f.cfg.MaxRetryInterval {
+		d = f.cfg.MaxRetryInterval
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// errSnapshotNeeded is the internal signal that streaming from the
+// local cursor is impossible — the primary compacted past it (410) or
+// log matching found the cursor diverged under a fenced term (409) —
+// and a snapshot re-transfer is needed.
+var errSnapshotNeeded = errors.New("replica: cannot stream from local cursor; snapshot re-transfer needed")
 
 // SyncOnce performs one replication round: a single long-polled WAL
 // fetch, streaming-applied in chunks — or, when the primary has
@@ -232,10 +319,17 @@ func (f *Follower) SyncOnce(ctx context.Context) (applied int, err error) {
 // returned frames.
 func (f *Follower) pollAndApply(ctx context.Context) (int, error) {
 	from := f.sys.AppliedSeq()
-	url := fmt.Sprintf("%s/api/repl/wal?from=%d&wait=%dms", f.cfg.Primary, from, f.cfg.PollWait.Milliseconds())
+	primary := f.Primary()
+	url := fmt.Sprintf("%s/api/repl/wal?from=%d&epoch=%d&wait=%dms",
+		primary, from, f.sys.AppliedEpoch(), f.cfg.PollWait.Milliseconds())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err
+	}
+	if f.cfg.Node != "" {
+		// Our poll cursor IS our durable apply position: presenting it
+		// with an identity is the apply-ack a quorum write waits on.
+		req.Header.Set("X-Cqads-Node", f.cfg.Node)
 	}
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {
@@ -249,8 +343,27 @@ func (f *Follower) pollAndApply(ctx context.Context) (int, error) {
 	case http.StatusOK:
 	case http.StatusGone:
 		return 0, errSnapshotNeeded
+	case http.StatusConflict:
+		// Log matching failed: our cursor's term disagrees with the
+		// leader's history — we hold a suffix written under a fenced
+		// epoch (we were the old primary, or followed it too long).
+		log.Printf("replica: %s rejected cursor %d (diverged log); re-bootstrapping", primary, from)
+		return 0, errSnapshotNeeded
 	default:
 		return 0, fmt.Errorf("replica: WAL poll: primary answered %s", resp.Status)
+	}
+	// Stream-level epoch fence: a response from a leader older than
+	// the highest term we have acknowledged is a deposed primary's
+	// late answer — reject it wholesale. (Individual frames may
+	// legitimately carry older epochs: a new leader replays history.)
+	if eh := resp.Header.Get("X-Cqads-Epoch"); eh != "" {
+		epoch, err := strconv.ParseUint(eh, 10, 64)
+		if err == nil {
+			if fence := f.sys.Epoch(); epoch < fence {
+				return 0, fmt.Errorf("replica: rejecting WAL stream from %s: epoch %d is fenced (our fence is %d)", primary, epoch, fence)
+			}
+			f.sys.NoteEpoch(epoch)
+		}
 	}
 	if seq, err := strconv.ParseUint(resp.Header.Get("X-Cqads-Seq"), 10, 64); err == nil {
 		f.sys.NotePrimarySeq(seq)
@@ -324,7 +437,7 @@ func (f *Follower) rebootstrap(ctx context.Context) error {
 
 // fetchSnapshot performs one snapshot transfer.
 func (f *Follower) fetchSnapshot(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.Primary+"/api/repl/snapshot", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Primary()+"/api/repl/snapshot", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,4 +1,4 @@
-package replica
+package replica_test
 
 import (
 	"context"
@@ -11,6 +11,7 @@ import (
 	"repro/internal/adsgen"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/schema"
 	"repro/internal/sqldb"
 	"repro/internal/webui"
@@ -42,8 +43,8 @@ func startPrimary(t *testing.T, compactBytes int64) (*core.System, *httptest.Ser
 }
 
 // followerConfig wires a follower at the test's poll cadence.
-func followerConfig(primaryURL string) Config {
-	return Config{
+func followerConfig(primaryURL string) replica.Config {
+	return replica.Config{
 		Primary: primaryURL,
 		Bootstrap: func(snapshot []byte) (*core.System, error) {
 			return cqads.OpenFollower(testOpts(), snapshot)
@@ -145,7 +146,7 @@ func TestFollowerEndToEnd(t *testing.T) {
 	primary, srv := startPrimary(t, -1)
 	ingestSome(t, primary, 1001, 8) // pre-bootstrap history in the WAL
 
-	f, err := StartFollower(context.Background(), followerConfig(srv.URL))
+	f, err := replica.StartFollower(context.Background(), followerConfig(srv.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestFollowerEndToEnd(t *testing.T) {
 // converges to bit-identical answers.
 func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
 	primary, srv := startPrimary(t, -1) // manual compaction only
-	f, err := Connect(context.Background(), followerConfig(srv.URL))
+	f, err := replica.Connect(context.Background(), followerConfig(srv.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestFollowerSurvivesPrimaryOutage(t *testing.T) {
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
 
-	f, err := Connect(context.Background(), followerConfig(srv.URL))
+	f, err := replica.Connect(context.Background(), followerConfig(srv.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestFollowerSurvivesPrimaryOutage(t *testing.T) {
 	defer recovered.Close()
 	srv2 := httptest.NewServer(webui.NewServer(recovered))
 	defer srv2.Close()
-	f.cfg.Primary = srv2.URL // the follower was pointed at a fixed URL; re-point
+	f.SetPrimary(srv2.URL) // the follower was pointed at a fixed URL; re-point
 
 	ingestSome(t, recovered, 7007, 4)
 	for i := 0; i < 3; i++ {

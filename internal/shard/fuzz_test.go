@@ -43,6 +43,11 @@ func FuzzParseMap(f *testing.F) {
 	f.Add("cars=http://[::1]:8080")
 	f.Add(strings.Repeat("cars=http://a,", 100))
 	f.Add("cars=http://a\x00b")
+	f.Add("cars=http://a1|http://a2|http://a3")
+	f.Add("cars=http://a|http://a")
+	f.Add("cars=http://a|")
+	f.Add("cars=|")
+	f.Add("cars=http://a|http://b,csjobs=http://a|http://b")
 	f.Fuzz(func(t *testing.T, s string) {
 		m, err := shard.ParseMap(s)
 		if err != nil {
@@ -54,16 +59,26 @@ func FuzzParseMap(f *testing.F) {
 		if len(m) == 0 {
 			t.Fatal("nil error with empty map")
 		}
-		for domain, base := range m {
+		for domain, group := range m {
 			if strings.TrimSpace(domain) == "" {
 				t.Fatalf("empty domain key in %#v", m)
 			}
-			u, err := url.Parse(base)
-			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-				t.Fatalf("accepted URL %q does not round-trip as absolute http(s)", base)
+			if len(group) == 0 {
+				t.Fatalf("domain %q accepted with an empty group", domain)
 			}
-			if strings.HasSuffix(base, "/") {
-				t.Fatalf("accepted URL %q keeps its trailing slash", base)
+			seen := map[string]bool{}
+			for _, base := range group {
+				u, err := url.Parse(base)
+				if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+					t.Fatalf("accepted URL %q does not round-trip as absolute http(s)", base)
+				}
+				if strings.HasSuffix(base, "/") {
+					t.Fatalf("accepted URL %q keeps its trailing slash", base)
+				}
+				if seen[base] {
+					t.Fatalf("group for %q lists %q twice", domain, base)
+				}
+				seen[base] = true
 			}
 		}
 	})

@@ -9,8 +9,11 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/failover"
 )
 
 // DefaultTimeout bounds one upstream shard call when Config.Client is
@@ -25,10 +28,18 @@ const DefaultProbeTimeout = 2 * time.Second
 
 // Config wires a Router.
 type Config struct {
-	// Shards maps each hosted domain to the base URL of the shard
-	// serving it (ParseMap produces this). The same URL may own
-	// several domains.
+	// Shards maps each hosted domain to the base URL of the single
+	// shard serving it. For replica-set groups use Groups instead;
+	// setting both is an error for the overlapping domains.
 	Shards map[string]string
+	// Groups maps each hosted domain to its owning shard's replica-set
+	// member URLs (ParseMap produces this). A one-member group is
+	// routed to statically; a multi-member group makes the router
+	// resolve and follow the set's elected leader through
+	// GET /api/repl/leader — lazily, with invalidate-and-retry on
+	// failure, so elections propagate exactly when traffic notices
+	// them.
+	Groups map[string][]string
 	// Classifier routes questions without an explicit domain; nil
 	// makes such requests fail with a RouteError instead of routing.
 	Classifier Classifier
@@ -48,10 +59,11 @@ type Config struct {
 // is safe for concurrent use and spawns no background goroutines —
 // every scatter joins before its method returns.
 type Router struct {
-	owner        map[string]string   // domain → base URL
-	domains      []string            // hosted domains, sorted
-	urls         []string            // unique shard URLs, sorted
-	byURL        map[string][]string // base URL → its domains, sorted
+	groups       map[string][]string        // domain → owning group's member URLs
+	watch        map[string]*failover.Watch // domain → its group's leader watcher (multi-member groups only)
+	domains      []string                   // hosted domains, sorted
+	urls         []string                   // unique member URLs, sorted
+	byURL        map[string][]string        // member URL → its domains, sorted
 	cls          Classifier
 	client       *http.Client
 	probeTimeout time.Duration
@@ -59,8 +71,21 @@ type Router struct {
 
 // New builds a Router over a parsed shard map.
 func New(cfg Config) (*Router, error) {
-	if len(cfg.Shards) == 0 {
-		return nil, fmt.Errorf("shard: Config.Shards is empty")
+	groups := make(map[string][]string, len(cfg.Groups)+len(cfg.Shards))
+	for domain, members := range cfg.Groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("shard: domain %q has an empty replica set", domain)
+		}
+		groups[domain] = members
+	}
+	for domain, base := range cfg.Shards {
+		if _, dup := groups[domain]; dup {
+			return nil, fmt.Errorf("shard: domain %q is in both Shards and Groups", domain)
+		}
+		groups[domain] = []string{base}
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("shard: Config.Shards and Config.Groups are both empty")
 	}
 	client := cfg.Client
 	if client == nil {
@@ -75,16 +100,31 @@ func New(cfg Config) (*Router, error) {
 		probeTimeout = DefaultProbeTimeout
 	}
 	r := &Router{
-		owner:        make(map[string]string, len(cfg.Shards)),
+		groups:       groups,
+		watch:        make(map[string]*failover.Watch),
 		byURL:        make(map[string][]string),
 		cls:          cfg.Classifier,
 		client:       client,
 		probeTimeout: probeTimeout,
 	}
-	for domain, base := range cfg.Shards {
-		r.owner[domain] = base
+	// Domains owned by the same replica set share one leader watcher,
+	// so an election is re-resolved once for the shard, not once per
+	// domain it hosts.
+	shared := make(map[string]*failover.Watch)
+	for domain, members := range groups {
 		r.domains = append(r.domains, domain)
-		r.byURL[base] = append(r.byURL[base], domain)
+		for _, base := range members {
+			r.byURL[base] = append(r.byURL[base], domain)
+		}
+		if len(members) > 1 {
+			key := strings.Join(members, "|")
+			w, ok := shared[key]
+			if !ok {
+				w = failover.NewWatch(members, client)
+				shared[key] = w
+			}
+			r.watch[domain] = w
+		}
 	}
 	sort.Strings(r.domains)
 	for base, ds := range r.byURL {
@@ -105,10 +145,56 @@ func (r *Router) Domains() []string {
 	return out
 }
 
-// Owner reports the shard base URL hosting a domain.
+// Owner reports the group hosting a domain: the shard's base URL, or
+// the "|"-joined member list for a replica-set group (the same form
+// ParseMap accepts).
 func (r *Router) Owner(domain string) (string, bool) {
-	base, ok := r.owner[domain]
-	return base, ok
+	members, ok := r.groups[domain]
+	if !ok {
+		return "", false
+	}
+	return strings.Join(members, "|"), true
+}
+
+// leaderOf resolves the base URL traffic for a domain should hit right
+// now: the sole member of a static group, or the replica set's current
+// leader (cached by the group's watcher until invalidated).
+func (r *Router) leaderOf(ctx context.Context, domain string) (string, error) {
+	members, ok := r.groups[domain]
+	if !ok {
+		return "", ErrNoShard
+	}
+	if len(members) == 1 {
+		return members[0], nil
+	}
+	return r.watch[domain].Resolve(ctx)
+}
+
+// doRouted issues one request to a domain's owning shard, following
+// leadership: resolve the leader, send, and on a failure that smells
+// like a stale leader — the node is unreachable, or refuses the write
+// read-only (403) — invalidate the cached leader, re-resolve, and
+// retry once. Static single-member groups never probe and never retry,
+// preserving the pre-replica-set behavior exactly. The base actually
+// answering is returned for error attribution.
+func (r *Router) doRouted(ctx context.Context, method, domain, pathAndQuery string, body []byte, contentType string) (base string, status int, respBody []byte, err error) {
+	base, err = r.leaderOf(ctx, domain)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	status, respBody, err = r.do(ctx, method, base, pathAndQuery, body, contentType)
+	w := r.watch[domain]
+	if w == nil || (err == nil && status != http.StatusForbidden) {
+		return base, status, respBody, err
+	}
+	w.Invalidate(base)
+	next, rerr := w.Resolve(ctx)
+	if rerr != nil || next == base {
+		return base, status, respBody, err
+	}
+	base = next
+	status, respBody, err = r.do(ctx, method, base, pathAndQuery, body, contentType)
+	return base, status, respBody, err
 }
 
 // Route classifies a question into its owning domain.
@@ -156,12 +242,11 @@ func (r *Router) Ask(ctx context.Context, domain, question string) (*Proxied, er
 
 // askOwned forwards one question to the shard owning domain.
 func (r *Router) askOwned(ctx context.Context, domain, question string) (*Proxied, error) {
-	base, ok := r.owner[domain]
-	if !ok {
+	if _, ok := r.groups[domain]; !ok {
 		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
 	}
 	q := url.Values{"domain": {domain}, "q": {question}}
-	status, body, err := r.do(ctx, http.MethodGet, base, "/api/ask?"+q.Encode(), nil, "")
+	base, status, body, err := r.doRouted(ctx, http.MethodGet, domain, "/api/ask?"+q.Encode(), nil, "")
 	if err != nil {
 		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
 	}
@@ -265,7 +350,7 @@ func (r *Router) AskBatch(ctx context.Context, domain string, questions []string
 			d = routed
 		}
 		items[i].Domain = d
-		if _, ok := r.owner[d]; !ok {
+		if _, ok := r.groups[d]; !ok {
 			items[i].Err = &RouteError{Domain: d, Err: ErrNoShard}
 			continue
 		}
@@ -299,7 +384,6 @@ func (r *Router) AskBatch(ctx context.Context, domain string, questions []string
 // scatters the per-question answers back into the item slots, which
 // are disjoint across groups.
 func (r *Router) askGroup(ctx context.Context, domain string, questions []string, idxs []int, items []Item) {
-	base := r.owner[domain]
 	fail := func(err error) {
 		for _, i := range idxs {
 			items[i].Err = err
@@ -311,10 +395,10 @@ func (r *Router) askGroup(ctx context.Context, domain string, questions []string
 	}
 	body, err := json.Marshal(map[string]any{"domain": domain, "questions": chunk})
 	if err != nil {
-		fail(&RouteError{Domain: domain, Shard: base, Err: err})
+		fail(&RouteError{Domain: domain, Err: err})
 		return
 	}
-	status, respBody, err := r.do(ctx, http.MethodPost, base, "/api/ask/batch", body, "application/json")
+	base, status, respBody, err := r.doRouted(ctx, http.MethodPost, domain, "/api/ask/batch", body, "application/json")
 	if err != nil {
 		fail(&RouteError{Domain: domain, Shard: base, Err: err})
 		return
@@ -344,11 +428,10 @@ func (r *Router) askGroup(ctx context.Context, domain string, questions []string
 // ForwardAd fans one POST /api/ads body out to the shard owning the
 // ad's Domain field, returning the shard's verbatim response.
 func (r *Router) ForwardAd(ctx context.Context, domain string, body []byte) (*Proxied, error) {
-	base, ok := r.owner[domain]
-	if !ok {
+	if _, ok := r.groups[domain]; !ok {
 		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
 	}
-	status, respBody, err := r.do(ctx, http.MethodPost, base, "/api/ads", body, "application/json")
+	base, status, respBody, err := r.doRouted(ctx, http.MethodPost, domain, "/api/ads", body, "application/json")
 	if err != nil {
 		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
 	}
@@ -358,12 +441,11 @@ func (r *Router) ForwardAd(ctx context.Context, domain string, body []byte) (*Pr
 // ForwardDelete forwards DELETE /api/ads/{id}?domain=... to the owning
 // shard.
 func (r *Router) ForwardDelete(ctx context.Context, domain, id string) (*Proxied, error) {
-	base, ok := r.owner[domain]
-	if !ok {
+	if _, ok := r.groups[domain]; !ok {
 		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
 	}
 	q := url.Values{"domain": {domain}}
-	status, respBody, err := r.do(ctx, http.MethodDelete, base, "/api/ads/"+url.PathEscape(id)+"?"+q.Encode(), nil, "")
+	base, status, respBody, err := r.doRouted(ctx, http.MethodDelete, domain, "/api/ads/"+url.PathEscape(id)+"?"+q.Encode(), nil, "")
 	if err != nil {
 		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
 	}

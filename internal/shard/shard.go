@@ -73,18 +73,25 @@ func (e *RouteError) Error() string {
 
 func (e *RouteError) Unwrap() error { return e.Err }
 
-// ParseMap parses a `-shards` flag value: comma-separated domain=URL
-// pairs, e.g.
+// ParseMap parses a `-shards` flag value: comma-separated
+// domain=group entries, where a group is one shard URL or a
+// "|"-separated replica set ("|" because "," already separates
+// entries), e.g.
 //
 //	cars=http://a:8081,motorcycles=http://a:8081,csjobs=http://b:8082
+//	cars=http://a1:8081|http://a2:8081|http://a3:8081,csjobs=http://b:8082
 //
-// The same URL may serve several domains (a multi-domain shard).
-// Entries are trimmed and empty entries skipped (trailing commas are
-// harmless); URLs must be absolute http or https, and a domain may be
-// mapped only once. Trailing slashes are stripped so joined request
-// paths are canonical.
-func ParseMap(s string) (map[string]string, error) {
-	out := make(map[string]string)
+// The same group may serve several domains (a multi-domain shard).
+// A single-URL group is routed to statically, exactly as before
+// replica sets existed; a multi-URL group makes the router resolve the
+// set's current leader through GET /api/repl/leader and follow it
+// across elections. Entries are trimmed and empty entries skipped
+// (trailing commas are harmless); URLs must be absolute http or https,
+// a domain may be mapped only once, and a group may not list the same
+// URL twice. Trailing slashes are stripped so joined request paths are
+// canonical.
+func ParseMap(s string) (map[string][]string, error) {
+	out := make(map[string][]string)
 	for _, entry := range strings.Split(s, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
@@ -96,14 +103,28 @@ func ParseMap(s string) (map[string]string, error) {
 		if !ok || domain == "" || raw == "" {
 			return nil, fmt.Errorf("shard: map entry %q is not domain=URL", entry)
 		}
-		u, err := url.Parse(raw)
-		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("shard: map entry %q: %q is not an absolute http(s) URL", entry, raw)
+		var group []string
+		for _, member := range strings.Split(raw, "|") {
+			member = strings.TrimSpace(member)
+			if member == "" {
+				return nil, fmt.Errorf("shard: map entry %q has an empty replica-set member", entry)
+			}
+			u, err := url.Parse(member)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return nil, fmt.Errorf("shard: map entry %q: %q is not an absolute http(s) URL", entry, member)
+			}
+			canonical := strings.TrimRight(u.String(), "/")
+			for _, seen := range group {
+				if seen == canonical {
+					return nil, fmt.Errorf("shard: map entry %q lists %q twice", entry, canonical)
+				}
+			}
+			group = append(group, canonical)
 		}
 		if _, dup := out[domain]; dup {
 			return nil, fmt.Errorf("shard: domain %q is mapped twice", domain)
 		}
-		out[domain] = strings.TrimRight(u.String(), "/")
+		out[domain] = group
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("shard: empty shard map")

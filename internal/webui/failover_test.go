@@ -1,0 +1,306 @@
+package webui
+
+// HTTP-surface tests for the failover additions: ack levels on ingest,
+// admission-control shedding, the election endpoints, WAL log
+// matching, and the epoch/quorum fields in status and healthz.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/cqads"
+	"repro/internal/core"
+	"repro/internal/failover"
+)
+
+// quorumServer builds a durable node configured as one member of a
+// 3-node replica set (so AckQuorum waits for one follower ack) with a
+// short ack timeout.
+func quorumServer(t *testing.T, ackTimeout time.Duration) (*cqads.System, *Server) {
+	t.Helper()
+	sys, err := cqads.Open(cqads.Options{
+		Seed: 11, AdsPerDomain: 60, DataDir: t.TempDir(), CompactBytes: -1,
+		ReplicaSet: 3, AckTimeout: ackTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	return sys, NewServer(sys)
+}
+
+const carBody = `{"domain":"cars","record":{"make":"lexus","model":"es350","color":"gold","price":31337}}`
+
+// TestAckLevels: ack=local (and the default) confirm 201 immediately;
+// ack=quorum on a node with no reachable followers answers 202 with
+// the assigned id and the timeout in "error" (the write is locally
+// durable — retrying would duplicate it); a bogus level is a 400.
+func TestAckLevels(t *testing.T) {
+	_, srv := quorumServer(t, 30*time.Millisecond)
+
+	if rec := doJSON(t, srv, http.MethodPost, "/api/ads?ack=local", carBody); rec.Code != http.StatusCreated {
+		t.Fatalf("ack=local = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads?ack=quorum", carBody)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ack=quorum with no followers = %d, want 202: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		ID    int    `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == 0 || resp.Error == "" {
+		t.Fatalf("202 body missing id or error: %s", rec.Body.String())
+	}
+	if rec := doJSON(t, srv, http.MethodPost, "/api/ads?ack=paxos", carBody); rec.Code != http.StatusBadRequest {
+		t.Fatalf("ack=paxos = %d, want 400", rec.Code)
+	}
+
+	// The 202'd ad is applied: deleting it at ack=quorum also times out
+	// into a 202, not a 404.
+	rec = doJSON(t, srv, http.MethodDelete, "/api/ads/"+strconv.Itoa(resp.ID)+"?domain=cars&ack=quorum", "")
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("quorum delete = %d, want 202: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestQuorumAckUnblocksOnFollowerPoll: a follower's WAL poll carries
+// its durable cursor (X-Cqads-Node + from), which is exactly the ack a
+// pending quorum write waits for.
+func TestQuorumAckUnblocksOnFollowerPoll(t *testing.T) {
+	sys, srv := quorumServer(t, 5*time.Second)
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		done <- doJSON(t, srv, http.MethodPost, "/api/ads?ack=quorum", carBody)
+	}()
+
+	// Wait until the write is pending, then ack it the way a follower
+	// does: a WAL poll whose cursor covers it.
+	deadline := time.Now().Add(10 * time.Second)
+	for sys.Status().Admission.PendingQuorum == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("quorum write never went pending")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	seq := sys.Status().Persistence.Seq
+	req := httptest.NewRequest(http.MethodGet, "/api/repl/wal?from="+strconv.FormatUint(seq, 10), nil)
+	req.Header.Set("X-Cqads-Node", "http://follower-a")
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("acking WAL poll = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	select {
+	case rec := <-done:
+		if rec.Code != http.StatusCreated {
+			t.Fatalf("acked quorum write = %d, want 201: %s", rec.Code, rec.Body.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("quorum write still blocked after the follower ack")
+	}
+}
+
+// TestAdmissionControlSheds: a WAL backlog past the threshold turns
+// ingest away with 429 + Retry-After while reads keep working.
+func TestAdmissionControlSheds(t *testing.T) {
+	sys, err := cqads.Open(cqads.Options{
+		Seed: 11, AdsPerDomain: 60, DataDir: t.TempDir(), CompactBytes: -1,
+		MaxWALBytes: 1, // every append overflows the backlog
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	srv := NewServer(sys)
+
+	if rec := doJSON(t, srv, http.MethodPost, "/api/ads", carBody); rec.Code != http.StatusCreated {
+		t.Fatalf("first insert = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := doJSON(t, srv, http.MethodPost, "/api/ads", carBody)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("insert over backlog = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if rec := doJSON(t, srv, http.MethodGet, "/api/ask?domain=cars&q=gold+lexus", ""); rec.Code != http.StatusOK {
+		t.Fatalf("read during overload = %d", rec.Code)
+	}
+	// The thresholds are visible for operators.
+	var st struct {
+		Admission struct {
+			MaxWALBytes int64 `json:"max_wal_bytes"`
+		} `json:"admission"`
+	}
+	rec = doJSON(t, srv, http.MethodGet, "/api/status", "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission.MaxWALBytes != 1 {
+		t.Fatalf("status admission.max_wal_bytes = %d", st.Admission.MaxWALBytes)
+	}
+}
+
+// stubAgent is a canned Failover implementation for handler tests.
+type stubAgent struct {
+	hb   failover.HeartbeatResponse
+	vote failover.VoteResponse
+}
+
+func (s *stubAgent) Leader() (string, uint64, string) {
+	return "http://leader:1", 7, failover.RoleFollower
+}
+func (s *stubAgent) HandleHeartbeat(failover.Heartbeat) failover.HeartbeatResponse { return s.hb }
+func (s *stubAgent) HandleVote(failover.VoteRequest) failover.VoteResponse         { return s.vote }
+
+// TestElectionEndpoints: without an agent, the leader view falls back
+// to the storage role and heartbeat/vote answer 404; with one, the
+// agent's verdicts map onto the wire (rejected heartbeat → 409).
+func TestElectionEndpoints(t *testing.T) {
+	_, plain := primaryServer(t)
+	rec := do(t, plain, http.MethodGet, "/api/repl/leader", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("leader on agentless node = %d", rec.Code)
+	}
+	var view failover.LeaderView
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Role != core.RolePrimary || view.LeaderURL != "" {
+		t.Fatalf("agentless leader view = %+v", view)
+	}
+	if rec := do(t, plain, http.MethodPost, "/api/repl/heartbeat", []byte(`{"epoch":1}`)); rec.Code != http.StatusNotFound {
+		t.Fatalf("heartbeat without agent = %d, want 404", rec.Code)
+	}
+	if rec := do(t, plain, http.MethodPost, "/api/repl/vote", []byte(`{"epoch":1}`)); rec.Code != http.StatusNotFound {
+		t.Fatalf("vote without agent = %d, want 404", rec.Code)
+	}
+
+	sys, err := cqads.Open(cqads.Options{Seed: 11, AdsPerDomain: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	stub := &stubAgent{
+		hb:   failover.HeartbeatResponse{Ok: false, Epoch: 9},
+		vote: failover.VoteResponse{Granted: true, Epoch: 3},
+	}
+	agentful := NewServerWith(sys, Options{Failover: stub})
+
+	rec = do(t, agentful, http.MethodGet, "/api/repl/leader", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.LeaderURL != "http://leader:1" || view.Epoch != 7 || view.Role != failover.RoleFollower {
+		t.Fatalf("agent leader view = %+v", view)
+	}
+	rec = do(t, agentful, http.MethodPost, "/api/repl/heartbeat", []byte(`{"epoch":1,"leader":"http://x"}`))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("rejected heartbeat = %d, want 409", rec.Code)
+	}
+	var hbResp failover.HeartbeatResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &hbResp); err != nil {
+		t.Fatal(err)
+	}
+	if hbResp.Ok || hbResp.Epoch != 9 {
+		t.Fatalf("heartbeat body = %+v", hbResp)
+	}
+	rec = do(t, agentful, http.MethodPost, "/api/repl/vote", []byte(`{"epoch":3,"candidate":"http://x"}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vote = %d", rec.Code)
+	}
+	var vResp failover.VoteResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &vResp); err != nil {
+		t.Fatal(err)
+	}
+	if !vResp.Granted || vResp.Epoch != 3 {
+		t.Fatalf("vote body = %+v", vResp)
+	}
+	if rec := do(t, agentful, http.MethodPost, "/api/repl/heartbeat", []byte(`not json`)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed heartbeat = %d", rec.Code)
+	}
+}
+
+// TestWALLogMatching: a cursor presented with the wrong term is
+// refused with 409 (diverged log), the right term streams normally and
+// carries the leader's current epoch in X-Cqads-Epoch.
+func TestWALLogMatching(t *testing.T) {
+	sys, srv := primaryServer(t)
+	postOneAd(t, srv) // seq 1 at epoch 0
+	sys.NoteEpoch(5)
+	postOneAd(t, srv) // seq 2 at epoch 5
+
+	// Correct split: seq 1 was logged under epoch 0, seq 2 under 5.
+	if rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=1&epoch=0", nil); rec.Code != http.StatusOK {
+		t.Fatalf("matching cursor = %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=2&epoch=5", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("matching tip cursor = %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cqads-Epoch"); got != "5" {
+		t.Fatalf("X-Cqads-Epoch = %q, want 5", got)
+	}
+
+	// A deposed primary's isolated suffix: term disagrees → 409.
+	if rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=1&epoch=3", nil); rec.Code != http.StatusConflict {
+		t.Fatalf("diverged cursor = %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+	// A cursor beyond the tip is divergence too.
+	if rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=99&epoch=5", nil); rec.Code != http.StatusConflict {
+		t.Fatalf("cursor past tip = %d, want 409: %s", rec.Code, rec.Body.String())
+	}
+	// No epoch parameter — a pre-failover follower — skips matching.
+	if rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=1", nil); rec.Code != http.StatusOK {
+		t.Fatalf("epochless cursor = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func postOneAd(t *testing.T, srv *Server) {
+	t.Helper()
+	if rec := doJSON(t, srv, http.MethodPost, "/api/ads", carBody); rec.Code != http.StatusCreated {
+		t.Fatalf("insert = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestStatusCarriesEpochAndQuorum: the replication block reports the
+// term and quorum size, healthz the term.
+func TestStatusCarriesEpochAndQuorum(t *testing.T) {
+	sys, srv := quorumServer(t, time.Second)
+	sys.NoteEpoch(4)
+
+	var st struct {
+		Replication struct {
+			Epoch      uint64 `json:"epoch"`
+			QuorumSize int    `json:"quorum_size"`
+		} `json:"replication"`
+	}
+	rec := do(t, srv, http.MethodGet, "/api/status", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replication.Epoch != 4 || st.Replication.QuorumSize != 2 {
+		t.Fatalf("status replication = %+v, want epoch 4, quorum 2", st.Replication)
+	}
+
+	var hz struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	rec = do(t, srv, http.MethodGet, "/healthz", nil)
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Epoch != 4 {
+		t.Fatalf("healthz epoch = %d, want 4", hz.Epoch)
+	}
+}

@@ -140,7 +140,9 @@ func TestReplProtocolEndToEnd(t *testing.T) {
 }
 
 // TestReplEndpointsRequirePrimary: an in-memory server answers 409 to
-// the shipping endpoints and promote.
+// the shipping endpoints, while promote — idempotent since automatic
+// failover arrived, so a controller and an operator can race — answers
+// 200 with the node's current (already writable) role.
 func TestReplEndpointsRequirePrimary(t *testing.T) {
 	srv := server(t)
 	if rec := do(t, srv, http.MethodGet, "/api/repl/snapshot", nil); rec.Code != http.StatusConflict {
@@ -149,8 +151,18 @@ func TestReplEndpointsRequirePrimary(t *testing.T) {
 	if rec := do(t, srv, http.MethodGet, "/api/repl/wal?from=0", nil); rec.Code != http.StatusConflict {
 		t.Fatalf("wal on standalone = %d", rec.Code)
 	}
-	if rec := do(t, srv, http.MethodPost, "/api/repl/promote", nil); rec.Code != http.StatusConflict {
-		t.Fatalf("promote on standalone = %d", rec.Code)
+	rec := do(t, srv, http.MethodPost, "/api/repl/promote", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote on standalone = %d, want idempotent 200", rec.Code)
+	}
+	var resp struct {
+		Role string `json:"role"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Role != "standalone" {
+		t.Fatalf("promote on standalone reported role %q", resp.Role)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failover"
 	"repro/internal/metrics"
 	"repro/internal/persist"
 	"repro/internal/replica/router"
@@ -33,6 +34,16 @@ type Promoter interface {
 	Promote() error
 }
 
+// Failover is the election agent's HTTP surface — implemented by
+// failover.Agent. The server exposes its lease protocol at
+// POST /api/repl/heartbeat and /api/repl/vote and its leader view at
+// GET /api/repl/leader.
+type Failover interface {
+	Leader() (url string, epoch uint64, role string)
+	HandleHeartbeat(failover.Heartbeat) failover.HeartbeatResponse
+	HandleVote(failover.VoteRequest) failover.VoteResponse
+}
+
 // Options configures the optional replication roles of a Server.
 type Options struct {
 	// Router, when set, makes POST /api/ask/batch scatter question
@@ -44,6 +55,11 @@ type Options struct {
 	// this follower writable for manual failover. Without it the
 	// endpoint falls back to core.System.Promote (no stream to stop).
 	Promoter Promoter
+	// Failover, when set, wires this node into a self-healing replica
+	// set: heartbeats and votes are served to peers, and
+	// GET /api/repl/leader answers with the agent's live view instead
+	// of this node's static storage role.
+	Failover Failover
 }
 
 // Server is the HTTP front end over a running CQAds instance.
@@ -67,12 +83,20 @@ type Server struct {
 //	GET /api/repl/snapshot    replication: initial state transfer
 //	GET /api/repl/wal?from=N  replication: long-polled framed op stream
 //	POST /api/repl/promote    replication: flip this follower writable
+//	GET /api/repl/leader      failover: who leads this replica set
+//	POST /api/repl/heartbeat  failover: leader lease renewal
+//	POST /api/repl/vote       failover: election ballot
 //
-// The ingestion endpoints mutate the live store: an ad POSTed here is
-// returned by /api/ask seconds (in fact, immediately) later, and a
-// DELETEd ad stops appearing at once. The /api/repl endpoints are the
-// WAL-shipping protocol: a durable primary serves snapshot + wal to
-// followers (internal/replica), and a follower serves promote.
+// The ingestion endpoints mutate the live store (an ad POSTed here is
+// returned by /api/ask seconds — in fact, immediately — later, and a
+// DELETEd ad stops appearing at once) and take an optional
+// ?ack=local|quorum durability level: quorum writes confirm only after
+// a majority of the replica set has durably applied them (202 when the
+// quorum wait times out — applied locally, unconfirmed). The /api/repl
+// endpoints are the WAL-shipping and failover protocol: a durable
+// primary serves snapshot + wal to followers (internal/replica), every
+// set member serves heartbeat/vote/leader (internal/failover), and a
+// follower serves promote.
 func NewServer(sys *core.System) *Server { return NewServerWith(sys, Options{}) }
 
 // NewServerWith is NewServer plus replication-role options.
@@ -95,6 +119,9 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /api/repl/snapshot", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /api/repl/wal", s.handleReplWAL)
 	s.mux.HandleFunc("POST /api/repl/promote", s.handleReplPromote)
+	s.mux.HandleFunc("GET /api/repl/leader", s.handleReplLeader)
+	s.mux.HandleFunc("POST /api/repl/heartbeat", s.handleReplHeartbeat)
+	s.mux.HandleFunc("POST /api/repl/vote", s.handleReplVote)
 	return s
 }
 
@@ -172,16 +199,24 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	type replicationJSON struct {
 		Role       string           `json:"role"`
+		Epoch      uint64           `json:"epoch"`
+		QuorumSize int              `json:"quorum_size"`
 		AppliedSeq uint64           `json:"applied_seq"`
 		PrimarySeq uint64           `json:"primary_seq"`
 		LagOps     uint64           `json:"lag_ops"`
 		ReadOnly   bool             `json:"read_only"`
 		Counters   replCountersJSON `json:"counters"`
 	}
+	type admissionJSON struct {
+		MaxWALBytes      int64 `json:"max_wal_bytes"`
+		MaxPendingQuorum int   `json:"max_pending_quorum"`
+		PendingQuorum    int   `json:"pending_quorum"`
+	}
 	out := struct {
 		Domains     []domainJSON    `json:"domains"`
 		Persistence persistenceJSON `json:"persistence"`
 		Replication replicationJSON `json:"replication"`
+		Admission   admissionJSON   `json:"admission"`
 	}{Domains: []domainJSON{}}
 	for _, d := range st.Domains {
 		out.Domains = append(out.Domains, domainJSON{
@@ -200,8 +235,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !st.Persistence.LastCheckpoint.IsZero() {
 		out.Persistence.LastCheckpoint = st.Persistence.LastCheckpoint.Format(time.RFC3339Nano)
 	}
+	out.Admission = admissionJSON{
+		MaxWALBytes:      st.Admission.MaxWALBytes,
+		MaxPendingQuorum: st.Admission.MaxPendingQuorum,
+		PendingQuorum:    st.Admission.PendingQuorum,
+	}
 	out.Replication = replicationJSON{
 		Role:       st.Replication.Role,
+		Epoch:      st.Replication.Epoch,
+		QuorumSize: st.Replication.QuorumSize,
 		AppliedSeq: st.Replication.AppliedSeq,
 		PrimarySeq: st.Replication.PrimarySeq,
 		LagOps:     st.Replication.LagOps,
@@ -223,7 +265,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 //
 //	GET /healthz
 //
-// Body: {"state", "role", "applied_seq", "lag_ops"}. State is one of
+// Body: {"state", "role", "epoch", "applied_seq", "lag_ops"}. State is
+// one of
 // "serving" (200), "write-failed" (200 — reads still work; the
 // durability latch only refuses ingestion until restart), and
 // "recovering" (503 — a follower is mid-re-bootstrap and reads may
@@ -239,6 +282,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"state":       health,
 		"role":        st.Role,
+		"epoch":       st.Epoch,
 		"applied_seq": st.AppliedSeq,
 		"lag_ops":     st.LagOps,
 	})
@@ -246,13 +290,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleInsertAd ingests one ad into a live domain:
 //
-//	POST /api/ads
+//	POST /api/ads?ack=quorum
 //	{"domain": "cars", "record": {"make": "honda", "price": 12000}}
 //
 // Values are converted against the domain schema: Type III columns
 // take JSON numbers (or numeric strings), all others take strings.
-// Missing columns store NULL. Responds 201 with {"domain", "id"}.
+// Missing columns store NULL. The ack parameter picks the durability
+// level: "local" (default) confirms on the local fsync'd WAL append,
+// "quorum" confirms only after a majority of the replica set has
+// durably applied the insert. Responds 201 with {"domain", "id"} when
+// confirmed; 202 with the same body plus "error" when a quorum write
+// timed out gathering acks — the ad IS applied and locally durable,
+// retrying would duplicate it.
 func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
+	ack, err := core.ParseAckLevel(r.URL.Query().Get("ack"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var req struct {
 		Domain string         `json:"domain"`
 		Record map[string]any `json:"record"`
@@ -271,28 +326,39 @@ func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, err := s.sys.InsertAd(req.Domain, values)
-	if err != nil {
-		jsonError(w, ingestErrorStatus(err), "%v", err)
+	id, err := s.sys.InsertAdWithAck(req.Domain, values, ack)
+	if err != nil && !errors.Is(err, core.ErrQuorumUnavailable) {
+		writeIngestError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusCreated)
-	_ = json.NewEncoder(w).Encode(map[string]any{"domain": req.Domain, "id": id})
+	out := map[string]any{"domain": req.Domain, "id": id}
+	if err != nil {
+		// Applied and locally durable, but the majority did not confirm
+		// in time: accepted, not (yet) quorum-safe.
+		out["error"] = err.Error()
+		w.WriteHeader(http.StatusAccepted)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // ingestErrorStatus classifies an InsertAd/DeleteAd failure: a
 // durability fault is the server's problem (503 — the ad may even sit
-// in memory unlogged; the error text carries its id), a read-only
-// replica is a routing problem (403 — write to the primary or
-// promote), an ad addressed to a domain this shard does not host is a
-// misdirected request (421 — the shard front tier routes by the
-// Domain field; landing here means the shard map and the request
-// disagree), anything else is the request's problem.
+// in memory unlogged; the error text carries its id), admission
+// control shedding load is a back-off request (429 with Retry-After —
+// nothing was written), a read-only replica is a routing problem (403
+// — write to the primary or promote), an ad addressed to a domain this
+// shard does not host is a misdirected request (421 — the shard front
+// tier routes by the Domain field; landing here means the shard map
+// and the request disagree), anything else is the request's problem.
 func ingestErrorStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrDurabilityLost):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrOverloaded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrReadOnlyReplica):
 		return http.StatusForbidden
 	case errors.Is(err, core.ErrNotHosted):
@@ -302,16 +368,33 @@ func ingestErrorStatus(err error) int {
 	}
 }
 
+// writeIngestError maps an ingest failure onto the wire, adding the
+// Retry-After hint on overload responses.
+func writeIngestError(w http.ResponseWriter, err error) {
+	status := ingestErrorStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	jsonError(w, status, "%v", err)
+}
+
 // handleDeleteAd expires an ad:
 //
-//	DELETE /api/ads/{id}?domain=cars
+//	DELETE /api/ads/{id}?domain=cars&ack=quorum
 //
 // Responds 200 with {"domain", "id"} on success, 404 for unknown
-// domains or rows already gone.
+// domains or rows already gone, 202 when a quorum-acked delete timed
+// out gathering majority confirmation (the delete IS applied and
+// locally durable).
 func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
 	domain := r.URL.Query().Get("domain")
 	if domain == "" {
 		jsonError(w, http.StatusBadRequest, "missing domain parameter")
+		return
+	}
+	ack, err := core.ParseAckLevel(r.URL.Query().Get("ack"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	id, err := strconv.Atoi(r.PathValue("id"))
@@ -319,16 +402,25 @@ func (s *Server) handleDeleteAd(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "invalid ad id %q", r.PathValue("id"))
 		return
 	}
-	if err := s.sys.DeleteAd(domain, sqldb.RowID(id)); err != nil {
+	err = s.sys.DeleteAdWithAck(domain, sqldb.RowID(id), ack)
+	if err != nil && !errors.Is(err, core.ErrQuorumUnavailable) {
 		status := http.StatusNotFound
 		if s := ingestErrorStatus(err); s != http.StatusBadRequest {
-			status = s // durability fault or read-only replica, not a missing row
+			status = s // durability fault, overload, or read-only replica, not a missing row
+		}
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
 		}
 		jsonError(w, status, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{"domain": domain, "id": id})
+	out := map[string]any{"domain": domain, "id": id}
+	if err != nil {
+		out["error"] = err.Error()
+		w.WriteHeader(http.StatusAccepted)
+	}
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 // maxReplPollWait caps how long one GET /api/repl/wal request may be
@@ -361,22 +453,45 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 
 // handleReplWAL ships the operation log:
 //
-//	GET /api/repl/wal?from=<seq>[&wait=<duration>]
+//	GET /api/repl/wal?from=<seq>[&epoch=<term>][&wait=<duration>]
 //
 // Responds 200 with a stream of length+CRC-framed operations (the WAL
 // wire format; persist.OpReader decodes it) whose sequence exceeds
-// `from`, plus X-Cqads-Seq (the primary's last committed sequence) and
-// X-Cqads-Checkpoint-Seq headers. With `wait`, an up-to-date follower
-// is long-polled: the request blocks until new operations commit or
-// the wait elapses (then 200 with an empty body — a heartbeat carrying
-// the current sequence). When compaction has discarded the range above
-// `from`, the response is 410 Gone and the follower must re-bootstrap
-// from /api/repl/snapshot.
+// `from`, plus X-Cqads-Seq (the primary's last committed sequence),
+// X-Cqads-Epoch (its leadership term — the follower's stream fence)
+// and X-Cqads-Checkpoint-Seq headers. With `wait`, an up-to-date
+// follower is long-polled: the request blocks until new operations
+// commit or the wait elapses (then 200 with an empty body — a
+// heartbeat carrying the current sequence). When compaction has
+// discarded the range above `from`, the response is 410 Gone and the
+// follower must re-bootstrap from /api/repl/snapshot.
+//
+// The `epoch` parameter is the log-matching half of epoch fencing: the
+// term of the follower's last applied operation. If it disagrees with
+// this leader's history at `from` — or the follower's cursor runs past
+// this leader's log entirely — the follower holds a suffix written
+// under a deposed term; the response is 409 Conflict and the follower
+// must re-bootstrap, dropping its diverged suffix.
+//
+// A request carrying X-Cqads-Node doubles as a durability
+// acknowledgement: the cursor a named follower presents is exactly the
+// position it has durably applied, which is what quorum-acked writes
+// wait on.
 func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "invalid from parameter %q", r.URL.Query().Get("from"))
 		return
+	}
+	hasEpoch := false
+	var fromEpoch uint64
+	if es := r.URL.Query().Get("epoch"); es != "" {
+		fromEpoch, err = strconv.ParseUint(es, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "invalid epoch parameter %q", es)
+			return
+		}
+		hasEpoch = true
 	}
 	var wait time.Duration
 	if ws := r.URL.Query().Get("wait"); ws != "" {
@@ -386,6 +501,9 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		wait = min(wait, maxReplPollWait)
+	}
+	if node := r.Header.Get("X-Cqads-Node"); node != "" {
+		s.sys.NoteFollowerAck(node, from)
 	}
 	deadline := time.Now().Add(wait)
 	for {
@@ -412,6 +530,19 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			jsonError(w, http.StatusGone, "log compacted past seq %d (checkpoint is %d); re-bootstrap from /api/repl/snapshot", from, ckpt)
 			return
 		}
+		if hasEpoch {
+			// Log matching: the term our history assigns the follower's
+			// cursor must equal the term the follower applied it under.
+			// A cursor beyond our tip (ok=false with from >= ckpt) is
+			// the same divergence — a deposed primary's isolated suffix.
+			epochAt, ok := s.sys.ReplEpochAt(from)
+			if !ok || epochAt != fromEpoch {
+				metrics.Failover.FencedStreams.Add(1)
+				jsonError(w, http.StatusConflict,
+					"cursor %d@epoch %d diverges from this leader's history; re-bootstrap from /api/repl/snapshot", from, fromEpoch)
+				return
+			}
+		}
 		if len(ops) > 0 || !time.Now().Before(deadline) {
 			var buf []byte
 			for _, op := range ops {
@@ -423,6 +554,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			metrics.Repl.OpsShipped.Add(int64(len(ops)))
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("X-Cqads-Seq", strconv.FormatUint(seq, 10))
+			w.Header().Set("X-Cqads-Epoch", strconv.FormatUint(s.sys.Epoch(), 10))
 			w.Header().Set("X-Cqads-Checkpoint-Seq", strconv.FormatUint(ckpt, 10))
 			_, _ = w.Write(buf)
 			return
@@ -442,8 +574,10 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 //
 // The manual-failover escape hatch: replication stops (when the server
 // was wired with the follower's tail loop via Options.Promoter) and
-// the System accepts InsertAd/DeleteAd from then on. Responds with the
-// new role; errors on non-followers.
+// the System accepts InsertAd/DeleteAd from then on. Responds 200 with
+// the resulting role. Promoting an already-writable node is a no-op
+// answering its current role — idempotent, so a failover controller
+// and an operator issuing the same promote can race safely.
 func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 	var err error
 	if s.opts.Promoter != nil {
@@ -457,6 +591,79 @@ func (s *Server) handleReplPromote(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]string{"role": s.sys.Status().Replication.Role})
+}
+
+// handleReplLeader answers who leads this node's replica set:
+//
+//	GET /api/repl/leader
+//
+// Body: {"leader_url", "epoch", "role"}. On a node running a failover
+// agent this is the agent's live view — the leader's advertised URL
+// (possibly empty between a lease lapse and the next election), the
+// current term, and this agent's election role. Without an agent the
+// node reports its static storage role and term with no URL: a caller
+// that sees a leading role ("primary", "promoted", "standalone")
+// knows the node it asked is the write target. Routers poll this
+// endpoint to re-point at elected leaders instead of trusting a
+// static primary URL.
+func (s *Server) handleReplLeader(w http.ResponseWriter, r *http.Request) {
+	view := failover.LeaderView{Epoch: s.sys.Epoch(), Role: s.sys.Status().Replication.Role}
+	if fo := s.opts.Failover; fo != nil {
+		view.LeaderURL, view.Epoch, view.Role = fo.Leader()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(view)
+}
+
+// handleReplHeartbeat receives a leader's lease renewal:
+//
+//	POST /api/repl/heartbeat
+//	{"epoch": 3, "leader": "http://a:8080", "seq": 412}
+//
+// Accepted heartbeats (200) renew this follower's lease and re-point
+// its WAL tail; a heartbeat carrying a stale term is rejected (409)
+// with the higher term, telling a deposed leader to step down. Nodes
+// not running a failover agent answer 404.
+func (s *Server) handleReplHeartbeat(w http.ResponseWriter, r *http.Request) {
+	fo := s.opts.Failover
+	if fo == nil {
+		jsonError(w, http.StatusNotFound, "failover is not configured on this node")
+		return
+	}
+	var hb failover.Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	resp := fo.HandleHeartbeat(hb)
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ok {
+		w.WriteHeader(http.StatusConflict)
+	}
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleReplVote receives a candidate's ballot:
+//
+//	POST /api/repl/vote
+//	{"epoch": 4, "candidate": "http://b:8080", "applied_seq": 412, "applied_epoch": 3}
+//
+// The response grants or denies the vote (always 200; denial is a
+// protocol answer, not an HTTP failure) and carries this node's
+// current term. Nodes not running a failover agent answer 404.
+func (s *Server) handleReplVote(w http.ResponseWriter, r *http.Request) {
+	fo := s.opts.Failover
+	if fo == nil {
+		jsonError(w, http.StatusNotFound, "failover is not configured on this node")
+		return
+	}
+	var req failover.VoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(fo.HandleVote(req))
 }
 
 // convertRecord maps a JSON record onto schema-typed sqldb values:
