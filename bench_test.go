@@ -254,6 +254,50 @@ func BenchmarkEvalOrder(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamingExec compares the three executor configurations on
+// the multi-conjunct shape behind the partial-match path: the eager
+// reference evaluator (materialize every operand's posting list, then
+// intersect), the streaming executor compiling per call (driving-scan
+// + residual pushdown), and the plan-cache steady state (compile once,
+// re-bind literals per execution — what System question answering
+// actually runs after warm-up).
+func BenchmarkStreamingExec(b *testing.B) {
+	e := env(b)
+	db := e.DB
+	sel, err := sql.Parse("SELECT * FROM car_ads WHERE make = 'honda' AND color = 'blue' AND price < 15000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.ExecLegacy(db, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.Exec(db, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("CachedPlan", func(b *testing.B) {
+		p, err := sql.Compile(db, sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(db, sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSubstringIndex compares trigram-indexed substring lookup
 // against a full scan (Sec. 4.5's substring index of length 3).
 func BenchmarkSubstringIndex(b *testing.B) {

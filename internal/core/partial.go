@@ -74,7 +74,7 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 	for _, sc := range top {
 		a := Answer{
 			ID:          sc.id,
-			Record:      tbl.RecordMap(sc.id),
+			Record:      tbl.RecordView(sc.id),
 			RankSim:     sc.score,
 			DroppedCond: sc.dropped,
 		}
@@ -91,13 +91,17 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 // dropped and the remaining conjunction evaluated (the footnote-4
 // AND→OR replacement generalized). Records already seen are skipped.
 //
-// Instead of compiling and executing one relaxed SELECT per drop set
-// (O(N²) condition evaluations for the N−1 sweep), each condition is
-// evaluated exactly once into a posting list, and prefix/suffix
-// intersection arrays assemble every drop set's result by merging two
-// (or, for N−2 pairs, three) precomputed intersections — O(N) merges
-// for the N−1 sweep, one merge per drop set for N−2. The relaxed
-// queries never round-trip through SQL statements at all.
+// A record belongs to the union of the single-drop results exactly
+// when it satisfies at least n−1 of the group's n conditions (and to
+// the pair-drop union when it satisfies at least n−2), so the sweep
+// never assembles per-drop-set intersections at all: each condition
+// streams its matching rows once through the volcano iterators
+// (sql.ForEachMatch — range conditions skip the RowID re-sort the
+// eager posting-list path paid), a tally counts per-row satisfied
+// conditions, and rows meeting the depth threshold are emitted. That
+// is O(sum of posting sizes) per group regardless of depth, where the
+// old prefix/suffix merge pipeline paid O(n) full-width merges for
+// N−1 and one merge per pair for N−2.
 func (s *System) relaxedCandidates(tbl *sqldb.Table, in *boolean.Interpretation, seen map[sqldb.RowID]bool) []sqldb.RowID {
 	var out []sqldb.RowID
 	emit := func(ids []sqldb.RowID) {
@@ -108,90 +112,90 @@ func (s *System) relaxedCandidates(tbl *sqldb.Table, in *boolean.Interpretation,
 			}
 		}
 	}
+	// Tally state, allocated once per sweep and reused across groups:
+	// cnt[id] is the number of this group's conditions row id
+	// satisfies, valid only when mark[id] > the group's base sequence;
+	// mark[id] is the global sequence of the last condition that
+	// counted id (which also deduplicates rows a multi-valued OR
+	// condition yields more than once).
+	var (
+		cnt     []uint8
+		mark    []uint32
+		touched []sqldb.RowID
+		condSeq uint32
+	)
 	for gi := range in.Groups {
 		g := &in.Groups[gi]
 		n := len(g.Conds)
 		if n < 2 {
 			continue
 		}
-		postings, ok := s.condPostings(tbl, g.Conds)
-		if !ok {
-			// A condition failed to evaluate (unknown column — cannot
-			// happen for schema-derived interpretations); fall back to
+		if n > 200 || !condsStreamable(tbl, g.Conds) {
+			// A condition that cannot stream (unknown column — cannot
+			// happen for schema-derived interpretations) falls back to
 			// the per-drop-set reference path, which skips exactly the
 			// drop sets whose kept conjunction fails.
 			s.relaxGroupByQueries(tbl, g, emit)
 			continue
 		}
-		// prefix[i] = ∩ postings[0..i), suffix[i] = ∩ postings[i..n).
-		prefix := make([]postingSet, n+1)
-		suffix := make([]postingSet, n+1)
-		prefix[0] = postingSet{universe: true}
-		for i := 0; i < n; i++ {
-			prefix[i+1] = prefix[i].intersect(postingSet{ids: postings[i]})
+		if cnt == nil {
+			slots := tbl.Slots()
+			cnt = make([]uint8, slots)
+			mark = make([]uint32, slots)
 		}
-		suffix[n] = postingSet{universe: true}
-		for i := n - 1; i >= 0; i-- {
-			suffix[i] = suffix[i+1].intersect(postingSet{ids: postings[i]})
-		}
-		// N−1 sweep: dropping condition i keeps prefix[i] ∩ suffix[i+1].
-		for i := 0; i < n; i++ {
-			emit(prefix[i].intersect(suffix[i+1]).ids)
-		}
-		// N−2 sweep (depth ≥ 2): dropping the pair (i, j) keeps
-		// prefix[i] ∩ postings(i..j) ∩ suffix[j+1]; the middle run is
-		// accumulated incrementally while j advances, so each pair
-		// costs one merge.
-		if s.depth >= 2 && n > 2 {
-			for i := 0; i < n; i++ {
-				acc := prefix[i]
-				for j := i + 1; j < n; j++ {
-					emit(acc.intersect(suffix[j+1]).ids)
-					acc = acc.intersect(postingSet{ids: postings[j]})
+		base := condSeq
+		touched = touched[:0]
+		for ci := range g.Conds {
+			condSeq++
+			seq := condSeq
+			_ = sql.ForEachMatch(s.db, tbl, condExpr(&g.Conds[ci]), func(id sqldb.RowID) {
+				if int(id) >= len(cnt) || mark[id] == seq {
+					// Row inserted after the sweep started (not part of
+					// this pass's universe), or already counted for
+					// this condition by another OR branch.
+					return
 				}
+				if mark[id] > base {
+					cnt[id]++
+				} else {
+					cnt[id] = 1
+					touched = append(touched, id)
+				}
+				mark[id] = seq
+			})
+		}
+		// Satisfying ≥ n−1 conditions ⇔ membership in some single-drop
+		// result; depth ≥ 2 lowers the threshold to n−2 exactly when
+		// the pair sweep runs (n > 2 — for n = 2 dropping a pair would
+		// leave an empty conjunction, which the reference path skips).
+		thresh := uint8(n - 1)
+		if s.depth >= 2 && n > 2 {
+			thresh = uint8(n - 2)
+		}
+		for _, id := range touched {
+			if cnt[id] >= thresh && !seen[id] {
+				seen[id] = true
+				out = append(out, id)
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	// Re-mark: seen was used as a dedup set; exact answers stay
-	// excluded because they were pre-seeded.
+	// seen was used as a dedup set; exact answers stay excluded
+	// because they were pre-seeded.
 	return out
 }
 
-// condPostings evaluates each condition of a group exactly once into a
-// sorted posting list, using the same expression evaluator the exact
-// path uses so relaxed results stay bit-identical to per-query
-// execution. ok is false if any condition fails to evaluate.
-func (s *System) condPostings(tbl *sqldb.Table, conds []boolean.Condition) ([][]sqldb.RowID, bool) {
-	out := make([][]sqldb.RowID, len(conds))
+// condsStreamable reports whether every condition of a group
+// references a known column — the only way a schema-derived condition
+// can fail to evaluate, and therefore the only case the relaxation
+// sweep must leave to the per-drop-set fallback.
+func condsStreamable(tbl *sqldb.Table, conds []boolean.Condition) bool {
 	for i := range conds {
-		ids, err := sql.EvalExpr(s.db, tbl, condExpr(&conds[i]))
-		if err != nil {
-			return nil, false
+		if tbl.ColumnIndex(conds[i].Attr) < 0 {
+			return false
 		}
-		out[i] = ids
 	}
-	return out, true
-}
-
-// postingSet is a sorted RowID list with a "universe" sentinel so that
-// empty prefix/suffix boundaries act as intersection identities.
-// Every emitted drop-set result intersects at least one real posting
-// list, so the sentinel never escapes the merge pipeline.
-type postingSet struct {
-	ids      []sqldb.RowID
-	universe bool
-}
-
-// intersect merges two posting sets.
-func (a postingSet) intersect(b postingSet) postingSet {
-	if a.universe {
-		return b
-	}
-	if b.universe {
-		return a
-	}
-	return postingSet{ids: sqldb.IntersectSorted(a.ids, b.ids)}
+	return true
 }
 
 // relaxGroupByQueries is the reference relaxation path: one compiled
@@ -212,7 +216,7 @@ func (s *System) relaxGroupByQueries(tbl *sqldb.Table, g *boolean.Group, emit fu
 		}
 		relaxed := &boolean.Interpretation{Groups: []boolean.Group{{Conds: kept}}}
 		sel := BuildSelect(tbl.Schema(), relaxed, 0)
-		ids, err := sql.Exec(s.db, sel)
+		ids, err := s.execSelect(tbl, sel)
 		if err != nil {
 			continue
 		}
@@ -247,7 +251,7 @@ func (s *System) PartialCandidates(domain string, in *boolean.Interpretation) ([
 		return nil, err
 	}
 	sel := BuildSelect(tbl.Schema(), in, 0)
-	exact, err := sql.Exec(s.db, sel)
+	exact, err := s.execSelect(tbl, sel)
 	if err != nil {
 		return nil, err
 	}

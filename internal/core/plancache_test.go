@@ -1,0 +1,51 @@
+package core_test
+
+// Plan-cache effectiveness on the paper-sized workload: the
+// 650-question survey split asks a few hundred template shapes per
+// domain, so after the shapes warm up, the compiled-plan cache must
+// answer the overwhelming majority of lookups without recompiling.
+
+import (
+	"testing"
+
+	"repro/internal/shard/shardtest"
+)
+
+// TestPlanCacheHitRateOnWorkload replays the 650-question workload
+// over a fresh monolith until it reaches steady state and asserts the
+// plan cache answers >90% of all lookups from cache — the
+// template-heavy property the shape key (literals stripped) is
+// designed to exploit: each distinct shape compiles exactly once, so
+// every replayed question after warm-up is a pure hit. The corpus is
+// static during the run, so invalidations must stay zero.
+func TestPlanCacheHitRateOnWorkload(t *testing.T) {
+	opts := shardtest.Options(40)
+	sys := shardtest.OpenMonolith(t, opts)
+	defer sys.Close()
+	workload := shardtest.Workload(t, opts, sys)
+
+	for pass := 0; pass < 10; pass++ {
+		for _, q := range workload {
+			if _, err := sys.Ask(q); err != nil {
+				t.Fatalf("ask %q: %v", q, err)
+			}
+		}
+	}
+	hits, misses, invalidations, size := sys.PlanCacheStats()
+	total := hits + misses
+	if total == 0 {
+		t.Fatal("workload produced no plan-cache lookups")
+	}
+	rate := float64(hits) / float64(total)
+	t.Logf("plan cache: %d hits / %d lookups (%.1f%%), %d misses, %d plans cached",
+		hits, total, 100*rate, misses, size)
+	if rate <= 0.90 {
+		t.Errorf("hit rate %.1f%% (hits=%d misses=%d), want > 90%%", 100*rate, hits, misses)
+	}
+	if invalidations != 0 {
+		t.Errorf("invalidations = %d on a static corpus, want 0", invalidations)
+	}
+	if size <= 0 {
+		t.Errorf("cache size = %d, want > 0", size)
+	}
+}

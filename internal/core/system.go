@@ -18,6 +18,7 @@ import (
 	"repro/internal/qlog"
 	"repro/internal/rank"
 	"repro/internal/sql"
+	"repro/internal/sql/plan"
 	"repro/internal/sqldb"
 	"repro/internal/trie"
 	"repro/internal/wsmatrix"
@@ -157,6 +158,10 @@ type System struct {
 	// quorum tracks follower apply acknowledgements for quorum-acked
 	// writes; always present, inert when Config.ReplicaSet <= 1.
 	quorum *quorumState
+	// plans caches compiled streaming query plans keyed on question
+	// shape (domain + expression skeleton). Entries are invalidated
+	// per table version, so live ingest stays correct.
+	plans *plan.Cache
 }
 
 // dedupState caches one domain's near-duplicate representatives
@@ -172,7 +177,9 @@ type dedupState struct {
 // Answer is one retrieved ad.
 type Answer struct {
 	ID sqldb.RowID
-	// Record is the ad's column → value map.
+	// Record is the ad's column → value map. It is a read-only view
+	// shared with other answers for the same row (sqldb.RecordView);
+	// callers that need to modify it must copy it first.
 	Record map[string]sqldb.Value
 	// Exact reports whether the ad satisfies every condition.
 	Exact bool
@@ -274,6 +281,7 @@ func New(cfg Config) (*System, error) {
 		}
 	}
 	s.quorum = newQuorumState(cfg)
+	s.plans = plan.NewCache(0)
 	return s, nil
 }
 
@@ -426,7 +434,7 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	for _, id := range exactIDs {
 		res.Answers = append(res.Answers, Answer{
 			ID:          id,
-			Record:      tbl.RecordMap(id),
+			Record:      tbl.RecordView(id),
 			Exact:       true,
 			RankSim:     exactScore,
 			DroppedCond: -1,
@@ -442,20 +450,50 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	return res, nil
 }
 
-// execWithSuperlative parses and runs the generated SQL, then applies
-// superlative semantics: only records achieving the extreme value of
-// the superlative attribute within the filtered set are exact answers
-// (Sec. 4.3: superlatives are evaluated last, on the records retrieved
-// by the other criteria).
+// execSelect runs a generated SELECT through the plan cache: the
+// statement's shape (domain + expression skeleton) resolves to a
+// compiled streaming plan — near-always a cache hit, since millions
+// of users ask the same few hundred tagged question templates — and
+// the plan re-binds this statement's literals at run time.
+func (s *System) execSelect(tbl *sqldb.Table, sel *sql.Select) ([]sqldb.RowID, error) {
+	p, err := s.plans.Get(s.db, tbl.Schema().Domain, sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(s.db, sel)
+}
+
+// PlanCacheStats exposes the plan cache's lookup tallies (hits,
+// misses, version invalidations) and its current size.
+func (s *System) PlanCacheStats() (hits, misses, invalidations int64, size int) {
+	return s.plans.Stats()
+}
+
+// PlanCached reports whether the compiled plan for a SQL statement in
+// the given domain is currently cached and fresh — the EXPLAIN
+// panel's hit/miss preview. Unparseable statements report false.
+func (s *System) PlanCached(domain, query string) bool {
+	sel, err := sql.Parse(query)
+	if err != nil {
+		return false
+	}
+	return s.plans.Contains(domain, sel)
+}
+
+// execWithSuperlative runs the generated SQL through the plan cache,
+// then applies superlative semantics: only records achieving the
+// extreme value of the superlative attribute within the filtered set
+// are exact answers (Sec. 4.3: superlatives are evaluated last, on
+// the records retrieved by the other criteria).
 func (s *System) execWithSuperlative(tbl *sqldb.Table, sel *sql.Select, in *boolean.Interpretation) ([]sqldb.RowID, error) {
 	if in.Superlative == nil {
-		return sql.Exec(s.db, sel)
+		return s.execSelect(tbl, sel)
 	}
 	// Evaluate without LIMIT so the extreme set is computed over all
 	// matching records, then filter to the extreme value.
 	unlimited := *sel
 	unlimited.Limit = 0
-	ids, err := sql.Exec(s.db, &unlimited)
+	ids, err := s.execSelect(tbl, &unlimited)
 	if err != nil {
 		return nil, err
 	}

@@ -52,6 +52,26 @@ var Repl struct {
 	LagOps Gauge
 }
 
+// Plan holds the plan-cache counters for this process (the compiled
+// streaming-query plans of internal/sql/plan, keyed on question
+// shape). A healthy steady-state workload shows Hits dwarfing Misses
+// — millions of users ask the same few hundred tagged shapes — while
+// Invalidations ticking tracks live ingest moving table versions.
+// GET /api/status exposes all of them.
+var Plan struct {
+	// Hits counts cache lookups answered by a current compiled plan.
+	Hits Counter
+	// Misses counts lookups that found no plan for the shape and
+	// compiled one.
+	Misses Counter
+	// Invalidations counts lookups that found a plan compiled against
+	// a superseded table version (a mutation landed since) and
+	// recompiled.
+	Invalidations Counter
+	// Size is the number of plans currently cached.
+	Size Gauge
+}
+
 // Failover holds the election counters for this process: how often
 // leadership moved and why. A healthy set shows heartbeats climbing
 // and everything else flat; elections ticking without promotions means

@@ -21,11 +21,17 @@ func Satisfies(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
 }
 
 func satisfiesPositive(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
+	return satisfiesPositiveVal(tbl.Value(id, c.Attr), c)
+}
+
+// satisfiesPositiveVal is satisfiesPositive over an already-fetched
+// value, so callers scoring several aspects of one condition read the
+// table once.
+func satisfiesPositiveVal(v sqldb.Value, c *boolean.Condition) bool {
+	if v.IsNull() {
+		return false
+	}
 	if c.IsNumeric() {
-		v := tbl.Value(id, c.Attr)
-		if v.IsNull() {
-			return false
-		}
 		n := v.Num()
 		switch c.Op {
 		case boolean.OpEq:
@@ -41,10 +47,6 @@ func satisfiesPositive(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) b
 		case boolean.OpBetween:
 			return n >= c.X && n <= c.Y
 		}
-		return false
-	}
-	v := tbl.Value(id, c.Attr)
-	if v.IsNull() {
 		return false
 	}
 	stored := v.Str()

@@ -84,7 +84,11 @@ func NumSim(t, v, rangeWidth float64) float64 {
 // condition c, in [0,1] (TI_Sim and Feat_Sim are normalized by their
 // matrix maxima per Sec. 4.3.2; Num_Sim is already in range).
 func (s *Similarity) CondSim(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) float64 {
-	v := tbl.Value(id, c.Attr)
+	return s.condSimVal(tbl.Value(id, c.Attr), c)
+}
+
+// condSimVal is CondSim over an already-fetched value.
+func (s *Similarity) condSimVal(v sqldb.Value, c *boolean.Condition) float64 {
 	if v.IsNull() {
 		return 0
 	}
@@ -188,10 +192,18 @@ func (s *Similarity) RankSim(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.C
 // shorthand normalization is the hot spot when scoring hundreds of
 // candidates).
 func (s *Similarity) condSatisfied(tbl *sqldb.Table, id sqldb.RowID, c *boolean.Condition) bool {
+	return s.condSatisfiedVal(tbl.Value(id, c.Attr), c)
+}
+
+// condSatisfiedVal is condSatisfied over an already-fetched value.
+func (s *Similarity) condSatisfiedVal(v sqldb.Value, c *boolean.Condition) bool {
 	if c.IsNumeric() {
-		return Satisfies(tbl, id, c)
+		ok := satisfiesPositiveVal(v, c)
+		if c.Negated {
+			return !ok
+		}
+		return ok
 	}
-	v := tbl.Value(id, c.Attr)
 	if v.IsNull() {
 		return c.Negated
 	}
@@ -226,11 +238,38 @@ func (s *Similarity) condSatisfied(tbl *sqldb.Table, id sqldb.RowID, c *boolean.
 // relaxations and returns the best (score, dropped index). Records
 // produced by different relaxed queries of the N−1 strategy are
 // merged on this score.
+//
+// Each condition's similarity and satisfaction are evaluated once and
+// the N drop choices are scored from that memo — O(N) table reads and
+// cache probes instead of the O(N²) a RankSim call per drop would
+// repeat. The inner loop replays RankSim's accumulation order term by
+// term, so every score (and therefore the winning drop index) is
+// bit-identical to the naive sweep.
 func (s *Similarity) BestRankSim(tbl *sqldb.Table, id sqldb.RowID, conds []boolean.Condition) (float64, int) {
-	best, bestIdx := math.Inf(-1), -1
+	n := len(conds)
+	var simBuf [8]float64
+	var satBuf [8]bool
+	sims, sats := simBuf[:0], satBuf[:0]
+	if n > len(simBuf) {
+		sims, sats = make([]float64, 0, n), make([]bool, 0, n)
+	}
 	for i := range conds {
-		if sc := s.RankSim(tbl, id, conds, i); sc > best {
-			best, bestIdx = sc, i
+		v := tbl.Value(id, conds[i].Attr)
+		sims = append(sims, s.condSimVal(v, &conds[i]))
+		sats = append(sats, s.condSatisfiedVal(v, &conds[i]))
+	}
+	best, bestIdx := math.Inf(-1), -1
+	for d := 0; d < n; d++ {
+		score := 0.0
+		for i := 0; i < n; i++ {
+			if i == d {
+				score += sims[i]
+			} else if sats[i] {
+				score++
+			}
+		}
+		if score > best {
+			best, bestIdx = score, d
 		}
 	}
 	return best, bestIdx

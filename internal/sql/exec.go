@@ -8,22 +8,22 @@ import (
 	"repro/internal/sqldb"
 )
 
-// Exec evaluates a parsed SELECT against db and returns the matching
-// row ids in result order (index order, then ORDER BY, then LIMIT).
-func Exec(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
-	tbl, ok := db.Table(sel.Table)
-	if !ok {
-		// Allow domain names as table references for convenience.
-		tbl, ok = db.TableForDomain(sel.Table)
-		if !ok {
-			return nil, fmt.Errorf("sql: unknown table %q", sel.Table)
-		}
+// ExecLegacy evaluates a parsed SELECT against db with the original
+// eager evaluator: every WHERE leaf materializes its full posting
+// list and AND/OR combine the sets with sorted merges. It is retained
+// as the behavioral reference for the streaming executor (Exec) — the
+// differential fuzz test and the relax-equivalence harness assert the
+// two return bit-identical results — and as the evaluation path for
+// IN subqueries, which the streaming planner treats as opaque.
+func ExecLegacy(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
+	tbl, err := resolveTable(db, sel.Table)
+	if err != nil {
+		return nil, err
 	}
 	var ids []sqldb.RowID
 	if sel.Where == nil {
 		ids = tbl.AllRowIDs()
 	} else {
-		var err error
 		ids, err = evalExpr(db, tbl, sel.Where)
 		if err != nil {
 			return nil, err
@@ -41,14 +41,24 @@ func Exec(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
 	return ids, nil
 }
 
-// EvalExpr evaluates a WHERE expression directly against tbl and
-// returns the matching row ids in ascending order. It lets callers
-// that already hold a compiled expression — notably the relaxation
-// engine, which evaluates each condition exactly once and reuses the
-// posting lists across drop sets — skip the SELECT statement
-// round-trip.
-func EvalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
+// EvalExprLegacy evaluates a WHERE expression with the eager
+// evaluator (see ExecLegacy) and returns the matching row ids in
+// ascending order.
+func EvalExprLegacy(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
 	return evalExpr(db, tbl, e)
+}
+
+// resolveTable looks a table reference up by name, then by domain
+// name (so the generated SQL may reference either).
+func resolveTable(db *sqldb.DB, name string) (*sqldb.Table, error) {
+	tbl, ok := db.Table(name)
+	if !ok {
+		tbl, ok = db.TableForDomain(name)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", name)
+		}
+	}
+	return tbl, nil
 }
 
 // ExecString parses and evaluates a SQL statement in one step.
@@ -76,7 +86,7 @@ func evalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
 		}
 		return tbl.LookupSubstring(n.Column, n.Pattern), nil
 	case *In:
-		sub, err := Exec(db, n.Sub)
+		sub, err := ExecLegacy(db, n.Sub)
 		if err != nil {
 			return nil, err
 		}

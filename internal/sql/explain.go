@@ -39,7 +39,59 @@ func Explain(db *sqldb.DB, sel *Select) (string, error) {
 	if sel.Limit > 0 {
 		fmt.Fprintf(&sb, "  limit %d (answer cutoff)\n", sel.Limit)
 	}
+	if p, perr := Compile(db, sel); perr == nil && p.root != nil {
+		sb.WriteString("  streaming plan:\n")
+		explainPlan(&sb, sel.Where, p.root, 2)
+	}
 	return sb.String(), nil
+}
+
+// explainPlan renders the compiled streaming plan alongside the
+// access-path listing above: which leaf the statistics chose as each
+// conjunction's driving scan, the estimated selectivities behind that
+// choice, and which conjuncts were pushed down as per-row residual
+// predicates versus materialized into membership sets.
+func explainPlan(sb *strings.Builder, e Expr, n *planNode, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch n.kind {
+	case nkLeaf:
+		fmt.Fprintf(sb, "%s%s: %s, est %.1f rows\n", pad, e.SQL(), n.access, n.est)
+	case nkOpaque:
+		fmt.Fprintf(sb, "%s%s: IN subquery via eager evaluator\n", pad, e.SQL())
+	case nkNot:
+		fmt.Fprintf(sb, "%scomplement (est %.1f rows) of:\n", pad, n.est)
+		explainPlan(sb, e.(*Not).Operand, n.children[0], depth+1)
+	case nkOr:
+		fmt.Fprintf(sb, "%sunion of %d branches (est %.1f rows):\n", pad, len(n.children), n.est)
+		for i, op := range e.(*Or).Operands {
+			explainPlan(sb, op, n.children[i], depth+1)
+		}
+	case nkAnd:
+		x := e.(*And)
+		if n.driving < 0 {
+			fmt.Fprintf(sb, "%seager intersection of %d sets (no drivable leaf):\n", pad, len(n.children))
+			for i, op := range x.Operands {
+				explainPlan(sb, op, n.children[i], depth+1)
+			}
+			return
+		}
+		fmt.Fprintf(sb, "%sstreamed conjunction (est %.1f rows):\n", pad, n.est)
+		for i, op := range x.Operands {
+			c := n.children[i]
+			_, resOK := residualPred(op)
+			switch {
+			case i == n.driving:
+				fmt.Fprintf(sb, "%s  driving scan: %s via %s (est %.1f rows, cost %.1f)\n",
+					pad, op.SQL(), c.access, c.est, c.cost)
+			case c.predOK && resOK:
+				fmt.Fprintf(sb, "%s  pushed residual: %s (est %.1f rows, checked per row)\n",
+					pad, op.SQL(), c.est)
+			default:
+				fmt.Fprintf(sb, "%s  membership set from:\n", pad)
+				explainPlan(sb, op, c, depth+2)
+			}
+		}
+	}
 }
 
 // ExplainString parses and explains in one step.

@@ -47,6 +47,46 @@ func TestExplainOrNotAndSubquery(t *testing.T) {
 	}
 }
 
+func TestExplainStreamingPlanMultiConjunct(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, `SELECT * FROM car_ads
+		WHERE make = 'honda' AND price < 10000 AND model LIKE '%cord%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"streaming plan:",
+		"streamed conjunction",
+		"driving scan:",
+		"pushed residual:",
+		"est ",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	// Exactly one conjunct drives the stream; the other two ride along
+	// as per-row residual predicates.
+	if got := strings.Count(plan, "driving scan:"); got != 1 {
+		t.Errorf("driving scans = %d, want 1:\n%s", got, plan)
+	}
+	if got := strings.Count(plan, "pushed residual:"); got != 2 {
+		t.Errorf("pushed residuals = %d, want 2:\n%s", got, plan)
+	}
+}
+
+func TestExplainStreamingPlanEagerFallback(t *testing.T) {
+	db, _ := execDB(t)
+	plan, err := ExplainString(db, `SELECT * FROM car_ads
+		WHERE NOT make = 'honda' AND transmission <> 'manual'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "eager intersection of 2 sets") {
+		t.Errorf("plan missing eager fallback:\n%s", plan)
+	}
+}
+
 func TestExplainNoWhere(t *testing.T) {
 	db, _ := execDB(t)
 	plan, err := ExplainString(db, "SELECT * FROM car_ads")

@@ -1,0 +1,230 @@
+// Package plan caches compiled streaming-query plans keyed on the
+// question's tagged shape. The CQAds workload is template-heavy —
+// millions of users phrase the same few hundred question shapes per
+// domain, differing only in literals — so a plan compiled once per
+// (domain, expression skeleton) pair serves the whole template: the
+// executor re-binds each statement's literals into the cached shape
+// at run time (sql.Plan.Run). Entries record the table version they
+// were compiled at and are invalidated when live ingest moves it, so
+// a cached plan never outlives the statistics it was chosen by for
+// longer than one mutation. Hit/miss/invalidation counters feed
+// internal/metrics for the /api/status payload.
+package plan
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/sql"
+	"repro/internal/sqldb"
+)
+
+// Plan is the compiled streaming execution plan (see sql.Compile).
+type Plan = sql.Plan
+
+// Compile compiles a SELECT into a streaming plan without touching
+// any cache.
+func Compile(db *sqldb.DB, sel *sql.Select) (*Plan, error) {
+	return sql.Compile(db, sel)
+}
+
+// Key canonicalizes a statement into its cache key: the domain, the
+// table, the WHERE skeleton with literals stripped to typed
+// placeholders (?n / ?s), and the ORDER BY column. LIMIT is excluded
+// — it binds at run time and never changes the plan. Two statements
+// share a key exactly when one compiled plan fits both.
+func Key(domain string, sel *sql.Select) string {
+	var sb strings.Builder
+	sb.WriteString(domain)
+	sb.WriteByte('|')
+	sb.WriteString(sel.Table)
+	sb.WriteByte('|')
+	writeShape(&sb, sel.Where)
+	sb.WriteByte('|')
+	sb.WriteString(sel.OrderBy)
+	if sel.Desc {
+		sb.WriteString(" desc")
+	}
+	return sb.String()
+}
+
+func writeShape(sb *strings.Builder, e sql.Expr) {
+	switch x := e.(type) {
+	case nil:
+		sb.WriteByte('-')
+	case *sql.Compare:
+		sb.WriteString(x.Column)
+		sb.WriteString(string(x.Op))
+		if x.Value.IsNumber() {
+			sb.WriteString("?n")
+		} else {
+			sb.WriteString("?s")
+		}
+	case *sql.Between:
+		sb.WriteString("btw(")
+		sb.WriteString(x.Column)
+		sb.WriteByte(')')
+	case *sql.Like:
+		sb.WriteString("like(")
+		sb.WriteString(x.Column)
+		sb.WriteByte(')')
+	case *sql.In:
+		sb.WriteString("in(")
+		sb.WriteString(x.Column)
+		sb.WriteByte(',')
+		sb.WriteString(x.Sub.Table)
+		sb.WriteByte(':')
+		writeShape(sb, x.Sub.Where)
+		sb.WriteByte(')')
+	case *sql.And:
+		sb.WriteString("and(")
+		for i, op := range x.Operands {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeShape(sb, op)
+		}
+		sb.WriteByte(')')
+	case *sql.Or:
+		sb.WriteString("or(")
+		for i, op := range x.Operands {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeShape(sb, op)
+		}
+		sb.WriteByte(')')
+	case *sql.Not:
+		sb.WriteString("not(")
+		writeShape(sb, x.Operand)
+		sb.WriteByte(')')
+	default:
+		// Unknown node: make the key unique so it never collides.
+		sb.WriteString("opaque")
+	}
+}
+
+// Cache is a bounded LRU of compiled plans keyed by Key. It is safe
+// for concurrent use; compilation happens outside the lock, so a
+// slow compile never stalls concurrent lookups.
+type Cache struct {
+	mu            sync.Mutex
+	cap           int
+	lru           *list.List // front = most recently used
+	byKey         map[string]*list.Element
+	hits          int64
+	misses        int64
+	invalidations int64
+}
+
+type entry struct {
+	key     string
+	plan    *sql.Plan
+	tbl     *sqldb.Table
+	version uint64
+}
+
+// DefaultCapacity bounds a cache built with NewCache(0). A few
+// hundred shapes per domain times eight domains fits comfortably.
+const DefaultCapacity = 4096
+
+// NewCache builds a cache holding at most capacity plans (0 means
+// DefaultCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the compiled plan for sel's shape, compiling and
+// caching it on a miss. A cached plan whose table version has moved
+// since compilation (live ingest) counts as an invalidation and is
+// recompiled against the current statistics. The returned plan is
+// immutable and safe for concurrent Run calls.
+func (c *Cache) Get(db *sqldb.DB, domain string, sel *sql.Select) (*sql.Plan, error) {
+	key := Key(domain, sel)
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		if e.tbl.Version() == e.version {
+			c.lru.MoveToFront(el)
+			c.hits++
+			p := e.plan
+			c.mu.Unlock()
+			metrics.Plan.Hits.Add(1)
+			return p, nil
+		}
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+		c.invalidations++
+		c.mu.Unlock()
+		metrics.Plan.Invalidations.Add(1)
+	} else {
+		c.misses++
+		c.mu.Unlock()
+		metrics.Plan.Misses.Add(1)
+	}
+	// The version is read before compiling: a mutation landing
+	// mid-compile moves the table past the recorded version, so the
+	// next lookup recompiles rather than trusting a torn plan's
+	// statistics (results stay correct either way — plans re-bind
+	// literals and re-validate shape at run time).
+	tbl, ok := db.Table(sel.Table)
+	if !ok {
+		tbl, _ = db.TableForDomain(sel.Table)
+	}
+	var version uint64
+	if tbl != nil {
+		version = tbl.Version()
+	}
+	p, err := sql.Compile(db, sel)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, exists := c.byKey[key]; exists {
+		// A concurrent Get for the same shape beat us; replace.
+		c.lru.Remove(el)
+		delete(c.byKey, key)
+	}
+	c.byKey[key] = c.lru.PushFront(&entry{key: key, plan: p, tbl: tbl, version: version})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.byKey, back.Value.(*entry).key)
+	}
+	size := len(c.byKey)
+	c.mu.Unlock()
+	metrics.Plan.Size.Set(int64(size))
+	return p, nil
+}
+
+// Contains reports whether a current (non-stale) plan is cached for
+// the shape, without bumping counters or recency — the EXPLAIN
+// panel's hit/miss preview.
+func (c *Cache) Contains(domain string, sel *sql.Select) bool {
+	key := Key(domain, sel)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	return e.tbl.Version() == e.version
+}
+
+// Stats returns this cache's lookup tallies and current size. The
+// process-wide aggregates live in metrics.Plan.
+func (c *Cache) Stats() (hits, misses, invalidations int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.invalidations, len(c.byKey)
+}

@@ -1,0 +1,167 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/schema"
+	"repro/internal/sql"
+	"repro/internal/sqldb"
+)
+
+func testDB(t *testing.T) (*sqldb.DB, *sqldb.Table) {
+	t.Helper()
+	db := sqldb.NewDB()
+	tbl, err := db.CreateTable(schema.Cars())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_, _ = tbl.Insert(map[string]sqldb.Value{
+			"make":  sqldb.String([]string{"honda", "toyota"}[i%2]),
+			"model": sqldb.String("accord"),
+			"price": sqldb.Number(float64(1000 * i)),
+			"year":  sqldb.Number(float64(2000 + i)),
+		})
+	}
+	return db, tbl
+}
+
+func mustParse(t *testing.T, q string) *sql.Select {
+	t.Helper()
+	sel, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestKeyStripsLiteralsKeepsShape(t *testing.T) {
+	a := mustParse(t, "SELECT * FROM car_ads WHERE make = 'honda' AND price < 9000 LIMIT 5")
+	b := mustParse(t, "SELECT * FROM car_ads WHERE make = 'toyota' AND price < 123 LIMIT 30")
+	if Key("cars", a) != Key("cars", b) {
+		t.Errorf("same shape, different keys:\n%s\n%s", Key("cars", a), Key("cars", b))
+	}
+	// Different operator, column order, order-by or domain must split.
+	for _, q := range []string{
+		"SELECT * FROM car_ads WHERE make = 'honda' AND price > 9000",
+		"SELECT * FROM car_ads WHERE price < 9000 AND make = 'honda'",
+		"SELECT * FROM car_ads WHERE make = 'honda' AND price < 9000 ORDER BY year",
+		"SELECT * FROM car_ads WHERE make = 'honda'",
+	} {
+		if Key("cars", a) == Key("cars", mustParse(t, q)) {
+			t.Errorf("key collision between %q and %q", a.SQL(), q)
+		}
+	}
+	if Key("cars", a) == Key("jobs", a) {
+		t.Error("domain not part of the key")
+	}
+	// Numeric vs string equality literals plan differently (range
+	// validation) and must not share a key.
+	n := mustParse(t, "SELECT * FROM car_ads WHERE make = 1")
+	s := mustParse(t, "SELECT * FROM car_ads WHERE make = 'x'")
+	if Key("cars", n) == Key("cars", s) {
+		t.Error("numeric and string literal shapes share a key")
+	}
+}
+
+func TestCacheHitMissInvalidation(t *testing.T) {
+	db, tbl := testDB(t)
+	c := NewCache(8)
+	sel := mustParse(t, "SELECT * FROM car_ads WHERE make = 'honda' AND price < 9000")
+
+	p1, err := c.Get(db, "cars", sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, inval, size := c.Stats(); hits != 0 || misses != 1 || inval != 0 || size != 1 {
+		t.Fatalf("after first Get: hits=%d misses=%d inval=%d size=%d", hits, misses, inval, size)
+	}
+
+	// Same shape, different literals: a hit returning the same plan.
+	sel2 := mustParse(t, "SELECT * FROM car_ads WHERE make = 'toyota' AND price < 4500")
+	p2, err := c.Get(db, "cars", sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p1 {
+		t.Error("same shape did not reuse the cached plan")
+	}
+	if hits, _, _, _ := c.Stats(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	if !c.Contains("cars", sel) {
+		t.Error("Contains = false for cached current shape")
+	}
+
+	// The cached plan must still answer bit-identically after literal
+	// re-binding.
+	got, err := p2.Run(db, sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sql.ExecLegacy(db, sel2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cached plan: %d ids, legacy %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cached plan id[%d]=%d legacy=%d", i, got[i], want[i])
+		}
+	}
+
+	// A mutation moves the table version: next Get invalidates and
+	// recompiles.
+	if _, err := tbl.Insert(map[string]sqldb.Value{
+		"make": sqldb.String("ford"), "model": sqldb.String("focus"),
+		"price": sqldb.Number(500), "year": sqldb.Number(1999),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains("cars", sel) {
+		t.Error("Contains = true for stale plan")
+	}
+	if _, err := c.Get(db, "cars", sel); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, inval, size := c.Stats(); hits != 1 || misses != 1 || inval != 1 || size != 1 {
+		t.Errorf("after invalidation: hits=%d misses=%d inval=%d size=%d", hits, misses, inval, size)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	db, _ := testDB(t)
+	c := NewCache(2)
+	qa := mustParse(t, "SELECT * FROM car_ads WHERE make = 'honda'")
+	qb := mustParse(t, "SELECT * FROM car_ads WHERE price < 5000")
+	qc := mustParse(t, "SELECT * FROM car_ads WHERE year > 2004")
+	for _, q := range []*sql.Select{qa, qb, qc} {
+		if _, err := c.Get(db, "cars", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, size := c.Stats(); size != 2 {
+		t.Fatalf("size = %d, want 2", size)
+	}
+	// qa was least recently used and must be gone; qb and qc remain.
+	if c.Contains("cars", qa) {
+		t.Error("oldest shape survived eviction")
+	}
+	if !c.Contains("cars", qb) || !c.Contains("cars", qc) {
+		t.Error("recent shapes evicted")
+	}
+}
+
+func TestCacheCompileErrorNotCached(t *testing.T) {
+	db, _ := testDB(t)
+	c := NewCache(4)
+	bad := mustParse(t, "SELECT * FROM car_ads WHERE ghost = 1")
+	if _, err := c.Get(db, "cars", bad); err == nil {
+		t.Fatal("unknown column should fail compile")
+	}
+	if _, _, _, size := c.Stats(); size != 0 {
+		t.Errorf("failed compile was cached (size=%d)", size)
+	}
+}

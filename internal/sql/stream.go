@@ -1,0 +1,716 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/schema"
+	"repro/internal/sqldb"
+)
+
+// This file is the streaming query executor: a compile-once,
+// stream-everything replacement for the eager evaluator in exec.go.
+//
+// Compile analyzes a SELECT against the table's cached statistics and
+// produces a Plan — for each conjunction, the most selective drivable
+// leaf becomes the driving index scan and every other conjunct is
+// pushed down as a per-row residual predicate (sqldb.Pred) checked on
+// the stream, so non-driving conditions never materialize posting
+// lists. OR and NOT nodes stay on a materialize-and-merge path that
+// reproduces the eager evaluator exactly; IN subqueries are opaque
+// and run through the eager evaluator itself. A LIMIT with no ORDER
+// BY is pushed into the scan for early termination.
+//
+// A Plan carries no literals: it annotates the *shape* of the
+// expression tree (node kinds, columns, operators) with driving
+// choices and cost estimates, and Run re-binds the literals of the
+// concrete Select by walking the two trees in lockstep. That is what
+// makes plans cacheable across the millions of questions that share a
+// few hundred tagged shapes (internal/sql/plan.Cache); a Select whose
+// shape does not match the plan is defensively recompiled, so a stale
+// or mismatched plan can cost time but never correctness.
+//
+// Exec = Compile + Run must return results bit-identical to
+// ExecLegacy for every valid query. The one intentional divergence is
+// error strictness: Compile validates the whole statement up front,
+// while the eager evaluator's AND short-circuits on an empty operand
+// and may never reach an invalid later operand. Exec is therefore
+// strictly stricter — it errors on every statement ExecLegacy errors
+// on, plus some ExecLegacy happens to answer by luck of evaluation
+// order.
+
+// Exec evaluates a parsed SELECT against db and returns the matching
+// row ids in result order (index order, then ORDER BY, then LIMIT).
+// It compiles a streaming plan and runs it; callers that execute the
+// same question shape repeatedly should cache the compiled plan
+// (internal/sql/plan) instead of re-compiling per call.
+func Exec(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
+	p, err := Compile(db, sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(db, sel)
+}
+
+// EvalExpr evaluates a WHERE expression directly against tbl and
+// returns the matching row ids in ascending order, through the
+// streaming executor.
+func EvalExpr(db *sqldb.DB, tbl *sqldb.Table, e Expr) ([]sqldb.RowID, error) {
+	sel := &Select{Table: tbl.Name(), Where: e}
+	p, err := Compile(db, sel)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(db, sel)
+}
+
+// Plan is a compiled execution strategy for one SELECT shape. It is
+// immutable after Compile and safe for concurrent Run calls.
+type Plan struct {
+	table   string
+	orderBy string
+	root    *planNode // nil when the statement has no WHERE
+}
+
+type nodeKind int
+
+const (
+	nkLeaf   nodeKind = iota // Compare / Between / Like
+	nkAnd                    // streamed conjunction
+	nkOr                     // materialize-and-union
+	nkNot                    // materialize-and-complement
+	nkOpaque                 // IN subquery: eager evaluator
+)
+
+type leafKind int
+
+const (
+	lkEq leafKind = iota
+	lkNe
+	lkRange
+	lkBetween
+	lkLike
+)
+
+// planNode annotates one node of the expression tree.
+type planNode struct {
+	kind     nodeKind
+	children []*planNode
+
+	// Leaf annotations.
+	leaf     leafKind
+	col      string
+	op       BinaryOp // Compare leaves
+	est      float64  // estimated matching rows
+	cost     float64  // estimated cost to drive or materialize
+	drivable bool     // usable as a conjunction's driving scan
+	predOK   bool     // subtree convertible to a residual sqldb.Pred
+	access   string   // human-readable access path (EXPLAIN)
+
+	// Conjunction annotations.
+	driving int // index of the driving child; -1 = eager intersection
+}
+
+// Compile analyzes sel against db and returns a reusable Plan. All
+// validation the eager evaluator performs lazily (unknown table or
+// column, non-numeric range literal, cross-table IN subquery, unknown
+// ORDER BY column) happens here, up front.
+func Compile(db *sqldb.DB, sel *Select) (*Plan, error) {
+	tbl, err := resolveTable(db, sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{table: sel.Table, orderBy: sel.OrderBy}
+	if sel.Where != nil {
+		p.root, err = compileNode(db, tbl, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.OrderBy != "" && tbl.ColumnIndex(sel.OrderBy) < 0 {
+		return nil, fmt.Errorf("sql: unknown ORDER BY column %q", sel.OrderBy)
+	}
+	return p, nil
+}
+
+func compileNode(db *sqldb.DB, tbl *sqldb.Table, e Expr) (*planNode, error) {
+	st := tbl.Stats()
+	rows := float64(st.Rows)
+	switch x := e.(type) {
+	case *Compare:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		n := &planNode{kind: nkLeaf, col: x.Column, op: x.Op, predOK: true}
+		cs := columnStats(st, x.Column)
+		hashed := attrType(tbl, x.Column) != schema.TypeIII
+		switch x.Op {
+		case OpEq:
+			n.leaf = lkEq
+			n.est = estEqual(rows, cs)
+			n.drivable = true
+			if hashed {
+				n.cost = n.est + 1
+				n.access = "hash index lookup"
+			} else {
+				n.cost = rows
+				n.access = "scan with equality verify"
+			}
+		case OpNe:
+			n.leaf = lkNe
+			n.est = math.Max(rows-estEqual(rows, cs), 0)
+			n.cost = rows
+			n.access = "complement of hash index lookup"
+		case OpLt, OpLe, OpGt, OpGe:
+			if !x.Value.IsNumber() {
+				return nil, fmt.Errorf("sql: %s requires a numeric literal on column %q", x.Op, x.Column)
+			}
+			n.leaf = lkRange
+			lo, hi := math.Inf(-1), math.Inf(1)
+			if x.Op == OpLt || x.Op == OpLe {
+				hi = x.Value.Num()
+			} else {
+				lo = x.Value.Num()
+			}
+			n.est = estRange(rows, cs, lo, hi)
+			n.drivable = true
+			if !hashed {
+				// Ordered index: the scan yields value order, so
+				// driving a conjunction re-sorts the survivors.
+				n.cost = 1.25*n.est + 1
+				n.access = "ordered index range scan"
+			} else {
+				n.cost = rows
+				n.access = "scan with range verify"
+			}
+		default:
+			return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+		}
+		return n, nil
+	case *Between:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		n := &planNode{kind: nkLeaf, leaf: lkBetween, col: x.Column, predOK: true, drivable: true}
+		cs := columnStats(st, x.Column)
+		n.est = estRange(rows, cs, x.Lo, x.Hi)
+		if attrType(tbl, x.Column) == schema.TypeIII {
+			n.cost = 1.25*n.est + 1
+			n.access = "ordered index range scan"
+		} else {
+			n.cost = rows
+			n.access = "scan with range verify"
+		}
+		return n, nil
+	case *Like:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		n := &planNode{kind: nkLeaf, leaf: lkLike, col: x.Column, predOK: true, drivable: true}
+		n.est = rows / 3
+		if len(x.Pattern) >= 3 && attrType(tbl, x.Column) != schema.TypeIII {
+			n.cost = 2*n.est + 1
+			n.access = "trigram index with verify"
+		} else {
+			n.cost = rows
+			n.access = "scan with substring verify"
+		}
+		return n, nil
+	case *In:
+		// Validate the subquery statically the way the eager evaluator
+		// does dynamically: it must compile, and it must select from
+		// the same table (Example 7's nested shape).
+		if _, err := Compile(db, x.Sub); err != nil {
+			return nil, err
+		}
+		subTbl, err := resolveTable(db, x.Sub.Table)
+		if err != nil {
+			return nil, err
+		}
+		if subTbl != tbl {
+			return nil, fmt.Errorf("sql: IN subquery over a different table (%q) is not supported", x.Sub.Table)
+		}
+		return &planNode{kind: nkOpaque, est: rows, cost: rows, access: "IN subquery (eager)"}, nil
+	case *And:
+		n := &planNode{kind: nkAnd, driving: -1, est: rows}
+		for _, op := range x.Operands {
+			c, err := compileNode(db, tbl, op)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+			if c.est < n.est {
+				n.est = c.est
+			}
+		}
+		// Drive the cheapest drivable leaf; everything else becomes a
+		// residual (predicate or membership set). No drivable leaf —
+		// all operands negated or composite — falls back to the eager
+		// ordered intersection, which is trivially bit-identical.
+		best := math.Inf(1)
+		for i, c := range n.children {
+			if c.drivable && c.cost < best {
+				best = c.cost
+				n.driving = i
+			}
+		}
+		n.cost = best
+		if n.driving < 0 {
+			n.cost = rows
+		}
+		return n, nil
+	case *Or:
+		n := &planNode{kind: nkOr}
+		for _, op := range x.Operands {
+			c, err := compileNode(db, tbl, op)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+			n.est += c.est
+		}
+		n.est = math.Min(n.est, rows)
+		n.cost = n.est
+		return n, nil
+	case *Not:
+		c, err := compileNode(db, tbl, x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &planNode{
+			kind:     nkNot,
+			children: []*planNode{c},
+			est:      math.Max(rows-c.est, 0),
+			cost:     rows,
+			predOK:   c.predOK,
+			access:   "complement",
+		}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression node %T", e)
+}
+
+func attrType(tbl *sqldb.Table, col string) schema.AttrType {
+	a, ok := tbl.Schema().Attr(col)
+	if !ok {
+		return schema.TypeII
+	}
+	return a.Type
+}
+
+func columnStats(st *sqldb.TableStats, col string) *sqldb.ColumnStats {
+	for i := range st.Columns {
+		if st.Columns[i].Name == col {
+			return &st.Columns[i]
+		}
+	}
+	return nil
+}
+
+// estEqual estimates rows matched by an equality: uniform spread over
+// the column's distinct values.
+func estEqual(rows float64, cs *sqldb.ColumnStats) float64 {
+	if cs == nil || cs.Distinct <= 0 {
+		return rows
+	}
+	return rows / float64(cs.Distinct)
+}
+
+// estRange estimates rows in [lo, hi] from the column's numeric
+// extrema, assuming a uniform distribution. Without extrema it
+// guesses a third of the table.
+func estRange(rows float64, cs *sqldb.ColumnStats, lo, hi float64) float64 {
+	if cs == nil || !cs.HasNumeric || cs.Max <= cs.Min {
+		return rows / 3
+	}
+	overlap := math.Min(hi, cs.Max) - math.Max(lo, cs.Min)
+	frac := overlap / (cs.Max - cs.Min)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return rows * frac
+}
+
+// Run executes the plan against the concrete Select, re-binding the
+// statement's literals into the compiled shape. A Select whose shape
+// does not match the plan (different tree structure, columns or
+// operators) is recompiled on the spot — a mismatch can never produce
+// wrong answers, only a wasted compile.
+func (p *Plan) Run(db *sqldb.DB, sel *Select) ([]sqldb.RowID, error) {
+	tbl, err := resolveTable(db, sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	if !p.fits(sel) {
+		fresh, err := Compile(db, sel)
+		if err != nil {
+			return nil, err
+		}
+		p = fresh
+	}
+	var ids []sqldb.RowID
+	if sel.Where == nil {
+		ids = tbl.AllRowIDs()
+	} else {
+		// LIMIT is pushed into the scan only when no ORDER BY will
+		// reshuffle the stream afterwards.
+		limit := 0
+		if sel.OrderBy == "" {
+			limit = sel.Limit
+		}
+		ids, err = execNode(db, tbl, sel.Where, p.root, limit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sel.OrderBy != "" {
+		if tbl.ColumnIndex(sel.OrderBy) < 0 {
+			return nil, fmt.Errorf("sql: unknown ORDER BY column %q", sel.OrderBy)
+		}
+		ids = tbl.SortByColumn(ids, sel.OrderBy, sel.Desc)
+	}
+	if sel.Limit > 0 && len(ids) > sel.Limit {
+		ids = ids[:sel.Limit]
+	}
+	return ids, nil
+}
+
+// fits reports whether sel has the shape this plan was compiled for.
+func (p *Plan) fits(sel *Select) bool {
+	return p.table == sel.Table && p.orderBy == sel.OrderBy && nodeFits(sel.Where, p.root)
+}
+
+func nodeFits(e Expr, n *planNode) bool {
+	if e == nil || n == nil {
+		return e == nil && n == nil
+	}
+	switch x := e.(type) {
+	case *Compare:
+		if n.kind != nkLeaf || n.col != x.Column || n.op != x.Op {
+			return false
+		}
+		// Range leaves were validated for numeric literals at compile.
+		if n.leaf == lkRange && !x.Value.IsNumber() {
+			return false
+		}
+		return true
+	case *Between:
+		return n.kind == nkLeaf && n.leaf == lkBetween && n.col == x.Column
+	case *Like:
+		return n.kind == nkLeaf && n.leaf == lkLike && n.col == x.Column
+	case *In:
+		// Opaque nodes re-run full validation in the eager evaluator.
+		return n.kind == nkOpaque
+	case *And:
+		if n.kind != nkAnd || len(n.children) != len(x.Operands) {
+			return false
+		}
+		for i, op := range x.Operands {
+			if !nodeFits(op, n.children[i]) {
+				return false
+			}
+		}
+		return true
+	case *Or:
+		if n.kind != nkOr || len(n.children) != len(x.Operands) {
+			return false
+		}
+		for i, op := range x.Operands {
+			if !nodeFits(op, n.children[i]) {
+				return false
+			}
+		}
+		return true
+	case *Not:
+		return n.kind == nkNot && len(n.children) == 1 && nodeFits(x.Operand, n.children[0])
+	}
+	return false
+}
+
+// execNode evaluates one annotated node to a sorted id set. limit > 0
+// permits returning just the first limit ids of the ascending result
+// (callers pass it only when truncation commutes with the node).
+func execNode(db *sqldb.DB, tbl *sqldb.Table, e Expr, n *planNode, limit int) ([]sqldb.RowID, error) {
+	switch n.kind {
+	case nkLeaf:
+		return execLeaf(tbl, e, limit)
+	case nkOpaque:
+		return evalExpr(db, tbl, e)
+	case nkNot:
+		x := e.(*Not)
+		inner, err := execNode(db, tbl, x.Operand, n.children[0], 0)
+		if err != nil {
+			return nil, err
+		}
+		return trim(complement(tbl, inner), limit), nil
+	case nkOr:
+		x := e.(*Or)
+		var acc []sqldb.RowID
+		for i, op := range x.Operands {
+			ids, err := execNode(db, tbl, op, n.children[i], 0)
+			if err != nil {
+				return nil, err
+			}
+			acc = sqldb.UnionSorted(acc, ids)
+		}
+		return trim(acc, limit), nil
+	case nkAnd:
+		return execAnd(db, tbl, e.(*And), n, limit)
+	}
+	return nil, fmt.Errorf("sql: unsupported expression node %T", e)
+}
+
+// execAnd streams a conjunction: pull the driving leaf's iterator and
+// check every other conjunct per row (residual predicates under one
+// table lock, composite conjuncts as sorted-set membership). The
+// result set equals the eager intersection of all operand sets; the
+// stream just never materializes the non-driving postings.
+func execAnd(db *sqldb.DB, tbl *sqldb.Table, x *And, n *planNode, limit int) ([]sqldb.RowID, error) {
+	if len(x.Operands) == 0 || n.driving < 0 {
+		// Eager fallback: ordered intersection with short-circuit,
+		// exactly the legacy evaluator.
+		var acc []sqldb.RowID
+		for i, op := range x.Operands {
+			ids, err := execNode(db, tbl, op, n.children[i], 0)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				acc = ids
+			} else {
+				acc = sqldb.IntersectSorted(acc, ids)
+			}
+			if len(acc) == 0 {
+				return nil, nil
+			}
+		}
+		return trim(acc, limit), nil
+	}
+	var preds []sqldb.Pred
+	var sets [][]sqldb.RowID
+	for i, op := range x.Operands {
+		if i == n.driving {
+			continue
+		}
+		if n.children[i].predOK {
+			if pr, ok := residualPred(op); ok {
+				preds = append(preds, pr)
+				continue
+			}
+		}
+		ids, err := execNode(db, tbl, op, n.children[i], 0)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) == 0 {
+			return nil, nil
+		}
+		sets = append(sets, ids)
+	}
+	it, ascending := drivingIter(tbl, x.Operands[n.driving])
+	effLimit := limit
+	if !ascending {
+		effLimit = 0
+	}
+	out := tbl.FilterMatch(it, preds, sets, effLimit)
+	if len(out) == 0 {
+		return nil, nil
+	}
+	if !ascending {
+		slices.Sort(out)
+		out = trim(out, limit)
+	}
+	return out, nil
+}
+
+// drivingIter opens the scan for a drivable leaf and reports whether
+// it yields ascending RowID order (range scans yield value order and
+// need a re-sort after filtering).
+func drivingIter(tbl *sqldb.Table, e Expr) (sqldb.RowIter, bool) {
+	switch x := e.(type) {
+	case *Compare:
+		switch x.Op {
+		case OpEq:
+			return tbl.ScanEqual(x.Column, x.Value), true
+		case OpLt:
+			return tbl.ScanRange(x.Column, math.Inf(-1), x.Value.Num(), false, false), false
+		case OpLe:
+			return tbl.ScanRange(x.Column, math.Inf(-1), x.Value.Num(), false, true), false
+		case OpGt:
+			return tbl.ScanRange(x.Column, x.Value.Num(), math.Inf(1), false, false), false
+		case OpGe:
+			return tbl.ScanRange(x.Column, x.Value.Num(), math.Inf(1), true, false), false
+		}
+	case *Between:
+		return tbl.ScanRange(x.Column, x.Lo, x.Hi, true, true), false
+	case *Like:
+		return tbl.ScanSubstring(x.Column, x.Pattern), true
+	}
+	// Unreachable for leaves the planner marks drivable; scan everything.
+	return tbl.ScanAll(), true
+}
+
+// execLeaf evaluates one standalone leaf, bit-identical to the eager
+// evaluator's leaf cases.
+func execLeaf(tbl *sqldb.Table, e Expr, limit int) ([]sqldb.RowID, error) {
+	switch x := e.(type) {
+	case *Compare:
+		switch x.Op {
+		case OpEq:
+			return trim(tbl.LookupEqual(x.Column, x.Value), limit), nil
+		case OpNe:
+			return trim(complement(tbl, tbl.LookupEqual(x.Column, x.Value)), limit), nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if !x.Value.IsNumber() {
+				return nil, fmt.Errorf("sql: %s requires a numeric literal on column %q", x.Op, x.Column)
+			}
+			v := x.Value.Num()
+			switch x.Op {
+			case OpLt:
+				return trim(tbl.LookupRange(x.Column, math.Inf(-1), v, false, false), limit), nil
+			case OpLe:
+				return trim(tbl.LookupRange(x.Column, math.Inf(-1), v, false, true), limit), nil
+			case OpGt:
+				return trim(tbl.LookupRange(x.Column, v, math.Inf(1), false, false), limit), nil
+			default: // OpGe
+				return trim(tbl.LookupRange(x.Column, v, math.Inf(1), true, false), limit), nil
+			}
+		}
+		return nil, fmt.Errorf("sql: unsupported operator %q", x.Op)
+	case *Between:
+		return trim(tbl.LookupRange(x.Column, x.Lo, x.Hi, true, true), limit), nil
+	case *Like:
+		return trim(tbl.LookupSubstring(x.Column, x.Pattern), limit), nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression node %T", e)
+}
+
+// residualPred converts a WHERE leaf (possibly NOT-wrapped) into a
+// per-row residual predicate with exactly the leaf's set semantics.
+func residualPred(e Expr) (sqldb.Pred, bool) {
+	switch x := e.(type) {
+	case *Compare:
+		switch x.Op {
+		case OpEq:
+			return sqldb.NewEqualPred(x.Column, x.Value), true
+		case OpNe:
+			return sqldb.NewEqualPred(x.Column, x.Value).Negated(), true
+		case OpLt, OpLe, OpGt, OpGe:
+			if !x.Value.IsNumber() {
+				return sqldb.Pred{}, false
+			}
+			v := x.Value.Num()
+			switch x.Op {
+			case OpLt:
+				return sqldb.NewRangePred(x.Column, math.Inf(-1), v, false, false), true
+			case OpLe:
+				return sqldb.NewRangePred(x.Column, math.Inf(-1), v, false, true), true
+			case OpGt:
+				return sqldb.NewRangePred(x.Column, v, math.Inf(1), false, false), true
+			default:
+				return sqldb.NewRangePred(x.Column, v, math.Inf(1), true, false), true
+			}
+		}
+	case *Between:
+		return sqldb.NewRangePred(x.Column, x.Lo, x.Hi, true, true), true
+	case *Like:
+		return sqldb.NewSubstringPred(x.Column, x.Pattern), true
+	case *Not:
+		p, ok := residualPred(x.Operand)
+		if !ok {
+			return sqldb.Pred{}, false
+		}
+		return p.Negated(), true
+	}
+	return sqldb.Pred{}, false
+}
+
+func trim(ids []sqldb.RowID, limit int) []sqldb.RowID {
+	if limit > 0 && len(ids) > limit {
+		return ids[:limit]
+	}
+	return ids
+}
+
+// ForEachMatch streams every row id matching e against tbl to fn,
+// without materializing a result set. Ids arrive in no particular
+// order and MAY repeat across the branches of an OR; consumers
+// needing set semantics must deduplicate (the relaxation tally does,
+// with its per-condition mark array). Negations and composite nodes
+// fall back to materialization. It returns the same errors the
+// executor would (unknown column, non-numeric range literal).
+func ForEachMatch(db *sqldb.DB, tbl *sqldb.Table, e Expr, fn func(sqldb.RowID)) error {
+	drainInto := func(it sqldb.RowIter) {
+		for {
+			id, ok := it.Next()
+			if !ok {
+				return
+			}
+			fn(id)
+		}
+	}
+	switch x := e.(type) {
+	case *Compare:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		switch x.Op {
+		case OpEq:
+			drainInto(tbl.ScanEqual(x.Column, x.Value))
+			return nil
+		case OpNe:
+			for _, id := range complement(tbl, tbl.LookupEqual(x.Column, x.Value)) {
+				fn(id)
+			}
+			return nil
+		case OpLt, OpLe, OpGt, OpGe:
+			if !x.Value.IsNumber() {
+				return fmt.Errorf("sql: %s requires a numeric literal on column %q", x.Op, x.Column)
+			}
+			it, _ := drivingIter(tbl, x)
+			drainInto(it)
+			return nil
+		}
+		return fmt.Errorf("sql: unsupported operator %q", x.Op)
+	case *Between:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		drainInto(tbl.ScanRange(x.Column, x.Lo, x.Hi, true, true))
+		return nil
+	case *Like:
+		if tbl.ColumnIndex(x.Column) < 0 {
+			return fmt.Errorf("sql: unknown column %q", x.Column)
+		}
+		drainInto(tbl.ScanSubstring(x.Column, x.Pattern))
+		return nil
+	case *Or:
+		for _, op := range x.Operands {
+			if err := ForEachMatch(db, tbl, op, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Not:
+		inner, err := EvalExpr(db, tbl, x.Operand)
+		if err != nil {
+			return err
+		}
+		for _, id := range complement(tbl, inner) {
+			fn(id)
+		}
+		return nil
+	default:
+		ids, err := EvalExpr(db, tbl, e)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fn(id)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,193 @@
+package sqldb
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func drain(it RowIter) []RowID {
+	var out []RowID
+	for {
+		id, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, id)
+	}
+}
+
+func TestScanEqualMatchesLookup(t *testing.T) {
+	tbl := carsTable(t)
+	for _, v := range []Value{String("honda"), String("kia"), Number(2004)} {
+		for _, col := range []string{"make", "year"} {
+			want := tbl.LookupEqual(col, v)
+			got := drain(tbl.ScanEqual(col, v))
+			if len(got) != len(want) || (len(got) > 0 && !reflect.DeepEqual(got, want)) {
+				t.Errorf("ScanEqual(%s, %v) = %v, LookupEqual = %v", col, v, got, want)
+			}
+		}
+	}
+	if ids := drain(tbl.ScanEqual("ghost", String("x"))); ids != nil {
+		t.Errorf("ScanEqual on unknown column = %v", ids)
+	}
+}
+
+func TestScanRangeYieldsRangeRowsUnordered(t *testing.T) {
+	tbl := carsTable(t)
+	want := tbl.LookupRange("price", 8000, 12000, true, true) // RowID-sorted
+	got := drain(tbl.ScanRange("price", 8000, 12000, true, true))
+	set := map[RowID]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRange = %v, LookupRange = %v", got, want)
+	}
+	for _, id := range want {
+		if !set[id] {
+			t.Errorf("ScanRange missing row %d", id)
+		}
+	}
+	// Range scan on a column with no ordered index falls back to a
+	// numeric scan, like LookupRange does.
+	if ids := drain(tbl.ScanRange("make", 0, math.Inf(1), true, true)); len(ids) != 0 {
+		t.Errorf("ScanRange over string column = %v", ids)
+	}
+}
+
+func TestScanSubstringAndAll(t *testing.T) {
+	tbl := carsTable(t)
+	got := drain(tbl.ScanSubstring("model", "cord"))
+	if want := tbl.LookupSubstring("model", "cord"); !reflect.DeepEqual(got, want) {
+		t.Errorf("ScanSubstring = %v, LookupSubstring = %v", got, want)
+	}
+	if got := drain(tbl.ScanAll()); len(got) != tbl.Len() {
+		t.Errorf("ScanAll yielded %d rows, table has %d", len(got), tbl.Len())
+	}
+}
+
+func TestMatchRowMirrorsIndexSemantics(t *testing.T) {
+	tbl := carsTable(t)
+	cases := []struct {
+		name string
+		p    Pred
+		want []RowID
+	}{
+		{"equal", NewEqualPred("make", String("honda")), tbl.LookupEqual("make", String("honda"))},
+		{"equal-numeric-coercion", NewEqualPred("year", String("2004")), tbl.LookupEqual("year", String("2004"))},
+		{"range", NewRangePred("price", 9000, 12000, true, false), tbl.LookupRange("price", 9000, 12000, true, false)},
+		{"substring", NewSubstringPred("model", "CoRd"), tbl.LookupSubstring("model", "CoRd")},
+	}
+	for _, c := range cases {
+		var got []RowID
+		for _, id := range tbl.AllRowIDs() {
+			if tbl.MatchRow(id, c.p) {
+				got = append(got, id)
+			}
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: MatchRow selects %v, index path selects %v", c.name, got, c.want)
+		}
+		// The negated predicate selects exactly the live complement.
+		var neg []RowID
+		for _, id := range tbl.AllRowIDs() {
+			if tbl.MatchRow(id, c.p.Negated()) {
+				neg = append(neg, id)
+			}
+		}
+		if len(neg)+len(c.want) != tbl.Len() {
+			t.Errorf("%s: negated match + match = %d+%d rows, table has %d",
+				c.name, len(neg), len(c.want), tbl.Len())
+		}
+	}
+	if tbl.MatchRow(99, NewEqualPred("make", String("honda"))) {
+		t.Error("MatchRow on a missing row matched")
+	}
+	if tbl.MatchRow(0, NewEqualPred("ghost", String("x"))) {
+		t.Error("MatchRow on an unknown column matched")
+	}
+}
+
+func TestMatchRowDeadRowNeverMatches(t *testing.T) {
+	tbl := carsTable(t)
+	p := NewEqualPred("make", String("honda"))
+	if !tbl.MatchRow(0, p) {
+		t.Fatal("row 0 should match before delete")
+	}
+	if err := tbl.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.MatchRow(0, p) {
+		t.Error("deleted row matched")
+	}
+	if tbl.MatchRow(0, p.Negated()) {
+		t.Error("deleted row matched a negated predicate")
+	}
+}
+
+func TestFilterMatchStreamsResiduals(t *testing.T) {
+	tbl := carsTable(t)
+	// Drive make = honda, residual price <= 10000 → row 0 only.
+	got := tbl.FilterMatch(
+		tbl.ScanEqual("make", String("honda")),
+		[]Pred{NewRangePred("price", math.Inf(-1), 10000, false, true)},
+		nil, 0)
+	if !reflect.DeepEqual(got, []RowID{0}) {
+		t.Fatalf("FilterMatch = %v, want [0]", got)
+	}
+	// Membership set residual.
+	got = tbl.FilterMatch(tbl.ScanAll(), nil, [][]RowID{{1, 3}}, 0)
+	if !reflect.DeepEqual(got, []RowID{1, 3}) {
+		t.Fatalf("FilterMatch with set = %v, want [1 3]", got)
+	}
+	// Limit stops early.
+	got = tbl.FilterMatch(tbl.ScanAll(), nil, nil, 2)
+	if !reflect.DeepEqual(got, []RowID{0, 1}) {
+		t.Fatalf("FilterMatch with limit = %v, want [0 1]", got)
+	}
+}
+
+// TestStatsCachedPerVersion proves the satellite contract: Stats() is
+// cached keyed on the table version, repeated calls return the same
+// snapshot without rescanning, and both Insert and Delete invalidate.
+func TestStatsCachedPerVersion(t *testing.T) {
+	tbl := carsTable(t)
+	a := tbl.Stats()
+	if b := tbl.Stats(); a != b {
+		t.Fatal("Stats recomputed between mutations (pointer changed)")
+	}
+	if a.Rows != 4 {
+		t.Fatalf("Rows = %d, want 4", a.Rows)
+	}
+	if _, err := tbl.Insert(map[string]Value{"make": String("kia"), "price": Number(5000)}); err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Stats()
+	if c == a {
+		t.Fatal("Insert did not invalidate the stats cache")
+	}
+	if c.Rows != 5 {
+		t.Fatalf("Rows after insert = %d, want 5", c.Rows)
+	}
+	for _, col := range c.Columns {
+		if col.Name == "price" && col.Min != 5000 {
+			t.Fatalf("price min after insert = %g, want 5000", col.Min)
+		}
+	}
+	if err := tbl.Delete(4); err != nil {
+		t.Fatal(err)
+	}
+	d := tbl.Stats()
+	if d == c {
+		t.Fatal("Delete did not invalidate the stats cache")
+	}
+	if d.Rows != 4 {
+		t.Fatalf("Rows after delete = %d, want 4", d.Rows)
+	}
+	for _, col := range d.Columns {
+		if col.Name == "price" && col.Min != 8000 {
+			t.Fatalf("price min after delete = %g, want 8000", col.Min)
+		}
+	}
+}

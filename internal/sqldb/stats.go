@@ -28,9 +28,30 @@ type ColumnStats struct {
 	HasNumeric bool
 }
 
-// Stats scans the table once and computes its statistics over the
-// live (non-deleted) rows.
+// Stats returns the table's statistics over the live (non-deleted)
+// rows. The result is cached keyed on the table's version counter:
+// repeated calls between mutations return the same *TableStats
+// without rescanning, and the first call after an Insert or Delete
+// recomputes lazily. This makes Stats cheap enough for the query
+// planner's hot path. Callers must treat the returned value as
+// read-only — it is shared across callers until the next mutation.
 func (t *Table) Stats() *TableStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	// The version is read before the scan: a mutation landing mid-scan
+	// moves the table past the recorded version, so the next call
+	// recomputes rather than trusting a torn pass (the same contract
+	// the dedup cache uses).
+	v := t.version.Load()
+	if t.stats == nil || t.statsVer != v {
+		t.stats = t.computeStats()
+		t.statsVer = v
+	}
+	return t.stats
+}
+
+// computeStats scans the table once under the read lock.
+func (t *Table) computeStats() *TableStats {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	st := &TableStats{Table: t.name, Rows: t.live}

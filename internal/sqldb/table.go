@@ -51,6 +51,20 @@ type Table struct {
 	hash    map[string]*hashIndex    // Type I + Type II columns
 	ordered map[string]*orderedIndex // Type III columns
 	substr  map[string]*trigramIndex // all string columns
+
+	// statsMu guards the lazily cached Stats() result; statsVer is the
+	// table version the cache was computed at.
+	statsMu  sync.Mutex
+	stats    *TableStats
+	statsVer uint64
+
+	// recMu guards the lazily cached rendered record maps handed out by
+	// RecordMap; recVer is the table version the cache was built
+	// against. Entries are cloned on every hit, so callers may mutate
+	// what they receive.
+	recMu  sync.RWMutex
+	recs   map[RowID]map[string]Value
+	recVer uint64
 }
 
 // NewTable creates an empty table for the given schema.
@@ -467,7 +481,9 @@ func (t *Table) RestoreState(slots int, rows []Record) error {
 }
 
 // RecordMap renders record id as a column→Value map (for display and
-// for rankers that want named access). Deleted rows return nil.
+// for rankers that want named access). Deleted rows return nil. The
+// returned map is the caller's to mutate; read-heavy paths should
+// prefer RecordView, which amortizes the rendering.
 func (t *Table) RecordMap(id RowID) map[string]Value {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -479,5 +495,48 @@ func (t *Table) RecordMap(id RowID) map[string]Value {
 	for col, i := range t.colIdx {
 		out[col] = rec.Values[i]
 	}
+	return out
+}
+
+// RecordView is RecordMap without the defensive copy: the returned
+// map is shared — memoized per table version — and MUST be treated as
+// read-only by every caller. Answer assembly hands out the same top
+// rows over and over, so serving one rendered map per (row, version)
+// turns the per-answer makemap + per-key hashing into a cache probe.
+// Concurrent readers are safe; a table mutation bumps the version and
+// the next call rebuilds against the new rows.
+func (t *Table) RecordView(id RowID) map[string]Value {
+	ver := t.version.Load()
+	t.recMu.RLock()
+	var cached map[string]Value
+	ok := false
+	if t.recVer == ver {
+		cached, ok = t.recs[id]
+	}
+	t.recMu.RUnlock()
+	if ok {
+		return cached
+	}
+
+	out := t.RecordMap(id)
+	// Version bumps happen under the write lock RecordMap just
+	// released, so re-reading it here can only observe a mutation that
+	// happened after the rows were copied — in which case the entry is
+	// dropped rather than cached stale.
+	ver2 := t.version.Load()
+	if ver2 != ver {
+		return out
+	}
+	t.recMu.Lock()
+	if t.recVer != ver {
+		t.recs = make(map[RowID]map[string]Value)
+		t.recVer = ver
+	}
+	if prev, exists := t.recs[id]; exists {
+		out = prev // keep one canonical map per row
+	} else {
+		t.recs[id] = out
+	}
+	t.recMu.Unlock()
 	return out
 }

@@ -212,12 +212,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		MaxPendingQuorum int   `json:"max_pending_quorum"`
 		PendingQuorum    int   `json:"pending_quorum"`
 	}
+	type planCacheJSON struct {
+		Hits          int64 `json:"hits"`
+		Misses        int64 `json:"misses"`
+		Invalidations int64 `json:"invalidations"`
+		Size          int64 `json:"size"`
+	}
 	out := struct {
 		Domains     []domainJSON    `json:"domains"`
 		Persistence persistenceJSON `json:"persistence"`
 		Replication replicationJSON `json:"replication"`
 		Admission   admissionJSON   `json:"admission"`
+		PlanCache   planCacheJSON   `json:"plan_cache"`
 	}{Domains: []domainJSON{}}
+	out.PlanCache = planCacheJSON{
+		Hits:          metrics.Plan.Hits.Load(),
+		Misses:        metrics.Plan.Misses.Load(),
+		Invalidations: metrics.Plan.Invalidations.Load(),
+		Size:          metrics.Plan.Size.Load(),
+	}
 	for _, d := range st.Domains {
 		out.Domains = append(out.Domains, domainJSON{
 			Domain: d.Domain, Live: d.Live, Slots: d.Slots, Version: d.Version,
@@ -761,6 +774,11 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	p.Result = s.view(res)
 	if r.URL.Query().Get("explain") != "" && res.SQL != "" {
 		if plan, err := sql.ExplainString(s.sys.DB(), res.SQL); err == nil {
+			if s.sys.PlanCached(res.Domain, res.SQL) {
+				plan += "  plan cache: hit (compiled plan reused for this question shape)\n"
+			} else {
+				plan += "  plan cache: miss (plan compiled for this execution)\n"
+			}
 			p.Result.Plan = plan
 		}
 	}

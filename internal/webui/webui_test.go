@@ -234,6 +234,52 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatusPlanCache: the plan_cache block reports the process-wide
+// compile/hit tallies, and asking a question moves them.
+func TestStatusPlanCache(t *testing.T) {
+	readPlanCache := func() (hits, misses, size int64) {
+		rec := get(t, "/api/status")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var out struct {
+			PlanCache struct {
+				Hits          int64 `json:"hits"`
+				Misses        int64 `json:"misses"`
+				Invalidations int64 `json:"invalidations"`
+				Size          int64 `json:"size"`
+			} `json:"plan_cache"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.PlanCache.Hits, out.PlanCache.Misses, out.PlanCache.Size
+	}
+	hits0, misses0, _ := readPlanCache()
+	// Counters are process-wide, and earlier tests may already have
+	// cached this shape — assert on lookup deltas, not absolutes.
+	if rec := get(t, "/api/ask?domain=cars&q=blue+toyota+under+%247000"); rec.Code != http.StatusOK {
+		t.Fatalf("ask status = %d", rec.Code)
+	}
+	hits1, misses1, size1 := readPlanCache()
+	if hits1+misses1 <= hits0+misses0 {
+		t.Errorf("plan-cache lookups did not move: %d+%d -> %d+%d", hits0, misses0, hits1, misses1)
+	}
+	if size1 <= 0 {
+		t.Errorf("plan cache size = %d after a query", size1)
+	}
+	if rec := get(t, "/api/ask?domain=cars&q=blue+toyota+under+%247000"); rec.Code != http.StatusOK {
+		t.Fatalf("ask status = %d", rec.Code)
+	}
+	hits2, misses2, _ := readPlanCache()
+	if hits2 <= hits1 {
+		t.Errorf("repeat ask did not hit the plan cache: hits %d -> %d", hits1, hits2)
+	}
+	if misses2 != misses1 {
+		t.Errorf("repeat ask recompiled: misses %d -> %d", misses1, misses2)
+	}
+}
+
 func TestSuggest(t *testing.T) {
 	rec := get(t, "/api/suggest?domain=cars&prefix=ho")
 	if rec.Code != http.StatusOK {
@@ -280,10 +326,18 @@ func TestExplainPanel(t *testing.T) {
 	for _, want := range []string{
 		"primary hash index lookup",
 		"ordered index range scan",
+		"streaming plan:",
+		"driving scan:",
+		"plan cache:",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("explain panel missing %q", want)
 		}
+	}
+	// The question just executed through the cache, so the panel
+	// reports its shape as cached.
+	if !strings.Contains(body, "plan cache: hit") {
+		t.Error("explain panel did not report a plan-cache hit for the shape it just ran")
 	}
 	// Without explain=1 the plan is absent.
 	rec = get(t, "/ask?domain=cars&q=red+honda+under+%249000")
