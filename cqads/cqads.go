@@ -135,6 +135,19 @@
 // compose with replication: a durable shard ships its (hosted-only)
 // WAL to followers built with the same Options.Domains. The sharding
 // model is documented in the repository root package.
+//
+// # Static guarantees
+//
+// The contracts this package advertises — bit-identical answers run to
+// run, errors.Is-matchable typed errors, WAL order equal to mutation
+// order — are enforced mechanically by the repository's own analyzer
+// suite (internal/analysis; `go run ./cmd/cqadslint ./...`, or
+// `go vet -vettool=$(which cqadslint) ./...`): determinism (no map-
+// iteration-order leaks, no wall clock or randomness) in the answer
+// path, annotated lock discipline on the shared structures, typed
+// error contracts at both API edges, and crash-safe snapshot/WAL
+// ordering in the persistence layer. See the root package doc's
+// "Static guarantees" section for the analyzer-by-analyzer detail.
 package cqads
 
 import (

@@ -273,4 +273,46 @@
 //     shards, reads across replicas — compose per shard. Shard
 //     rebalancing (moving a domain between shards) and per-shard
 //     admission control are open items (see ROADMAP).
+//
+// # Static guarantees
+//
+// The invariants above are not just documented — the repository ships
+// its own static-analysis suite (internal/analysis, driven by
+// cmd/cqadslint) that mechanically enforces them on every build:
+//
+//   - detorder: no order-sensitive work (floating-point accumulation,
+//     unsorted result building, direct output) inside range-over-map
+//     in the declared-deterministic packages (core, rank, classify,
+//     sql, dedup) — the bit-identical answer contract cannot be
+//     broken by Go's randomized map iteration.
+//
+//   - wallclock: no time.Now/Since/Until or math/rand in those same
+//     packages; answers may not depend on when they are computed.
+//     Lease, heartbeat and jitter code in internal/failover is exempt
+//     by design.
+//
+//   - locksafe: struct fields annotated `cqads:guarded-by <mu>`
+//     (sqldb.Table, persist.Store, failover.Agent, core's persister)
+//     may only be touched under the named mutex or from a method
+//     annotated `cqads:requires-lock <mu>`; Lock/Unlock pairing and
+//     RLock-vs-write misuse are checked in the same pass.
+//
+//   - typederr: the webui boundary must route every error through
+//     jsonError's errors.Is status mapping (no http.Error, no
+//     boundary-minted untyped errors), and exported core functions
+//     may not respell an already-typed condition (ErrNotHosted,
+//     ErrOverloaded, …) as a bare fmt.Errorf.
+//
+//   - fsyncorder: in core ingest paths a persist.Store Append must be
+//     dominated by the ingest-lock acquisition (log order equals
+//     mutation order), and in internal/persist the
+//     snapshot-before-truncate and write/truncate-then-fsync
+//     checkpoint orderings may not be reordered.
+//
+// Deliberate exceptions carry an inline
+// `//lint:cqads-ignore <analyzer> <reason>` directive; the reason is
+// mandatory, unknown analyzer names are errors, and a directive that
+// no longer suppresses anything fails the build, so suppressions
+// cannot rot. Run `make lint` or `go run ./cmd/cqadslint ./...`, or
+// hook it into go vet with `go vet -vettool=$(which cqadslint) ./...`.
 package repro

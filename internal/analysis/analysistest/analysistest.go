@@ -1,0 +1,276 @@
+// Package analysistest drives an analyzer over a fixture package and
+// checks its diagnostics against `// want "regexp"` expectations — a
+// standard-library-only equivalent of
+// golang.org/x/tools/go/analysis/analysistest, close enough that the
+// fixture corpora under each analyzer's testdata/src would port to the
+// upstream harness verbatim.
+//
+// A fixture is one directory of Go files forming a single package.
+// Imports must resolve from the standard library: the harness compiles
+// export data for them on demand with `go list -export`. A line that
+// should be flagged carries a trailing expectation:
+//
+//	for k := range m { // want `non-deterministic map iteration`
+//
+// Each `want` may carry several quoted regexps (backquoted or
+// double-quoted); every regexp must match a distinct diagnostic
+// reported on that line, and every diagnostic must be matched by some
+// expectation, or the test fails with a position-sorted report.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the fixture package rooted at dir (conventionally
+// "testdata/src/<name>"), runs the analyzer, and asserts its
+// diagnostics against the fixture's want comments. The loaded package
+// is returned for extra assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) *analysis.Package {
+	t.Helper()
+	return run(t, dir, []*analysis.Analyzer{a}, false)
+}
+
+// RunWithDirectives is Run plus the //lint:cqads-ignore machinery: the
+// analyzers' findings are filtered through the fixture's directives,
+// and directive-validation findings (unknown analyzer, missing reason,
+// unused directive) participate in want-matching like any other
+// diagnostic, attributed to the "cqadslint" pseudo-analyzer.
+func RunWithDirectives(t *testing.T, dir string, analyzers ...*analysis.Analyzer) *analysis.Package {
+	t.Helper()
+	return run(t, dir, analyzers, true)
+}
+
+func run(t *testing.T, dir string, analyzers []*analysis.Analyzer, directives bool) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := loadFixture(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var findings []analysis.Finding
+	if directives {
+		findings, err = analysis.RunPackage(fset, pkg, analyzers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, analysis.Finding{
+					Analyzer: a.Name,
+					Position: fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s: %v", a.Name, err)
+			}
+		}
+	}
+
+	checkExpectations(t, fset, pkg, findings)
+	return pkg
+}
+
+// expectation is one `want` regexp awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					if strings.HasPrefix(text, "/* want") {
+						t.Errorf("%s: want comments must be line comments", fset.Position(c.Slash))
+					}
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				args := text[idx+len("// want "):]
+				ms := wantRE.FindAllStringSubmatch(args, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, text)
+					continue
+				}
+				for _, m := range ms {
+					raw := m[1]
+					if strings.HasPrefix(m[0], `"`) {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					expects = append(expects, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		return a.Position.Line < b.Position.Line
+	})
+	for _, f := range findings {
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != f.Position.Filename || e.line != f.Position.Line {
+				continue
+			}
+			if e.re.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", f.Position, f.Message, f.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// loadFixture parses and type-checks the single package in dir.
+func loadFixture(fset *token.FileSet, dir string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{Dir: dir, Sources: make(map[string][]byte)}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fn := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Sources[fn] = src
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysistest: no Go files in %s", dir)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Path = pkg.Name
+	exports, err := stdExports(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := analysis.NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports.Load(path)
+		if !ok {
+			return "", false
+		}
+		return f.(string), true
+	})
+	pkg.Info = analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		// Fixtures must type-check: a broken fixture silently weakens
+		// every assertion built on it.
+		return nil, fmt.Errorf("analysistest: type-checking %s: %w", dir, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// stdExports compiles (once per process) and caches export data for
+// the standard-library packages fixtures import.
+var (
+	exportCache sync.Map // import path -> export file
+	exportMu    sync.Mutex
+)
+
+func stdExports(paths []string) (*sync.Map, error) {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := exportCache.Load(p); !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		exportMu.Lock()
+		defer exportMu.Unlock()
+		args := append([]string{
+			"list", "-export", "-deps",
+			"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}",
+		}, missing...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			msg := ""
+			if ee, ok := err.(*exec.ExitError); ok {
+				msg = string(ee.Stderr)
+			}
+			return nil, fmt.Errorf("analysistest: go list -export %v: %v\n%s", missing, err, msg)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if path, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok {
+				exportCache.Store(path, file)
+			}
+		}
+	}
+	return &exportCache, nil
+}

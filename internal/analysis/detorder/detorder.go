@@ -1,0 +1,336 @@
+// Package detorder flags order-sensitive work inside `for … range`
+// over a map in the system's declared-deterministic packages — the
+// exact bug class behind the FAQFinder figure drift fixed in PR 1 and
+// the JBBSM Classify drift fixed again in PR 3: Go randomizes map
+// iteration order, so accumulating floating-point sums, building
+// result slices, or writing output directly from a map range produces
+// run-to-run differences that break the system's bit-identical answer
+// contract.
+//
+// Three body shapes are findings:
+//
+//   - a floating-point accumulation (`sum += v`, `sum = sum * v`, …)
+//     into a variable declared outside the loop — float addition is
+//     not associative, so visit order changes the bits;
+//   - an append to a slice declared outside the loop that is never
+//     passed to sort/slices ordering in the enclosing function
+//     afterwards — the canonical fix (collect keys, sort, iterate
+//     sorted) is recognized and NOT flagged;
+//   - output written inside the body (the fmt print family, or
+//     Write/WriteString method calls).
+//
+// Integer/string accumulation is exact and commutative, so it is not
+// flagged; neither is accumulation into an element indexed by the
+// range's own key (`m[k] += v`) — each iteration touches a distinct
+// element, so visit order cannot change any element's result.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DeterministicPkgs lists the import paths (exact, or prefix of a
+// subpackage) whose answers must be bit-identical run to run. Tests
+// append their fixture path.
+var DeterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/rank",
+	"repro/internal/classify",
+	"repro/internal/sql",
+	"repro/internal/dedup",
+}
+
+// Analyzer is the detorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "flags order-sensitive float/slice/output work inside range-over-map in deterministic packages",
+	Run:  run,
+}
+
+func applies(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	// visit walks body knowing its innermost enclosing function — the
+	// scope the sorted-later exemption searches — recursing into
+	// nested function literals with the tighter scope.
+	var visit func(body ast.Node, enclosing ast.Node)
+	visit = func(body ast.Node, enclosing ast.Node) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				visit(n.Body, n)
+				return false
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkMapRange(pass, n, enclosing)
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd.Body, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, enclosing ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, enclosing, n)
+		case *ast.CallExpr:
+			if msg := outputCall(pass, n); msg != "" {
+				pass.Reportf(n.Pos(), "map iteration order is random: %s inside range over map; iterate in sorted key order", msg)
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, enclosing ast.Node, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(pass, lhs) && declaredOutside(pass, lhs, rng) && !keyedByRangeKey(pass, lhs, rng) {
+				pass.Reportf(as.Pos(),
+					"map iteration order is random: floating-point accumulation into %s inside range over map; sum in sorted key order",
+					render(lhs))
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			// x = append(x, ...) building a result outside the loop.
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				if declaredOutside(pass, lhs, rng) && !sortedLater(pass, lhs, rng, enclosing) {
+					pass.Reportf(as.Pos(),
+						"map iteration order is random: append to %s inside range over map with no later sort; sort the result (or iterate sorted keys)",
+						render(lhs))
+				}
+				continue
+			}
+			// x = x + v float re-accumulation spelled without +=.
+			if isFloat(pass, lhs) && declaredOutside(pass, lhs, rng) && !keyedByRangeKey(pass, lhs, rng) && selfReference(lhs, as.Rhs[i]) {
+				pass.Reportf(as.Pos(),
+					"map iteration order is random: floating-point accumulation into %s inside range over map; sum in sorted key order",
+					render(lhs))
+			}
+		}
+	}
+}
+
+// outputCall reports a human description when call writes output.
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			if strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return "fmt." + sel.Sel.Name + " output"
+			}
+			return ""
+		}
+	}
+	if sel.Sel.Name == "Write" || sel.Sel.Name == "WriteString" {
+		// A method named Write/WriteString on anything — the io.Writer
+		// convention is strong enough that a name match is the signal.
+		if _, ok := pass.TypesInfo.Selections[sel]; ok {
+			return sel.Sel.Name + " output"
+		}
+	}
+	return ""
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rootObject resolves the variable an lvalue ultimately names: the
+// identifier itself, or the base of a selector/index chain.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether the lvalue's root variable outlives
+// one loop iteration — i.e. was not declared inside the range body.
+// A per-iteration local resets every pass, so order cannot leak out
+// through it.
+func declaredOutside(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	obj := rootObject(pass, e)
+	if obj == nil {
+		// Fields and unresolvable bases are conservatively treated as
+		// outliving the loop.
+		return true
+	}
+	return obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()
+}
+
+// keyedByRangeKey reports whether the lvalue is an index expression
+// whose index involves the range's own key variable: `m[k] += v`
+// inside `for k := range …` touches a distinct element every
+// iteration, so visit order cannot change any element's final value.
+func keyedByRangeKey(pass *analysis.Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.TypesInfo.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		break
+	}
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ix.Index, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == keyObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// selfReference reports whether rhs mentions the lhs expression — the
+// `x = x + v` accumulation shape.
+func selfReference(lhs, rhs ast.Expr) bool {
+	target := render(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && render(e) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// sortedLater reports whether, after the range statement, the
+// enclosing function passes the appended-to variable into a sort/
+// slices ordering call — the canonical collect-then-sort fix.
+func sortedLater(pass *analysis.Pass, lhs ast.Expr, rng *ast.RangeStmt, enclosing ast.Node) bool {
+	if enclosing == nil {
+		return false
+	}
+	obj := rootObject(pass, lhs)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		// Any argument mentioning the object counts, including through
+		// a conversion like sort.Sort(byName(out)).
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					sorted = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}
+
+func render(e ast.Expr) string {
+	return types.ExprString(e)
+}

@@ -1,0 +1,21 @@
+package detorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detorder"
+)
+
+func TestDetOrder(t *testing.T) {
+	defer func(old []string) { detorder.DeterministicPkgs = old }(detorder.DeterministicPkgs)
+	detorder.DeterministicPkgs = append(detorder.DeterministicPkgs, "a")
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), detorder.Analyzer)
+}
+
+// TestNonDeterministicPackageIsExempt proves the scoping: identical
+// shapes outside the declared-deterministic set produce no findings.
+func TestNonDeterministicPackageIsExempt(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), detorder.Analyzer)
+}

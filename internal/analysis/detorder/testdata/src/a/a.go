@@ -1,0 +1,124 @@
+// Fixture for detorder: order-sensitive work inside range-over-map.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Float accumulation straight out of a map range — the JBBSM bug.
+func sumScores(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // the body, not the range, is reported
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// Spelled without +=, still the same accumulation.
+func sumScoresLong(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want `floating-point accumulation into total`
+	}
+	return total
+}
+
+// Integer counting is exact and commutative: not flagged.
+func countRows(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// A per-iteration local resets each pass: not flagged.
+func perIteration(m map[string][]float64) []float64 {
+	var out []float64
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		_ = s
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Result slice built in map order and never sorted.
+func collectValues(m map[string]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over map`
+	}
+	return out
+}
+
+// The canonical fix — collect keys, sort, iterate sorted: not flagged.
+func collectSorted(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Output written straight from a map range.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println output inside range over map`
+	}
+}
+
+// Writer-method output from a map range.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString output inside range over map`
+	}
+	return b.String()
+}
+
+// Accumulation into an element indexed by the range's own key: each
+// iteration touches a distinct element, so order cannot matter.
+func perKeyAccum(docs map[string]float64, sums map[string]float64) {
+	for k, v := range docs {
+		sums[k] += v
+		sums[k] = sums[k] + v
+	}
+}
+
+// Indexing by something other than the key is order-sensitive again.
+func wrongKeyAccum(m map[string]float64, sums []float64) {
+	for _, v := range m {
+		sums[0] += v // want `floating-point accumulation into sums\[0\]`
+	}
+}
+
+// Range over a slice: order is defined, nothing to flag.
+func sumSlice(vs []float64) float64 {
+	var total float64
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// Float accumulation hidden in a closure still outlives an iteration.
+func closureAccum(m map[string]float64) float64 {
+	var total float64
+	add := func(v float64) { total += v }
+	for _, v := range m {
+		add(v)
+		total += v // want `floating-point accumulation into total`
+	}
+	return total
+}

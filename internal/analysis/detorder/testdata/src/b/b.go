@@ -1,0 +1,12 @@
+// Fixture for detorder scoping: this package is NOT in the
+// deterministic set, so the same shapes that fire in fixture "a" must
+// stay silent here.
+package b
+
+func sumScores(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

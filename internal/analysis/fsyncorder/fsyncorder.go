@@ -1,0 +1,313 @@
+// Package fsyncorder checks the durability ordering contracts between
+// core ingestion and the persist store.
+//
+// Rule 1 — WAL appends ride the ingest lock. In the core package,
+// log order must equal mutation order: every (*persist.Store).Append*
+// call must be dominated by acquisition of the owning struct's ingest
+// mutex (`p.mu.Lock()` before `p.store.Append(...)` in the same
+// function), or sit in a method annotated `cqads:requires-lock mu`.
+// An unlocked append can interleave with a concurrent mutation and
+// recovery then replays operations in an order that never happened.
+//
+// Rule 2 — checkpoint ordering in the persist package:
+//
+//   - the new snapshot must be durably published (writeSnapshotFile)
+//     BEFORE the WAL is truncated — the reverse order has a crash
+//     window that loses every acknowledged write since the previous
+//     checkpoint;
+//   - a truncated WAL file must be fsynced in the same function;
+//   - a file written in a persist function must be fsynced in that
+//     function — an unsynced write is not durable when Append returns.
+//
+// Like the rest of the suite the checks are intra-procedural and
+// position-based; deliberate exceptions take a
+// //lint:cqads-ignore fsyncorder directive with a reason.
+package fsyncorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CorePkgs are the ingest-path packages rule 1 covers. Tests append
+// their fixture path.
+var CorePkgs = []string{"repro/internal/core"}
+
+// PersistPkgs hold the durable store whose Append*/checkpoint
+// machinery both rules key on. Tests append their fixture path.
+var PersistPkgs = []string{"repro/internal/persist"}
+
+// StoreTypeName is the durable store's type name within PersistPkgs.
+var StoreTypeName = "Store"
+
+// IngestMutex is the field name of the lock that makes mutation+log
+// atomic in core.
+var IngestMutex = "mu"
+
+// SnapshotWriters are the persist functions that durably publish a
+// snapshot; WAL truncation must follow one of them.
+var SnapshotWriters = []string{"writeSnapshotFile"}
+
+// Line-anchored like locksafe's: prose mentioning the marker does not
+// bind.
+var requiresRE = regexp.MustCompile(`(?m)^\s*cqads:requires-lock\s+([A-Za-z_]\w*)\s*(?:\(.*\)\s*|//.*)?$`)
+
+// Analyzer is the fsyncorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "fsyncorder",
+	Doc:  "WAL appends must hold the ingest lock; snapshot/truncate/fsync ordering must be crash-safe",
+	Run:  run,
+}
+
+func has(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	if has(pass.Pkg.Path(), CorePkgs) {
+		checkIngestLock(pass)
+	}
+	if has(pass.Pkg.Path(), PersistPkgs) {
+		checkCheckpointOrdering(pass)
+	}
+	return nil
+}
+
+// --- Rule 1: Append under the ingest lock ---
+
+func checkIngestLock(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locks := lockCalls(pass, fd.Body)
+			annotated := fd.Doc != nil && requiresRE.MatchString(fd.Doc.Text())
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !strings.HasPrefix(sel.Sel.Name, "Append") {
+					return true
+				}
+				if !isStoreType(pass, pass.TypesInfo.TypeOf(sel.X)) {
+					return true
+				}
+				if annotated {
+					return true
+				}
+				base := types.ExprString(sel.X)
+				owner := ""
+				if i := strings.LastIndex(base, "."); i >= 0 {
+					owner = base[:i]
+				}
+				if owner == "" {
+					// A bare store variable: exempt only when it is a
+					// function-local (fresh, unpublished) store.
+					if locallyDeclared(pass, sel.X, fd) {
+						return true
+					}
+				} else if lockedBefore(locks, owner+"."+IngestMutex, call.Pos()) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s outside the ingest lock: WAL order must equal mutation order — lock %s.%s first (or annotate the method cqads:requires-lock %s)",
+					StoreTypeName, sel.Sel.Name, nonEmpty(owner, "the owner"), IngestMutex, IngestMutex)
+				return true
+			})
+		}
+	}
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+func isStoreType(pass *analysis.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != StoreTypeName || obj.Pkg() == nil {
+		return false
+	}
+	return has(obj.Pkg().Path(), PersistPkgs)
+}
+
+type lockCall struct {
+	base string
+	pos  token.Pos
+}
+
+// lockCalls collects every non-deferred sync Lock() acquisition in
+// body, by rendered receiver chain ("p.mu").
+func lockCalls(pass *analysis.Pass, body *ast.BlockStmt) []lockCall {
+	var out []lockCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Lock" {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		out = append(out, lockCall{base: types.ExprString(sel.X), pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+func lockedBefore(locks []lockCall, chain string, pos token.Pos) bool {
+	for _, l := range locks {
+		if l.base == chain && l.pos < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func locallyDeclared(pass *analysis.Pass, base ast.Expr, fd *ast.FuncDecl) bool {
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	return obj != nil && obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}
+
+// --- Rule 2: snapshot/truncate/fsync ordering ---
+
+// fileCall is one (*os.File) method call, by rendered receiver.
+type fileCall struct {
+	base string
+	name string
+	pos  token.Pos
+}
+
+func checkCheckpointOrdering(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var fileOps []fileCall
+			var snapWrites []token.Pos
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := call.Fun.(type) {
+				case *ast.Ident:
+					for _, w := range SnapshotWriters {
+						if fun.Name == w {
+							snapWrites = append(snapWrites, call.Pos())
+						}
+					}
+				case *ast.SelectorExpr:
+					if isOSFileMethod(pass, fun) {
+						fileOps = append(fileOps, fileCall{
+							base: types.ExprString(fun.X),
+							name: fun.Sel.Name,
+							pos:  call.Pos(),
+						})
+					}
+				}
+				return true
+			})
+			for _, op := range fileOps {
+				switch op.name {
+				case "Truncate":
+					// In a function that also publishes a snapshot, the
+					// snapshot write must precede the truncation.
+					for _, sw := range snapWrites {
+						if op.pos < sw {
+							pass.Reportf(op.pos,
+								"WAL truncated before the snapshot covering it is published; a crash in between loses acknowledged writes — write the snapshot first")
+							break
+						}
+					}
+					if !syncedAfter(fileOps, op) {
+						pass.Reportf(op.pos,
+							"truncated file %s is never fsynced in this function; call %s.Sync() so the truncation is durable",
+							op.base, op.base)
+					}
+				case "Write", "WriteString", "WriteAt":
+					if !syncedAfter(fileOps, op) {
+						pass.Reportf(op.pos,
+							"file %s is written but never fsynced in this function; durability claims require %s.Sync() before returning",
+							op.base, op.base)
+					}
+				}
+			}
+		}
+	}
+}
+
+func isOSFileMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "File"
+}
+
+func syncedAfter(ops []fileCall, op fileCall) bool {
+	for _, o := range ops {
+		if o.base == op.base && o.name == "Sync" && o.pos > op.pos {
+			return true
+		}
+	}
+	return false
+}

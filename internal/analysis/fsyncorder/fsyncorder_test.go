@@ -1,0 +1,18 @@
+package fsyncorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/fsyncorder"
+)
+
+func TestFsyncOrder(t *testing.T) {
+	defer func(c, p []string) {
+		fsyncorder.CorePkgs, fsyncorder.PersistPkgs = c, p
+	}(fsyncorder.CorePkgs, fsyncorder.PersistPkgs)
+	fsyncorder.CorePkgs = append(fsyncorder.CorePkgs, "a")
+	fsyncorder.PersistPkgs = append(fsyncorder.PersistPkgs, "a")
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), fsyncorder.Analyzer)
+}

@@ -1,0 +1,122 @@
+// Fixture for fsyncorder: rule 1 (Append under the ingest lock) and
+// rule 2 (snapshot/truncate/fsync ordering).
+package a
+
+import (
+	"os"
+	"sync"
+)
+
+// Store stands in for persist.Store; the test routes this fixture
+// path into PersistPkgs so the type matches.
+type Store struct {
+	mu  sync.Mutex
+	wal *os.File
+}
+
+func (s *Store) Append(ops []string) error        { return nil }
+func (s *Store) AppendApplied(ops []string) error { return nil }
+
+type persister struct {
+	mu    sync.Mutex
+	store *Store
+}
+
+// The blessed ingest idiom: mutation and append are one critical
+// section under the owner's mu.
+func (p *persister) insertDurable(op string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store.Append([]string{op})
+}
+
+// Append without the ingest lock: WAL order can diverge from
+// mutation order.
+func (p *persister) insertRacy(op string) error {
+	return p.store.Append([]string{op}) // want `outside the ingest lock`
+}
+
+// Locking something else is not the ingest lock.
+func (p *persister) insertWrongLock(op string) error {
+	p.store.mu.Lock()
+	defer p.store.mu.Unlock()
+	return p.store.Append([]string{op}) // want `outside the ingest lock`
+}
+
+// appendLocked is a caller-holds-the-lock helper.
+//
+// cqads:requires-lock mu
+func (p *persister) appendLocked(op string) error {
+	return p.store.Append([]string{op})
+}
+
+// A freshly opened local store is unpublished; no lock needed yet.
+func replay(ops []string) error {
+	st := &Store{}
+	for _, op := range ops {
+		if err := st.Append([]string{op}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSnapshotFile is the snapshot publisher rule 2 keys on: its own
+// write is synced before return.
+func writeSnapshotFile(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "snap-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Correct checkpoint: publish the snapshot, then truncate and sync
+// the WAL.
+func (s *Store) checkpoint(data []byte) error {
+	if err := writeSnapshotFile("dir", data); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// Truncating first opens a crash window with neither WAL nor
+// snapshot.
+func (s *Store) checkpointReordered(data []byte) error {
+	if err := s.wal.Truncate(0); err != nil { // want `WAL truncated before the snapshot`
+		return err
+	}
+	if err := writeSnapshotFile("dir", data); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}
+
+// A truncation that is never fsynced may resurrect trimmed frames
+// after a crash.
+func (s *Store) truncateNoSync() error {
+	return s.wal.Truncate(0) // want `never fsynced`
+}
+
+// A frame written but not synced is not durable when Append returns.
+func (s *Store) appendFrame(frame []byte) error {
+	_, err := s.wal.Write(frame) // want `never fsynced`
+	return err
+}
+
+// Write followed by Sync on the same file is the commit path.
+func (s *Store) commit(frame []byte) error {
+	if _, err := s.wal.Write(frame); err != nil {
+		return err
+	}
+	return s.wal.Sync()
+}

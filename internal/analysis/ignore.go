@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A finding the team has judged acceptable
+// is silenced in place:
+//
+//	//lint:cqads-ignore <analyzer> <reason>
+//
+// An inline directive (trailing code on the same line) suppresses that
+// line's findings from the named analyzer; a standalone directive (the
+// comment is the whole line) suppresses the line directly below it.
+// File scope exists for whole-file exemptions, conventionally placed
+// right under the package clause:
+//
+//	//lint:cqads-ignore-file <analyzer> <reason>
+//
+// Directives are validated strictly, and a directive problem is itself
+// a finding (attributed to the pseudo-analyzer "cqadslint"):
+//
+//   - the analyzer name must be one of the suite's analyzers,
+//   - the reason must be non-empty,
+//   - a line-scope directive must actually suppress something — a
+//     stale or misplaced directive (wrong line) is an error, so
+//     suppressions cannot rot silently when the code they excused
+//     moves or is fixed.
+const (
+	ignorePrefix     = "//lint:cqads-ignore "
+	ignoreFilePrefix = "//lint:cqads-ignore-file "
+	// DirectiveAnalyzer attributes directive-validation findings.
+	DirectiveAnalyzer = "cqadslint"
+)
+
+// A Directive is one parsed suppression.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	// File is the directive's filename; Line the line it suppresses
+	// (0 for file scope, which suppresses the whole file).
+	File string
+	Line int
+	// Pos locates the directive itself, for unused-directive
+	// reporting.
+	Pos  token.Position
+	used bool
+}
+
+// Directives is the suppression set for one package.
+type Directives struct {
+	ds []*Directive
+}
+
+// CollectDirectives parses every //lint:cqads-ignore[-file] comment in
+// the package. Malformed directives (unknown analyzer, missing reason)
+// are returned as findings. known maps valid analyzer names.
+func CollectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) (*Directives, []Finding) {
+	var set Directives
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, finding := parseDirective(fset, pkg, c, known)
+				if finding != nil {
+					bad = append(bad, *finding)
+				}
+				if d != nil {
+					set.ds = append(set.ds, d)
+				}
+			}
+		}
+	}
+	return &set, bad
+}
+
+func parseDirective(fset *token.FileSet, pkg *Package, c *ast.Comment, known map[string]bool) (*Directive, *Finding) {
+	text := c.Text
+	pos := fset.Position(c.Slash)
+	fileScope := false
+	var rest string
+	switch {
+	case strings.HasPrefix(text, ignoreFilePrefix):
+		fileScope = true
+		rest = strings.TrimPrefix(text, ignoreFilePrefix)
+	case strings.HasPrefix(text, ignorePrefix):
+		rest = strings.TrimPrefix(text, ignorePrefix)
+	case text == strings.TrimSpace(ignorePrefix) || text == strings.TrimSpace(ignoreFilePrefix):
+		// Bare directive: no analyzer, no reason.
+		return nil, &Finding{
+			Analyzer: DirectiveAnalyzer,
+			Position: pos,
+			Message:  "malformed cqads-ignore directive: want //lint:cqads-ignore <analyzer> <reason>",
+		}
+	default:
+		return nil, nil // not a directive
+	}
+	name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	reason = strings.TrimSpace(reason)
+	if !known[name] {
+		return nil, &Finding{
+			Analyzer: DirectiveAnalyzer,
+			Position: pos,
+			Message:  fmt.Sprintf("cqads-ignore names unknown analyzer %q", name),
+		}
+	}
+	if reason == "" {
+		return nil, &Finding{
+			Analyzer: DirectiveAnalyzer,
+			Position: pos,
+			Message:  fmt.Sprintf("cqads-ignore %s is missing its reason", name),
+		}
+	}
+	d := &Directive{Analyzer: name, Reason: reason, File: pos.Filename, Pos: pos}
+	if !fileScope {
+		d.Line = pos.Line
+		if standalone(pkg.Sources[pos.Filename], pos) {
+			// The comment is the whole line: it guards the line below.
+			d.Line = pos.Line + 1
+		}
+	}
+	return d, nil
+}
+
+// standalone reports whether the comment at pos is the first
+// non-whitespace content on its source line.
+func standalone(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	// pos.Column is 1-based; everything before the comment on its line
+	// must be blank.
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	for _, b := range src[start:pos.Offset] {
+		if b != ' ' && b != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// Filter drops the findings the directive set suppresses, marking the
+// directives that fired. Directive-validation findings (analyzer
+// "cqadslint") are never suppressible.
+func (d *Directives) Filter(fs []Finding) []Finding {
+	if d == nil || len(d.ds) == 0 {
+		return fs
+	}
+	kept := fs[:0]
+	for _, f := range fs {
+		if f.Analyzer == DirectiveAnalyzer || !d.suppress(f) {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+func (d *Directives) suppress(f Finding) bool {
+	hit := false
+	for _, dir := range d.ds {
+		if dir.Analyzer != f.Analyzer || dir.File != f.Position.Filename {
+			continue
+		}
+		if dir.Line == 0 || dir.Line == f.Position.Line {
+			dir.used = true
+			hit = true
+			// Keep scanning: several directives may target this line
+			// and all of them deserve their "used" credit.
+		}
+	}
+	return hit
+}
+
+// Unused reports every line-scope directive that suppressed nothing as
+// a finding — a directive on the wrong line is indistinguishable from
+// a stale one, and both are errors. File-scope directives are exempt:
+// they assert a policy ("this file may use wall-clock time"), not the
+// presence of a current finding.
+func (d *Directives) Unused() []Finding {
+	var fs []Finding
+	for _, dir := range d.ds {
+		if dir.used || dir.Line == 0 {
+			continue
+		}
+		fs = append(fs, Finding{
+			Analyzer: DirectiveAnalyzer,
+			Position: dir.Pos,
+			Message: fmt.Sprintf(
+				"cqads-ignore %s suppresses nothing (wrong line, or the finding it excused is gone)",
+				dir.Analyzer),
+		})
+	}
+	return fs
+}

@@ -1,0 +1,199 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var knownAnalyzers = map[string]bool{"wallclock": true, "detorder": true}
+
+// parse builds a Package (Files + Sources only — the directive
+// machinery is purely syntactic) from one in-memory file.
+func parse(t *testing.T, fset *token.FileSet, src string) *analysis.Package {
+	t.Helper()
+	const name = "fixture.go"
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &analysis.Package{
+		Name:    f.Name.Name,
+		Path:    f.Name.Name,
+		Files:   []*ast.File{f},
+		Sources: map[string][]byte{name: []byte(src)},
+	}
+}
+
+func collect(t *testing.T, src string) (*analysis.Directives, []analysis.Finding, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg := parse(t, fset, src)
+	ds, bad := analysis.CollectDirectives(fset, pkg, knownAnalyzers)
+	return ds, bad, fset
+}
+
+func findingAt(fset *token.FileSet, file string, line int, msg string) analysis.Finding {
+	return analysis.Finding{
+		Analyzer: "wallclock",
+		Position: token.Position{Filename: file, Line: line},
+		Message:  msg,
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	_, bad, _ := collect(t, `package p
+
+//lint:cqads-ignore nosuchcheck the reason does not save it
+var x int
+`)
+	if len(bad) != 1 {
+		t.Fatalf("got %d validation findings, want 1: %v", len(bad), bad)
+	}
+	f := bad[0]
+	if f.Analyzer != analysis.DirectiveAnalyzer {
+		t.Errorf("finding attributed to %q, want %q", f.Analyzer, analysis.DirectiveAnalyzer)
+	}
+	if !strings.Contains(f.Message, `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("message %q does not name the unknown analyzer", f.Message)
+	}
+}
+
+func TestDirectiveMissingReason(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//lint:cqads-ignore wallclock\nvar x int\n",
+		"package p\n\n//lint:cqads-ignore wallclock   \nvar x int\n",
+		"package p\n\n//lint:cqads-ignore-file detorder\n",
+	} {
+		_, bad, _ := collect(t, src)
+		if len(bad) != 1 {
+			t.Fatalf("source %q: got %d findings, want 1: %v", src, len(bad), bad)
+		}
+		if !strings.Contains(bad[0].Message, "missing its reason") {
+			t.Errorf("source %q: message %q does not flag the missing reason", src, bad[0].Message)
+		}
+	}
+}
+
+func TestDirectiveBareMalformed(t *testing.T) {
+	_, bad, _ := collect(t, `package p
+
+//lint:cqads-ignore
+var x int
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed cqads-ignore") {
+		t.Fatalf("bare directive: got %v, want one malformed-directive finding", bad)
+	}
+}
+
+func TestDirectiveInlineSuppressesSameLine(t *testing.T) {
+	ds, bad, fset := collect(t, `package p
+
+var x = 1 //lint:cqads-ignore wallclock fake timestamp for the test
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected validation findings: %v", bad)
+	}
+	in := []analysis.Finding{findingAt(fset, "fixture.go", 3, "time.Now in deterministic package")}
+	if out := ds.Filter(in); len(out) != 0 {
+		t.Errorf("inline directive did not suppress its own line: %v", out)
+	}
+	if unused := ds.Unused(); len(unused) != 0 {
+		t.Errorf("fired directive reported unused: %v", unused)
+	}
+}
+
+func TestDirectiveStandaloneSuppressesNextLine(t *testing.T) {
+	ds, _, fset := collect(t, `package p
+
+//lint:cqads-ignore wallclock fake timestamp for the test
+var x = 1
+`)
+	same := findingAt(fset, "fixture.go", 3, "on the directive's own line")
+	below := findingAt(fset, "fixture.go", 4, "on the guarded line")
+	out := ds.Filter([]analysis.Finding{same, below})
+	if len(out) != 1 || out[0].Position.Line != 3 {
+		t.Errorf("standalone directive should guard only line 4; kept %v", out)
+	}
+}
+
+func TestDirectiveWrongLineIsUnused(t *testing.T) {
+	ds, _, fset := collect(t, `package p
+
+//lint:cqads-ignore wallclock excuse aimed at the wrong line
+var x = 1
+var y = 2
+`)
+	// The real finding is two lines below the directive's target.
+	in := []analysis.Finding{findingAt(fset, "fixture.go", 5, "time.Now")}
+	if out := ds.Filter(in); len(out) != 1 {
+		t.Fatalf("mis-aimed directive suppressed a finding it should not: %v", out)
+	}
+	unused := ds.Unused()
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused-directive findings, want 1: %v", len(unused), unused)
+	}
+	if unused[0].Analyzer != analysis.DirectiveAnalyzer ||
+		!strings.Contains(unused[0].Message, "suppresses nothing") {
+		t.Errorf("unused finding = %v, want a cqadslint suppresses-nothing finding", unused[0])
+	}
+}
+
+func TestDirectiveWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	ds, _, fset := collect(t, `package p
+
+var x = 1 //lint:cqads-ignore detorder the wrong analyzer is named
+`)
+	in := []analysis.Finding{findingAt(fset, "fixture.go", 3, "time.Now")}
+	if out := ds.Filter(in); len(out) != 1 {
+		t.Errorf("directive for detorder suppressed a wallclock finding: %v", out)
+	}
+}
+
+func TestDirectiveFileScope(t *testing.T) {
+	ds, bad, fset := collect(t, `package p
+
+//lint:cqads-ignore-file wallclock jitter package is exempt by design
+var x = 1
+var y = 2
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected validation findings: %v", bad)
+	}
+	in := []analysis.Finding{
+		findingAt(fset, "fixture.go", 4, "time.Now"),
+		findingAt(fset, "fixture.go", 5, "rand.Intn"),
+	}
+	if out := ds.Filter(in); len(out) != 0 {
+		t.Errorf("file-scope directive left findings standing: %v", out)
+	}
+	// File-scope directives assert a policy; they are never "unused".
+	ds2, _, _ := collect(t, `package p
+
+//lint:cqads-ignore-file wallclock jitter package is exempt by design
+var x = 1
+`)
+	if unused := ds2.Unused(); len(unused) != 0 {
+		t.Errorf("idle file-scope directive reported unused: %v", unused)
+	}
+}
+
+func TestDirectiveCannotSuppressValidator(t *testing.T) {
+	ds, _, fset := collect(t, `package p
+
+var x = 1 //lint:cqads-ignore wallclock trying to silence the validator
+`)
+	in := []analysis.Finding{{
+		Analyzer: analysis.DirectiveAnalyzer,
+		Position: token.Position{Filename: "fixture.go", Line: 3},
+		Message:  "cqads-ignore wallclock suppresses nothing",
+	}}
+	if out := ds.Filter(in); len(out) != 1 {
+		t.Errorf("a directive suppressed a cqadslint validation finding: %v", out)
+	}
+	_ = fset
+}

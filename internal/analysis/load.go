@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready for
+// analyzer passes.
+type Package struct {
+	Path  string
+	Name  string
+	Dir   string
+	Files []*ast.File
+	// Sources maps each parsed filename to its raw bytes; the ignore
+	// machinery needs them to classify directives as inline or
+	// standalone.
+	Sources map[string][]byte
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects soft type-check failures. A package with
+	// type errors is still analyzed with whatever information was
+	// recovered, matching go vet.
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// compiles export data for their dependency graph via
+// `go list -export -deps`, and parses + type-checks each matched
+// package from source against that export data. Dependencies are
+// imported from compiled export data, never re-checked, so loading a
+// whole module costs roughly one compile of the module plus one
+// type-check per target package.
+func Load(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,Standard,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("analysis: starting go list: %w", err)
+	}
+	exports := make(map[string]string)
+	var targets []listEntry
+	dec := json.NewDecoder(out)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var pkgs []*Package
+	for _, e := range targets {
+		if e.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, e.ImportPath, e.Dir, e.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return fset, pkgs, nil
+}
+
+// NewExportImporter returns a types importer that resolves import
+// paths through compiled gc export data, located by the find callback
+// (import path -> export data file). The underlying reader is the
+// standard library's gc importer, the same machinery the compiler
+// itself trusts.
+func NewExportImporter(fset *token.FileSet, find func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := find(path)
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// NewTypesInfo allocates a types.Info with every map analyzers
+// consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Sources: make(map[string][]byte)}
+	for _, name := range goFiles {
+		fn := filepath.Join(dir, name)
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, fn, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", fn, err)
+		}
+		pkg.Sources[fn] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("analysis: package %s has no Go files", path)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Info = NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns the package even on (soft) errors; analyzers run
+	// over whatever was recovered, like go vet does.
+	tpkg, _ := conf.Check(path, fset, pkg.Files, pkg.Info)
+	pkg.Types = tpkg
+	return pkg, nil
+}

@@ -1,0 +1,13 @@
+package locksafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), locksafe.Analyzer)
+}

@@ -1,0 +1,89 @@
+// Fixture for locksafe: guarded-field access, lock pairing, and
+// annotation validation.
+package a
+
+import "sync"
+
+type Counter struct {
+	mu   sync.RWMutex
+	n    int    // cqads:guarded-by mu
+	name string // unguarded: freely accessible
+}
+
+// Lock + defer Unlock: the canonical write path.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// RLock is enough for a read.
+func (c *Counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Unguarded fields need nothing.
+func (c *Counter) Name() string { return c.name }
+
+// Forgotten lock.
+func (c *Counter) Bad() int {
+	return c.n // want `Counter.n is guarded by "mu" but accessed without holding it`
+}
+
+// The *Locked convention: annotated helpers assume the lock.
+//
+// cqads:requires-lock mu
+func (c *Counter) addLocked(d int) { c.n += d }
+
+// Writes under a read lock are the PR 1 lazy-sort race shape.
+func (c *Counter) BadWriteUnderRLock() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want `write to Counter.n \(guarded by "mu"\) while holding only c.mu.RLock`
+}
+
+// A freshly built local object is private: constructors need no lock.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.n = 1
+	return c
+}
+
+// Plain Unlock later in the body also pairs.
+func bump(c *Counter) {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Locking through a longer selector chain pairs by rendered receiver.
+type Wrapper struct{ c *Counter }
+
+func (w *Wrapper) Inc() {
+	w.c.mu.Lock()
+	defer w.c.mu.Unlock()
+	w.c.n++
+}
+
+func (c *Counter) MissingUnlock() {
+	c.mu.Lock() // want `c.mu.Lock\(\) with no matching Unlock in this function`
+	c.n++
+}
+
+func (c *Counter) DeferredLock() int {
+	defer c.mu.Lock() // want `deferred c.mu.Lock\(\)`
+	return 0
+}
+
+// Annotation errors are findings too.
+type BadAnnot struct {
+	n int // cqads:guarded-by missing // want `cqads:guarded-by names "missing", which is not a sync.Mutex/RWMutex field of BadAnnot`
+}
+
+// cqads:requires-lock mu
+func free() {} // want `cqads:requires-lock on a function that is not a method`
+
+// cqads:requires-lock name
+func (c *Counter) wrongMutex() {} // want `cqads:requires-lock names "name", which is not a sync.Mutex/RWMutex field of Counter`

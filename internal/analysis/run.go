@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run loads the packages matching patterns under dir, applies every
+// analyzer to every package, filters the results through the
+// //lint:cqads-ignore directive machinery, and returns the surviving
+// findings sorted by position. Directive problems (unknown analyzer,
+// missing reason, suppresses-nothing) are returned as findings too:
+// the suite treats a broken suppression exactly like a broken
+// invariant.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, error) {
+	fset, pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		findings, err := RunPackage(fset, pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, findings...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// RunPackage applies the analyzers to one loaded package and resolves
+// suppressions. known is the set of valid analyzer names for directive
+// validation (pass nil to derive it from analyzers).
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known map[string]bool) ([]Finding, error) {
+	if known == nil {
+		known = make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+	}
+	directives, findings := CollectDirectives(fset, pkg, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: a.Name,
+				Position: fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	findings = directives.Filter(findings)
+	findings = append(findings, directives.Unused()...)
+	return findings, nil
+}

@@ -1,0 +1,48 @@
+// Fixture for typederr rule 1 and 2: the HTTP boundary.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Declaring typed errors at package level is exactly right.
+var errExpired = errors.New("listing expired")
+
+// The blessed path: everything through jsonError.
+func handleOK(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		jsonError(w, http.StatusBadRequest, "missing q parameter")
+	}
+}
+
+// http.Error leaks a text/plain 400 into the JSON API.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want `http.Error bypasses the typed-error status mapping`
+}
+
+// Handlers must not mint their own untyped errors.
+func handleMint(w http.ResponseWriter, r *http.Request) {
+	err := fmt.Errorf("unparseable body on %s", r.URL.Path) // want `boundary must not mint untyped errors`
+	_ = err
+	jsonError(w, http.StatusBadRequest, "bad body")
+}
+
+func handleMintNew(w http.ResponseWriter, _ *http.Request) {
+	err := errors.New("boundary condition") // want `boundary must not mint untyped errors`
+	_ = err
+}
+
+// Helpers without a ResponseWriter are not the boundary.
+func validate(q string) error {
+	if q == "" {
+		return fmt.Errorf("empty question")
+	}
+	return nil
+}
+
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":%q}`, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,58 @@
+// Fixture for typederr rule 3: exported core APIs must return typed
+// errors for conditions that already have one.
+package b
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The typed conditions.
+var (
+	ErrNotHosted  = errors.New("b: domain is not hosted by this shard")
+	ErrOverloaded = errors.New("b: node overloaded")
+)
+
+// Spelling the condition as a fresh error hides it from errors.Is.
+func Ingest(domain string) error {
+	if domain == "cars" {
+		return fmt.Errorf("domain %q is not hosted here", domain) // want `condition "not hosted" already has typed error ErrNotHosted`
+	}
+	return nil
+}
+
+func Admit(backlog int) error {
+	if backlog > 100 {
+		return errors.New("ingest overloaded, retry later") // want `condition "overloaded" already has typed error ErrOverloaded`
+	}
+	return nil
+}
+
+// Wrapping the typed error with %w is the blessed form.
+func IngestWrapped(domain string) error {
+	if domain == "cars" {
+		return fmt.Errorf("domain %q: %w", domain, ErrNotHosted)
+	}
+	return nil
+}
+
+// Returning the typed error directly is also fine.
+func AdmitTyped(backlog int) error {
+	if backlog > 100 {
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// Messages without a typed condition stay free-form.
+func Open(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty path")
+	}
+	return nil
+}
+
+// Unexported helpers are outside the exported contract.
+func hosted(domain string) error {
+	return fmt.Errorf("domain %q is not hosted here", domain)
+}

@@ -1,0 +1,231 @@
+// Package typederr enforces the system's error contract at its two
+// edges.
+//
+// At the HTTP boundary (the webui package), every error must flow
+// through jsonError and its errors.Is/As status mapping
+// (ErrNotHosted→421, ErrOverloaded→429, ErrDurabilityLost→503, …):
+// a direct http.Error call bypasses the mapping and leaks text/plain
+// 400s into a JSON API, and a handler that mints its own error with
+// fmt.Errorf/errors.New manufactures an untyped condition the mapping
+// can never classify.
+//
+// In the core package, exported functions must not spell an
+// already-typed condition as a bare fmt.Errorf/errors.New: the wire
+// mapping works by errors.Is, so "domain %q is not hosted" as a fresh
+// error is invisible to it — return the typed error, or wrap it with
+// %w. The condition-to-typed-error table is keyword-driven
+// (TypedErrors) so new typed errors extend the check with one line.
+package typederr
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// WebUIPkgs are the HTTP-boundary packages (rule 1 and 2). Tests
+// append their fixture path.
+var WebUIPkgs = []string{"repro/internal/webui"}
+
+// CorePkgs are the packages whose exported API must return typed
+// errors for typed conditions (rule 3). Tests append their fixture
+// path.
+var CorePkgs = []string{"repro/internal/core"}
+
+// TypedErrors maps a lowercase message keyword to the typed error
+// that already expresses the condition. A bare fmt.Errorf/errors.New
+// in an exported core function whose message contains the keyword —
+// without wrapping the typed error — is a finding.
+var TypedErrors = map[string]string{
+	"not hosted":         "ErrNotHosted",
+	"read-only":          "ErrReadOnlyReplica",
+	"read only":          "ErrReadOnlyReplica",
+	"overloaded":         "ErrOverloaded",
+	"durability":         "ErrDurabilityLost",
+	"quorum unavailable": "ErrQuorumUnavailable",
+	"not the leader":     "ErrNotLeader",
+}
+
+// Analyzer is the typederr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc:  "webui must map errors through jsonError; exported core APIs must return typed errors for typed conditions",
+	Run:  run,
+}
+
+func has(path string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	if has(pass.Pkg.Path(), WebUIPkgs) {
+		checkBoundary(pass)
+	}
+	if has(pass.Pkg.Path(), CorePkgs) {
+		checkCoreTyped(pass)
+	}
+	return nil
+}
+
+// checkBoundary bans http.Error everywhere in the package and
+// fmt.Errorf/errors.New inside handler bodies (any function with an
+// http.ResponseWriter parameter).
+func checkBoundary(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if calleeIs(pass, call, "net/http", "Error") {
+				pass.Reportf(call.Pos(),
+					"http.Error bypasses the typed-error status mapping; use jsonError so ErrNotHosted/ErrOverloaded/ErrDurabilityLost map to 421/429/503")
+			}
+			return true
+		})
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasResponseWriterParam(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if calleeIs(pass, call, "fmt", "Errorf") || calleeIs(pass, call, "errors", "New") {
+					pass.Reportf(call.Pos(),
+						"boundary must not mint untyped errors: map the underlying error through jsonError, or return a typed core error")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCoreTyped flags bare fmt.Errorf/errors.New in exported
+// functions whose message spells a condition that already has a typed
+// error.
+func checkCoreTyped(pass *analysis.Pass) {
+	keywords := make([]string, 0, len(TypedErrors))
+	for k := range TypedErrors {
+		keywords = append(keywords, k)
+	}
+	sort.Strings(keywords)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !calleeIs(pass, call, "fmt", "Errorf") && !calleeIs(pass, call, "errors", "New") {
+					return true
+				}
+				msg, ok := literalArg(call)
+				if !ok || wrapsTypedError(call) {
+					return true
+				}
+				lower := strings.ToLower(msg)
+				for _, kw := range keywords {
+					if strings.Contains(lower, kw) {
+						pass.Reportf(call.Pos(),
+							"condition %q already has typed error %s; return it (or wrap it with %%w) so errors.Is keeps working",
+							kw, TypedErrors[kw])
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeIs reports whether call invokes pkgPath.name.
+func calleeIs(pass *analysis.Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// hasResponseWriterParam reports whether fd takes an
+// http.ResponseWriter — the handler signature marker.
+func hasResponseWriterParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, p := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(p.Type)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter" {
+			return true
+		}
+	}
+	return false
+}
+
+// literalArg extracts the call's first argument when it is a string
+// literal (the fmt.Errorf format / errors.New message).
+func literalArg(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// wrapsTypedError reports whether any argument references an Err*
+// identifier — the %w-wraps-the-typed-error escape hatch.
+func wrapsTypedError(call *ast.CallExpr) bool {
+	for _, arg := range call.Args[1:] {
+		found := false
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "Err") {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

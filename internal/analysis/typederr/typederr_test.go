@@ -1,0 +1,21 @@
+package typederr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/typederr"
+)
+
+func TestBoundary(t *testing.T) {
+	defer func(old []string) { typederr.WebUIPkgs = old }(typederr.WebUIPkgs)
+	typederr.WebUIPkgs = append(typederr.WebUIPkgs, "a")
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), typederr.Analyzer)
+}
+
+func TestCoreTyped(t *testing.T) {
+	defer func(old []string) { typederr.CorePkgs = old }(typederr.CorePkgs)
+	typederr.CorePkgs = append(typederr.CorePkgs, "b")
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), typederr.Analyzer)
+}

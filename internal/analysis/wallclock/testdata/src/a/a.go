@@ -1,0 +1,38 @@
+// Fixture for wallclock: clock and randomness reads in a
+// deterministic package.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed() time.Duration {
+	start := time.Now() // want `time.Now makes answers depend on when they run`
+	work()
+	return time.Since(start) // want `time.Since makes answers depend on when they run`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until makes answers depend on when they run`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle breaks bit-identical answers`
+}
+
+// Duration arithmetic, formatting and parsing never read the clock:
+// not flagged.
+func pureTime(d time.Duration) (string, time.Duration, time.Time) {
+	t := time.Unix(0, 42).UTC()
+	return t.Format(time.RFC3339), d * 2, t.Add(d)
+}
+
+// A justified suppression keeps the site but silences the finding.
+func seededBaseline(seed int64, xs []int) {
+	//lint:cqads-ignore wallclock seeded deterministic shuffle, the paper's Random baseline
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func work() {}

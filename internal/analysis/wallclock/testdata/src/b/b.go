@@ -1,0 +1,17 @@
+// Fixture for wallclock scoping: not a deterministic package, so
+// clock reads are allowed — lease/heartbeat/jitter code lives in
+// packages like this.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitteredLease(t time.Duration) time.Duration {
+	return t + time.Duration(rand.Int63n(int64(t)/2+1))
+}
+
+func expired(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}

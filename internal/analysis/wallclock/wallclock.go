@@ -1,0 +1,93 @@
+// Package wallclock bans wall-clock and randomness sources in the
+// system's declared-deterministic packages: bit-identical answers
+// cannot depend on time.Now/Since/Until or math/rand. The durability,
+// lease/heartbeat and jitter machinery legitimately needs both —
+// internal/failover is simply outside the deterministic set, and the
+// few sites inside it (result latency metadata, checkpoint
+// timestamps, the paper's seeded Random ranking baseline) carry
+// justified //lint:cqads-ignore wallclock directives instead.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DeterministicPkgs lists the import paths (exact, or prefix of a
+// subpackage) whose answers must be bit-identical run to run. Tests
+// append their fixture path.
+var DeterministicPkgs = []string{
+	"repro/internal/core",
+	"repro/internal/rank",
+	"repro/internal/classify",
+	"repro/internal/sql",
+	"repro/internal/dedup",
+}
+
+// bannedTimeFuncs are the package-time functions that read the wall
+// clock. Constructors like time.Duration arithmetic and formatting are
+// fine — only the clock reads are banned.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randPkgs are the randomness sources banned wholesale.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "bans time.Now/Since/Until and math/rand in deterministic query-path packages",
+	Run:  run,
+}
+
+func applies(path string) bool {
+	for _, p := range DeterministicPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !applies(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch path := pn.Imported().Path(); {
+			case path == "time" && bannedTimeFuncs[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(),
+					"wall clock in deterministic package: time.%s makes answers depend on when they run",
+					sel.Sel.Name)
+			case randPkgs[path]:
+				pass.Reportf(sel.Pos(),
+					"randomness in deterministic package: %s.%s breaks bit-identical answers",
+					pn.Name(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package wallclock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	defer func(old []string) { wallclock.DeterministicPkgs = old }(wallclock.DeterministicPkgs)
+	wallclock.DeterministicPkgs = append(wallclock.DeterministicPkgs, "a")
+	// RunWithDirectives: the fixture also proves a justified
+	// //lint:cqads-ignore wallclock directive silences its site.
+	analysistest.RunWithDirectives(t, filepath.Join("testdata", "src", "a"), wallclock.Analyzer)
+}
+
+// TestAllowlistedPackage proves lease/heartbeat/jitter code outside
+// the deterministic set is untouched.
+func TestAllowlistedPackage(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), wallclock.Analyzer)
+}

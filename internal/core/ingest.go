@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/persist"
@@ -358,9 +359,14 @@ func (s *System) deleteAdBatchDurable(domain string, ids []sqldb.RowID, ack AckL
 // training document, tokenized and stopword-filtered the same way
 // questions are.
 func adDocument(values map[string]sqldb.Value) []string {
+	cols := make([]string, 0, len(values))
+	for c := range values {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
 	var sb strings.Builder
-	for _, v := range values {
-		if v.IsString() {
+	for _, c := range cols {
+		if v := values[c]; v.IsString() {
 			sb.WriteString(v.Str())
 			sb.WriteByte(' ')
 		}

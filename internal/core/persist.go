@@ -47,7 +47,7 @@ type persister struct {
 	// maxWALBytes is the ingest admission threshold on log backlog
 	// (Config.MaxWALBytes resolved; 0 = disabled).
 	maxWALBytes int64
-	closed      bool
+	closed      bool // cqads:guarded-by mu
 	// failed latches after a WAL append error. The failing call's
 	// table mutation is already in memory but not in the log, so the
 	// two have diverged: any further logged mutation would replay onto
@@ -76,6 +76,8 @@ type persister struct {
 // ingestable reports whether a mutation may proceed. Called with
 // p.mu held, before any table is touched, so a closed or failed
 // persister stops divergence at the door.
+//
+// cqads:requires-lock mu
 func (p *persister) ingestable() error {
 	if p.closed {
 		return fmt.Errorf("core: system is closed")
@@ -410,7 +412,7 @@ func (s *System) checkpointLocked() error {
 	if err := p.store.WriteCheckpoint(snap); err != nil {
 		return err
 	}
-	p.lastCheckpoint.Store(time.Now().UnixNano())
+	p.lastCheckpoint.Store(time.Now().UnixNano()) //lint:cqads-ignore wallclock checkpoint age is operational metadata, never part of an answer
 	return nil
 }
 

@@ -269,7 +269,7 @@ func (s *System) spoolAppliedLocked(ops []persist.Op) error {
 		return nil
 	}
 	p := s.persist
-	if err := p.store.AppendApplied(ops); err != nil {
+	if err := p.store.AppendApplied(ops); err != nil { //lint:cqads-ignore fsyncorder ApplyOps holds f.mu then p.mu for the whole batch; re-locking here would deadlock
 		p.failed.Store(true)
 		return fmt.Errorf("core: ops %d-%d applied but not spooled (%v): %w",
 			ops[0].Seq, ops[len(ops)-1].Seq, err, ErrDurabilityLost)

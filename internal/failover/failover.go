@@ -150,15 +150,15 @@ type Agent struct {
 	peers []string // excluding Self
 
 	mu    sync.Mutex
-	role  string
-	epoch uint64 // term of the last accepted leader view
+	role  string // cqads:guarded-by mu
+	epoch uint64 // cqads:guarded-by mu (term of the last accepted leader view)
 	// votedEpoch is the highest term this node has voted in (for itself
 	// when campaigning, or for a peer). One vote per term is what makes
 	// a majority exclusive.
-	votedEpoch  uint64
-	leader      string // current leader's URL; "" when unknown
-	leaseExpiry time.Time
-	tail        *replica.Follower
+	votedEpoch  uint64            // cqads:guarded-by mu
+	leader      string            // cqads:guarded-by mu (current leader's URL; "" when unknown)
+	leaseExpiry time.Time         // cqads:guarded-by mu
+	tail        *replica.Follower // cqads:guarded-by mu
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -487,6 +487,8 @@ func (a *Agent) HandleHeartbeat(hb Heartbeat) HeartbeatResponse {
 // retargetTailLocked points the WAL tail at the current leader,
 // attaching one if this is the first leader this view has seen. Called
 // with a.mu held.
+//
+// cqads:requires-lock mu
 func (a *Agent) retargetTailLocked() {
 	if a.leader == "" || a.leader == a.cfg.Self || a.closed {
 		return

@@ -13,6 +13,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -36,6 +37,28 @@ const (
 	testLease     = 300 * time.Millisecond * raceScale
 	convergeIn    = 30 * time.Second
 )
+
+// checkGoroutines records the goroutine count and fails the test if it
+// has not returned to that level shortly after all other cleanups ran
+// — every Agent loop, WAL tail poller and httptest server must
+// actually wind down. Register it FIRST via t.Cleanup so it runs last.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
 
 // testOpts is the shared deterministic environment; every peer and the
 // never-failed reference system must build identically.
@@ -372,6 +395,7 @@ func reference(t *testing.T) *core.System {
 // new term, and answers bit-identically to a system that never
 // failed.
 func TestFailoverKillLeader(t *testing.T) {
+	checkGoroutines(t)
 	c := startCluster(t, 3)
 	ref := reference(t)
 
@@ -434,6 +458,7 @@ func TestFailoverKillLeader(t *testing.T) {
 // re-bootstrap, and the node converges bit-identically to the new
 // term's history.
 func TestPartitionFencing(t *testing.T) {
+	checkGoroutines(t)
 	c := startCluster(t, 3)
 	ref := reference(t)
 
@@ -513,6 +538,7 @@ func TestPartitionFencing(t *testing.T) {
 // a follower. After the churn the whole set converges bit-identically
 // to the reference.
 func TestElectionUnderChurn(t *testing.T) {
+	checkGoroutines(t)
 	c := startCluster(t, 3)
 	ref := reference(t)
 

@@ -47,22 +47,22 @@ type Store struct {
 	dir string
 
 	mu       sync.Mutex
-	wal      *os.File
-	walBytes int64
-	seq      uint64 // last assigned operation sequence number
-	ckptSeq  uint64 // sequence covered by the on-disk snapshot
-	epoch    uint64 // current leadership term, stamped on appends
+	wal      *os.File // cqads:guarded-by mu
+	walBytes int64    // cqads:guarded-by mu
+	seq      uint64   // cqads:guarded-by mu (last assigned operation sequence number)
+	ckptSeq  uint64   // cqads:guarded-by mu (sequence covered by the on-disk snapshot)
+	epoch    uint64   // cqads:guarded-by mu (current leadership term, stamped on appends)
 	// epochs is the term history covering [ckptSeq, seq]; the first
 	// entry is the baseline at the checkpoint boundary, later entries
 	// record term changes observed in appended ops.
-	epochs []epochStart
-	snap   *Snapshot
-	tail   []Op
-	closed bool
+	epochs []epochStart // cqads:guarded-by mu
+	snap   *Snapshot    // cqads:guarded-by mu
+	tail   []Op         // cqads:guarded-by mu
+	closed bool         // cqads:guarded-by mu
 	// watch is closed and replaced whenever new operations commit, so
 	// long-polling WAL shippers can block until there is something to
 	// ship instead of spinning.
-	watch chan struct{}
+	watch chan struct{} // cqads:guarded-by mu
 	// offsets indexes the log for shipping: one entry per group-commit
 	// batch, mapping the batch's first sequence number to its byte
 	// offset, so OpsSince starts decoding at the caller's cursor
@@ -70,13 +70,13 @@ type Store struct {
 	// at checkpoints; batches appended before this process opened the
 	// store are simply absent (OpsSince falls back to offset 0, and
 	// the sequence filter keeps it correct).
-	offsets []walIndexEntry
+	offsets []walIndexEntry // cqads:guarded-by mu
 	// failed latches the store after a WAL write or sync error: the
 	// file offset may sit inside a torn frame, so appending further
 	// records would place them after bytes the recovery scan stops at
 	// — fsync'd yet silently unrecoverable. Once failed, every Append
 	// and WriteCheckpoint refuses; only Close works.
-	failed error
+	failed error // cqads:guarded-by mu
 }
 
 // Open attaches to (creating if needed) the data directory. After a
@@ -243,6 +243,8 @@ func (s *Store) AppendApplied(ops []Op) error {
 // commitLocked writes one encoded group-commit batch, fsyncs, indexes
 // it, and wakes long-polling shippers. Caller holds s.mu and has
 // already advanced s.seq past the batch.
+//
+// cqads:requires-lock mu
 func (s *Store) commitLocked(ops []Op, buf []byte) error {
 	s.offsets = append(s.offsets, walIndexEntry{seq: ops[0].Seq, off: s.walBytes})
 	for i := range ops {
@@ -266,6 +268,8 @@ func (s *Store) commitLocked(ops []Op, buf []byte) error {
 
 // noteEpochLocked records op's term in the epoch history if it starts
 // a new one. Caller holds s.mu.
+//
+// cqads:requires-lock mu
 func (s *Store) noteEpochLocked(op Op) {
 	if last := s.epochs[len(s.epochs)-1]; op.Epoch != last.epoch {
 		s.epochs = append(s.epochs, epochStart{epoch: op.Epoch, firstSeq: op.Seq})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http/httptest"
+	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +17,28 @@ import (
 	"repro/internal/sqldb"
 	"repro/internal/webui"
 )
+
+// checkGoroutines records the goroutine count and fails the test if it
+// has not returned to that level shortly after all other cleanups ran
+// — follower poll loops and httptest servers must actually stop.
+// Register it FIRST via t.Cleanup so it runs last.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after\n%s",
+			before, runtime.NumGoroutine(), buf[:n])
+	})
+}
 
 // testOpts is the shared deterministic environment. The follower MUST
 // build with the same options as the primary (minus DataDir): the
@@ -143,6 +166,7 @@ func ingestSome(t *testing.T, sys *core.System, seed int64, n int) []sqldb.RowID
 // its WAL stream while both serve AskBatch, answers bit-identically,
 // and flips writable on promote.
 func TestFollowerEndToEnd(t *testing.T) {
+	checkGoroutines(t)
 	primary, srv := startPrimary(t, -1)
 	ingestSome(t, primary, 1001, 8) // pre-bootstrap history in the WAL
 
@@ -205,6 +229,7 @@ func TestFollowerEndToEnd(t *testing.T) {
 // detects the gap (410), re-bootstraps from the new snapshot, and
 // converges to bit-identical answers.
 func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
+	checkGoroutines(t)
 	primary, srv := startPrimary(t, -1) // manual compaction only
 	f, err := replica.Connect(context.Background(), followerConfig(srv.URL))
 	if err != nil {
@@ -268,6 +293,7 @@ func waitConvergedNow(t *testing.T, primary, follower *core.System) {
 // resumes serving the same stream (sequence numbers survive recovery),
 // and the follower keeps converging without a re-bootstrap.
 func TestFollowerSurvivesPrimaryOutage(t *testing.T) {
+	checkGoroutines(t)
 	opts := testOpts()
 	opts.DataDir = t.TempDir()
 	opts.CompactBytes = -1

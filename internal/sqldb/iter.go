@@ -179,6 +179,9 @@ func (t *Table) MatchAll(id RowID, preds []Pred) bool {
 	return true
 }
 
+// matchLocked evaluates one predicate; caller holds t.mu.
+//
+// cqads:requires-lock mu
 func (t *Table) matchLocked(id RowID, p *Pred) bool {
 	i, ok := t.colIdx[p.Col]
 	if !ok {

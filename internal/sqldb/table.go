@@ -41,30 +41,30 @@ type Record struct {
 // staleness check.
 type Table struct {
 	mu      sync.RWMutex
-	name    string
-	schema  *schema.Schema
-	colIdx  map[string]int
-	rows    []Record
-	dead    []bool // tombstones, parallel to rows
-	live    int    // len(rows) minus tombstones
+	name    string                   // immutable after NewTable
+	schema  *schema.Schema           // immutable after NewTable
+	colIdx  map[string]int           // immutable after NewTable
+	rows    []Record                 // cqads:guarded-by mu
+	dead    []bool                   // cqads:guarded-by mu (tombstones, parallel to rows)
+	live    int                      // cqads:guarded-by mu (len(rows) minus tombstones)
 	version atomic.Uint64
-	hash    map[string]*hashIndex    // Type I + Type II columns
-	ordered map[string]*orderedIndex // Type III columns
-	substr  map[string]*trigramIndex // all string columns
+	hash    map[string]*hashIndex    // cqads:guarded-by mu (Type I + Type II columns)
+	ordered map[string]*orderedIndex // cqads:guarded-by mu (Type III columns)
+	substr  map[string]*trigramIndex // cqads:guarded-by mu (all string columns)
 
 	// statsMu guards the lazily cached Stats() result; statsVer is the
 	// table version the cache was computed at.
+	stats    *TableStats // cqads:guarded-by statsMu
+	statsVer uint64      // cqads:guarded-by statsMu
 	statsMu  sync.Mutex
-	stats    *TableStats
-	statsVer uint64
 
 	// recMu guards the lazily cached rendered record maps handed out by
 	// RecordMap; recVer is the table version the cache was built
 	// against. Entries are cloned on every hit, so callers may mutate
 	// what they receive.
 	recMu  sync.RWMutex
-	recs   map[RowID]map[string]Value
-	recVer uint64
+	recs   map[RowID]map[string]Value // cqads:guarded-by recMu
+	recVer uint64                     // cqads:guarded-by recMu
 }
 
 // NewTable creates an empty table for the given schema.
@@ -121,6 +121,9 @@ func (t *Table) Alive(id RowID) bool {
 	return t.aliveLocked(id)
 }
 
+// aliveLocked is Alive with the caller holding t.mu.
+//
+// cqads:requires-lock mu
 func (t *Table) aliveLocked(id RowID) bool {
 	return id >= 0 && int(id) < len(t.rows) && !t.dead[id]
 }
@@ -222,6 +225,9 @@ func (t *Table) Value(id RowID, col string) Value {
 	return t.valueLocked(id, col)
 }
 
+// valueLocked is Value with the caller holding t.mu.
+//
+// cqads:requires-lock mu
 func (t *Table) valueLocked(id RowID, col string) Value {
 	i, ok := t.colIdx[col]
 	if !ok || !t.aliveLocked(id) {
@@ -237,6 +243,9 @@ func (t *Table) AllRowIDs() []RowID {
 	return t.allRowIDsLocked()
 }
 
+// allRowIDsLocked is AllRowIDs with the caller holding t.mu.
+//
+// cqads:requires-lock mu
 func (t *Table) allRowIDsLocked() []RowID {
 	out := make([]RowID, 0, t.live)
 	for i := range t.rows {

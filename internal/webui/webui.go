@@ -7,6 +7,7 @@
 package webui
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -968,11 +969,16 @@ func (s *Server) view(res *core.Result) *resultView {
 	return v
 }
 
+// render buffers the template so a mid-execution failure cannot leak a
+// half-written page with a 200 status already on the wire.
 func (s *Server) render(w http.ResponseWriter, p page) {
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := s.tpl.Execute(w, p); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	var buf bytes.Buffer
+	if err := s.tpl.Execute(&buf, p); err != nil {
+		jsonError(w, http.StatusInternalServerError, "rendering page: %v", err)
+		return
 	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
 }
 
 // pageTemplate is the single-page UI.
