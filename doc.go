@@ -274,6 +274,65 @@
 //     rebalancing (moving a domain between shards) and per-shard
 //     admission control are open items (see ROADMAP).
 //
+// # Load & latency
+//
+// Serving a live corpus makes tail latency a correctness-adjacent
+// concern, so the repository carries its own measurement and
+// mitigation layer (no external metrics or load-test dependency):
+//
+//   - Histograms. telemetry.Histogram (internal/metrics/telemetry) is
+//     a lock-striped, power-of-two-bucketed latency histogram:
+//     Record files a nanosecond sample under one of eight stripe
+//     mutexes picked by an atomic rotor, Snapshot folds the stripes
+//     into an immutable value with p50/p90/p99/p999 quantiles
+//     (interpolated within the sample's bucket, so an estimate is
+//     never outside it), and Snapshots Merge exactly — integer adds,
+//     associative and commutative — for cluster rollups. Every webui
+//     endpoint of interest (/api/ask, /api/ask/batch, ingest, the
+//     replication long-poll) records its end-to-end service time and
+//     GET /api/status reports a "latency" block. Counts are
+//     cumulative and reset-free by contract: scrapers difference
+//     successive samples, so concurrent scrapers cannot corrupt each
+//     other's view.
+//
+//   - Group-commit ingest. On a durable System, concurrent
+//     single-record InsertAd/DeleteAd calls queue onto a committer
+//     goroutine that drains whatever accumulated while the previous
+//     fsync was in flight and commits the batch as one WAL append +
+//     one fsync (internal/core/groupcommit.go). Nothing else changes:
+//     log order still equals mutation order (mutation and append
+//     happen under the ingest lock in queue order), a caller's ack
+//     still means "my write is durable" (quorum acks still wait for
+//     the majority), a mid-batch append failure latches the store
+//     with nobody acked, and a lone writer commits immediately — the
+//     coalescing window is the fsync itself (Config.GroupCommitWait
+//     can widen it; Config.NoGroupCommit restores per-call fsync for
+//     baseline benchmarking). At 8 concurrent writers the grouped
+//     path sustains ~3x the per-call-fsync insert throughput
+//     (BenchmarkDurableSingleInsert).
+//
+//   - Hedged reads. The front tier learns each shard group's read
+//     latency in its own per-group histogram and hedges: a read still
+//     outstanding past twice the group's p99 (floored; a fixed
+//     conservative delay while cold) launches a backup copy at
+//     another member of the replica set, the first 200 wins and the
+//     loser is cancelled; a primary that fails outright hedges
+//     immediately, so a restarting member costs one extra request
+//     instead of the old degrade-to-error window. Writes never hedge
+//     (they are not idempotent); hedge volume is visible in the front
+//     tier's /api/status ("front": hedges, hedge_wins, per-group
+//     latency and the delay currently in force).
+//
+//   - Load harness. cmd/loadgen replays the evaluation's 650-question
+//     workload (rebuilt from the same seed-derived generators, so the
+//     questions reference ads the server actually holds) plus live
+//     ingest against any topology, closed-loop (fixed concurrency) or
+//     open-loop (fixed arrival rate, queueing visible in the tail),
+//     with a discarded warmup phase, and appends per-endpoint
+//     throughput, percentiles and ok/202/429/error splits to
+//     BENCH_pr9.json. CI drives it against a monolith and a two-shard
+//     front-tier topology and fails on any unexpected error.
+//
 // # Static guarantees
 //
 // The invariants above are not just documented — the repository ships

@@ -51,7 +51,7 @@ func (s *System) InsertAdWithAck(domain string, values map[string]sqldb.Value, a
 	if s.persist == nil {
 		return s.insertAdLocked(domain, values)
 	}
-	id, seq, err := s.insertAdDurable(domain, values, ack)
+	id, seq, err := s.insertAdGrouped(domain, values, ack)
 	if err != nil {
 		return id, err
 	}
@@ -67,7 +67,9 @@ func (s *System) InsertAdWithAck(domain string, values map[string]sqldb.Value, a
 
 // insertAdDurable is the under-lock half of a durable insert: table
 // mutation plus WAL append as one critical section, returning the
-// assigned log sequence for quorum tracking.
+// assigned log sequence for quorum tracking. It pays a full fsync per
+// call — the live path routes through insertAdGrouped (group commit)
+// and only falls back here under Config.NoGroupCommit.
 func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, uint64, error) {
 	p := s.persist
 	p.mu.Lock()
@@ -132,7 +134,7 @@ func (s *System) DeleteAdWithAck(domain string, id sqldb.RowID, ack AckLevel) er
 	if s.persist == nil {
 		return s.deleteAdLocked(domain, id)
 	}
-	seq, err := s.deleteAdDurable(domain, id, ack)
+	seq, err := s.deleteAdGrouped(domain, id, ack)
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,10 @@ type persister struct {
 	mu           sync.Mutex
 	store        *persist.Store
 	compactBytes int64
+	// gc is the group-commit scheduler for single writes, nil when
+	// Config.NoGroupCommit opts into per-call fsyncs. Set once in
+	// Open before the system is published, read-only after.
+	gc *groupCommitter
 	// maxWALBytes is the ingest admission threshold on log backlog
 	// (Config.MaxWALBytes resolved; 0 = disabled).
 	maxWALBytes int64
@@ -148,6 +152,12 @@ func Open(cfg Config) (*System, error) {
 		p.maxWALBytes = 0 // explicit opt-out
 	}
 	sys.persist = p
+	if !cfg.NoGroupCommit {
+		// No goroutine yet: the committer is spawned by the first
+		// queued write and exits when the queue drains, so an idle or
+		// abandoned System holds nothing.
+		p.gc = newGroupCommitter(cfg.GroupCommitWait)
+	}
 	if !hadSnapshot {
 		// First run (or a lost snapshot): make the current store the
 		// durable baseline before serving anything.
@@ -439,6 +449,13 @@ func (s *System) Close() error {
 	}
 	p.closed = true
 	p.mu.Unlock()
+	// Stop the group committer after closed is set: its final drain
+	// fails every still-queued write at the ingestable gate ("system
+	// is closed") without touching a table, so nothing can land after
+	// the checkpoint above.
+	if p.gc != nil {
+		s.shutdownGroupCommits(p.gc)
+	}
 	// Wait out an in-flight background compaction (it will observe
 	// closed and fail harmlessly — our own checkpoint above already
 	// captured everything).

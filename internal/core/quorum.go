@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 )
 
 // This file is the write-durability half of self-healing replication:
@@ -180,7 +180,7 @@ func (s *System) awaitQuorum(seq uint64) error {
 		select {
 		case <-watch:
 		case <-timer.C:
-			metrics.Failover.QuorumTimeouts.Add(1)
+			telemetry.Failover.QuorumTimeouts.Add(1)
 			return fmt.Errorf("core: %d of %d required follower acks for seq %d after %v: %w",
 				got, need, seq, q.ackTimeout, ErrQuorumUnavailable)
 		}
@@ -205,13 +205,13 @@ func (s *System) admitLocked(ack AckLevel) error {
 	p := s.persist
 	if p != nil && p.maxWALBytes > 0 {
 		if size := p.store.WALSize(); size >= p.maxWALBytes {
-			metrics.Failover.Overloads.Add(1)
+			telemetry.Failover.Overloads.Add(1)
 			return fmt.Errorf("core: WAL backlog %d bytes >= limit %d: %w", size, p.maxWALBytes, ErrOverloaded)
 		}
 	}
 	if ack == AckQuorum && s.quorum.maxPending > 0 && s.quorum.needAcks() > 0 {
 		if n := s.quorum.pendingQuorum(); n >= s.quorum.maxPending {
-			metrics.Failover.Overloads.Add(1)
+			telemetry.Failover.Overloads.Add(1)
 			return fmt.Errorf("core: %d quorum writes already pending >= limit %d: %w", n, s.quorum.maxPending, ErrOverloaded)
 		}
 	}

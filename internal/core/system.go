@@ -113,6 +113,20 @@ type Config struct {
 	// drains. 0 means DefaultMaxWALBytes; negative disables the
 	// check.
 	MaxWALBytes int64
+	// NoGroupCommit disables the group-commit scheduler on a durable
+	// system: every single InsertAd/DeleteAd pays its own WAL fsync
+	// instead of coalescing with concurrent writers. The durability
+	// contract is identical either way; this exists for benchmarking
+	// the scheduler against the per-call baseline.
+	NoGroupCommit bool
+	// GroupCommitWait is an optional batch window: after the group
+	// committer picks up a write, it waits up to this long for more
+	// writers to queue before paying the fsync. 0 (the default)
+	// commits as soon as the previous fsync's backlog is drained —
+	// concurrency alone sets the batch size, and a lone writer never
+	// waits. Raise it only to trade single-writer latency for fewer
+	// fsyncs under bursty load.
+	GroupCommitWait time.Duration
 }
 
 // DefaultCompactBytes is the default WAL size that triggers automatic

@@ -40,7 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/replica"
 )
 
@@ -304,7 +304,7 @@ func (a *Agent) heartbeatPeers(ctx context.Context) {
 	peers := a.peers
 	a.mu.Unlock()
 
-	metrics.Failover.HeartbeatsSent.Add(int64(len(peers)))
+	telemetry.Failover.HeartbeatsSent.Add(int64(len(peers)))
 	var fenced struct {
 		sync.Mutex
 		epoch uint64
@@ -345,7 +345,7 @@ func (a *Agent) stepDown(epoch uint64) {
 	if a.role != RoleLeader || epoch <= a.epoch {
 		return
 	}
-	metrics.Failover.StepDowns.Add(1)
+	telemetry.Failover.StepDowns.Add(1)
 	log.Printf("failover: %s deposed at epoch %d by epoch %d; demoting", a.cfg.Self, a.epoch, epoch)
 	if err := a.cfg.Sys.Demote(epoch); err != nil {
 		log.Printf("failover: demoting %s: %v", a.cfg.Self, err)
@@ -384,7 +384,7 @@ func (a *Agent) campaign(ctx context.Context) (won bool) {
 	peers := a.peers
 	a.mu.Unlock()
 
-	metrics.Failover.Elections.Add(1)
+	telemetry.Failover.Elections.Add(1)
 	var tally struct {
 		sync.Mutex
 		grants   int
@@ -440,7 +440,7 @@ func (a *Agent) campaign(ctx context.Context) (won bool) {
 		a.role = RoleFollower
 		return false
 	}
-	metrics.Failover.Promotions.Add(1)
+	telemetry.Failover.Promotions.Add(1)
 	log.Printf("failover: %s promoted to leader at epoch %d (%d/%d votes)",
 		a.cfg.Self, epoch, tally.grants, a.setSize())
 	a.role = RoleLeader
@@ -461,11 +461,11 @@ func (a *Agent) HandleHeartbeat(hb Heartbeat) HeartbeatResponse {
 		// Same-term rival leaders cannot both hold majorities; the
 		// equal-epoch arm only fires on anomalies (e.g. a replayed
 		// message) and fencing is the safe answer.
-		metrics.Failover.HeartbeatsRejected.Add(1)
+		telemetry.Failover.HeartbeatsRejected.Add(1)
 		return HeartbeatResponse{Ok: false, Epoch: a.epoch}
 	}
 	if a.role == RoleLeader {
-		metrics.Failover.StepDowns.Add(1)
+		telemetry.Failover.StepDowns.Add(1)
 		log.Printf("failover: %s deposed at epoch %d by %s at epoch %d; demoting",
 			a.cfg.Self, a.epoch, hb.Leader, hb.Epoch)
 		if err := a.cfg.Sys.Demote(hb.Epoch); err != nil {
@@ -536,7 +536,7 @@ func (a *Agent) HandleVote(req VoteRequest) VoteResponse {
 	// Granting re-arms our own timer: give the winner a full lease to
 	// announce itself before we campaign against it.
 	a.leaseExpiry = time.Now().Add(a.jitteredLease())
-	metrics.Failover.VotesGranted.Add(1)
+	telemetry.Failover.VotesGranted.Add(1)
 	return VoteResponse{Granted: true, Epoch: req.Epoch}
 }
 

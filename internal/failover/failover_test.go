@@ -22,7 +22,7 @@ import (
 	"repro/internal/adsgen"
 	"repro/internal/core"
 	"repro/internal/failover"
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/replica"
 	"repro/internal/schema"
 	"repro/internal/sqldb"
@@ -406,7 +406,7 @@ func TestFailoverKillLeader(t *testing.T) {
 	// Crash the leader. Every write above was quorum-acked, so a
 	// majority of the survivors holds all of them, and the vote rule
 	// (epoch, then sequence) forces the freshest survivor to win.
-	electionsBefore := metrics.Failover.Promotions.Load()
+	electionsBefore := telemetry.Failover.Promotions.Load()
 	c.kill(leader)
 	start := time.Now()
 	next := c.waitLeader(leader)
@@ -414,7 +414,7 @@ func TestFailoverKillLeader(t *testing.T) {
 	if next == leader {
 		t.Fatal("dead leader re-elected")
 	}
-	if got := metrics.Failover.Promotions.Load(); got <= electionsBefore {
+	if got := telemetry.Failover.Promotions.Load(); got <= electionsBefore {
 		t.Fatalf("promotions counter did not move (%d)", got)
 	}
 	if st := next.sys.Status().Replication; st.ReadOnly {
@@ -503,7 +503,7 @@ func TestPartitionFencing(t *testing.T) {
 
 	// Heal. The old leader hears the higher term, steps down, and its
 	// diverged log forces a fenced stream (409) and a re-bootstrap.
-	fencedBefore := metrics.Failover.FencedStreams.Load()
+	fencedBefore := telemetry.Failover.FencedStreams.Load()
 	old.transport.set(otherHosts, false)
 	for _, p := range others {
 		p.transport.set([]string{old.host}, false)
@@ -513,7 +513,7 @@ func TestPartitionFencing(t *testing.T) {
 	if _, _, role := old.agent.Leader(); role == failover.RoleLeader {
 		t.Fatal("old leader did not step down after the partition healed")
 	}
-	if got := metrics.Failover.FencedStreams.Load(); got <= fencedBefore {
+	if got := telemetry.Failover.FencedStreams.Load(); got <= fencedBefore {
 		t.Fatalf("fenced-streams counter did not move (%d): the diverged log was not detected", got)
 	}
 	// The isolated suffix is gone: the ad the old leader accepted at

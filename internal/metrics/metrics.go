@@ -1,6 +1,12 @@
-// Package metrics implements the evaluation measures of Sec. 5:
+// Package metrics implements the paper-evaluation measures of Sec. 5:
 // classification accuracy (Eq. 6), set precision/recall/F-measure
 // (Sec. 5.3), and the ranking metrics P@K (Eq. 7) and MRR (Eq. 8).
+//
+// These are pure functions over result sets, used by the experiment
+// harness to score answer quality against gold labels. Runtime
+// telemetry — the mutable process-wide counters, gauges, and latency
+// histograms that GET /api/status reports — lives in the subpackage
+// repro/internal/metrics/telemetry; the two roles never mix.
 package metrics
 
 // Accuracy is correct/total (Eq. 6). It returns 0 for total == 0.

@@ -1,12 +1,23 @@
-package metrics
+// Package telemetry holds the process-wide runtime telemetry for a
+// cqads node: lock-free counters and gauges that subsystems bump on
+// their hot paths, and lock-striped latency histograms that the HTTP
+// layer records into, all reported by GET /api/status.
+//
+// It is deliberately separate from its parent package
+// repro/internal/metrics, which implements the *paper-evaluation*
+// measures (accuracy, precision/recall/F1, P@K, MRR) used by the
+// experiment harness to score answer quality against gold labels.
+// The split keeps the two roles from colliding: evaluation metrics
+// are pure functions over result sets and never touch process state;
+// telemetry is mutable process state and never part of an answer.
+//
+// Everything here is monotonic (counters, histogram tallies) or
+// last-value-wins (gauges). There is no reset endpoint by design:
+// scrapers derive rates from successive monotonic samples, so two
+// scrapers can never corrupt each other's view.
+package telemetry
 
 import "sync/atomic"
-
-// This file adds operational counters to the evaluation-metrics
-// package: process-wide, lock-free tallies that subsystems bump on
-// their hot paths and GET /api/status reports. They are deliberately
-// minimal — a counter (monotonic) and a gauge (last-set value) — not a
-// metrics framework.
 
 // Counter is a monotonically increasing operation tally, safe for
 // concurrent use. The zero value is ready.
@@ -101,4 +112,38 @@ var Failover struct {
 	// Overloads counts writes refused by ingest admission control
 	// (WAL backlog or pending-quorum queue past threshold).
 	Overloads Counter
+}
+
+// Latency holds the per-endpoint request-latency histograms for this
+// process. The HTTP layer (internal/webui) records one sample per
+// request served; GET /api/status reports each histogram's cumulative
+// count and p50/p90/p99/p999. Counts are monotonic — rates are the
+// scraper's job (see the package comment).
+var Latency struct {
+	// Ask is GET /api/ask — one natural-language question.
+	Ask Histogram
+	// AskBatch is POST /api/ask/batch — a question batch.
+	AskBatch Histogram
+	// Ingest is POST /api/ad and DELETE /api/ad/{id} — durable
+	// mutations, timed end-to-end including the WAL fsync (and the
+	// quorum wait for ack=quorum writes).
+	Ingest Histogram
+	// ReplPoll is GET /api/repl/wal — follower long-polls; the
+	// long-poll wait is part of the sample, so high percentiles
+	// track the poll timeout, not a problem.
+	ReplPoll Histogram
+}
+
+// Front holds the front-tier hedging counters (internal/shard.Router).
+// Hedges climbing with HedgeWins near zero means the hedge delay is
+// too aggressive for the fleet's real tail; HedgeWins tracking Hedges
+// means a member is persistently slow or restarting.
+var Front struct {
+	// Hedges counts backup requests launched because the primary
+	// member exceeded the hedge delay (or failed outright with
+	// another member available).
+	Hedges Counter
+	// HedgeWins counts hedged requests where the backup's response
+	// was the one used.
+	HedgeWins Counter
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // walIndexEntry maps a group-commit batch's first sequence number to
@@ -71,6 +72,11 @@ type Store struct {
 	// store are simply absent (OpsSince falls back to offset 0, and
 	// the sequence filter keeps it correct).
 	offsets []walIndexEntry // cqads:guarded-by mu
+	// syncs counts successful WAL fsyncs since Open — the denominator
+	// of the group-commit amortization ratio (operations per fsync).
+	// Atomic so Syncs never queues a monitoring read behind a commit;
+	// it is only incremented while mu is held.
+	syncs atomic.Int64
 	// failed latches the store after a WAL write or sync error: the
 	// file offset may sit inside a torn frame, so appending further
 	// records would place them after bytes the recovery scan stops at
@@ -260,6 +266,7 @@ func (s *Store) commitLocked(ops []Op, buf []byte) error {
 		s.failed = fmt.Errorf("persist: syncing WAL: %w", err)
 		return s.failed
 	}
+	s.syncs.Add(1)
 	// Wake long-polling shippers: the operations are durable now.
 	close(s.watch)
 	s.watch = make(chan struct{})
@@ -504,6 +511,12 @@ func (s *Store) WALSize() int64 {
 	defer s.mu.Unlock()
 	return s.walBytes
 }
+
+// Syncs returns the number of successful WAL fsyncs since Open. With
+// group commit upstream, Syncs lagging the operation count is the
+// amortization working; they advance in lockstep only under strictly
+// serial writers.
+func (s *Store) Syncs() int64 { return s.syncs.Load() }
 
 // Close releases the WAL file handle. Further Appends and checkpoints
 // fail; Close is idempotent.

@@ -25,7 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/persist"
 )
 
@@ -386,7 +386,7 @@ func (f *Follower) pollAndApply(ctx context.Context) (int, error) {
 			return err
 		}
 		applied += len(chunk)
-		metrics.Repl.OpsApplied.Add(int64(len(chunk)))
+		telemetry.Repl.OpsApplied.Add(int64(len(chunk)))
 		chunk = chunk[:0]
 		return nil
 	}
@@ -453,12 +453,12 @@ func (f *Follower) fetchSnapshot(ctx context.Context) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: reading snapshot transfer: %w", err)
 	}
-	metrics.Repl.SnapshotsFetched.Add(1)
+	telemetry.Repl.SnapshotsFetched.Add(1)
 	return blob, nil
 }
 
 // noteLag publishes the current lag gauge.
 func (f *Follower) noteLag() {
 	st := f.sys.Status().Replication
-	metrics.Repl.LagOps.Set(int64(st.LagOps))
+	telemetry.Repl.LagOps.Set(int64(st.LagOps))
 }

@@ -11,7 +11,7 @@ import (
 	"repro/cqads"
 	"repro/internal/adsgen"
 	"repro/internal/core"
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/replica"
 	"repro/internal/schema"
 	"repro/internal/sqldb"
@@ -258,11 +258,11 @@ func TestFollowerCatchUpAcrossCompaction(t *testing.T) {
 	}
 
 	// Next sync hits 410 and re-bootstraps in place.
-	fetchedBefore := metrics.Repl.SnapshotsFetched.Load()
+	fetchedBefore := telemetry.Repl.SnapshotsFetched.Load()
 	if _, err := f.SyncOnce(ctx); err != nil {
 		t.Fatalf("gap sync: %v", err)
 	}
-	if got := metrics.Repl.SnapshotsFetched.Load(); got != fetchedBefore+1 {
+	if got := telemetry.Repl.SnapshotsFetched.Load(); got != fetchedBefore+1 {
 		t.Fatalf("snapshot transfers = %d, want %d (re-bootstrap)", got, fetchedBefore+1)
 	}
 	if ckpt := primary.Status().Persistence.CheckpointSeq; follower.AppliedSeq() < ckpt {

@@ -66,9 +66,10 @@ type member struct {
 	name string
 	srv  *httptest.Server
 
-	mu     sync.Mutex
-	view   failover.LeaderView
-	probes atomic.Int64
+	mu       sync.Mutex
+	view     failover.LeaderView
+	askDelay time.Duration // artificial /api/ask latency (hedge tests)
+	probes   atomic.Int64
 }
 
 func newMember(t *testing.T, name string) *member {
@@ -84,6 +85,16 @@ func newMember(t *testing.T, name string) *member {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(view)
 		case "/api/ask":
+			m.mu.Lock()
+			delay := m.askDelay
+			m.mu.Unlock()
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-r.Context().Done():
+					return // a cancelled hedge loser stops serving
+				}
+			}
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(cannedResult(r.URL.Query().Get("domain"), m.name))
 		case "/api/ads":
@@ -116,6 +127,13 @@ func (m *member) lead(e uint64) {
 func (m *member) follow(leaderURL string, e uint64) {
 	m.mu.Lock()
 	m.view = failover.LeaderView{LeaderURL: leaderURL, Epoch: e, Role: failover.RoleFollower}
+	m.mu.Unlock()
+}
+
+// slow makes every subsequent /api/ask on this member take at least d.
+func (m *member) slow(d time.Duration) {
+	m.mu.Lock()
+	m.askDelay = d
 	m.mu.Unlock()
 }
 

@@ -61,6 +61,8 @@ type Config struct {
 type Router struct {
 	groups       map[string][]string        // domain → owning group's member URLs
 	watch        map[string]*failover.Watch // domain → its group's leader watcher (multi-member groups only)
+	lat          map[string]*groupLatency   // domain → its group's read-latency profile (shared per member set)
+	latGroups    []*groupLatency            // unique profiles, sorted by group key
 	domains      []string                   // hosted domains, sorted
 	urls         []string                   // unique member URLs, sorted
 	byURL        map[string][]string        // member URL → its domains, sorted
@@ -102,6 +104,7 @@ func New(cfg Config) (*Router, error) {
 	r := &Router{
 		groups:       groups,
 		watch:        make(map[string]*failover.Watch),
+		lat:          make(map[string]*groupLatency),
 		byURL:        make(map[string][]string),
 		cls:          cfg.Classifier,
 		client:       client,
@@ -109,15 +112,25 @@ func New(cfg Config) (*Router, error) {
 	}
 	// Domains owned by the same replica set share one leader watcher,
 	// so an election is re-resolved once for the shard, not once per
-	// domain it hosts.
+	// domain it hosts. The read-latency profile is shared the same way
+	// — every group gets one, single-member groups included, so the
+	// front tier's latency block covers the whole cluster.
 	shared := make(map[string]*failover.Watch)
+	sharedLat := make(map[string]*groupLatency)
 	for domain, members := range groups {
 		r.domains = append(r.domains, domain)
 		for _, base := range members {
 			r.byURL[base] = append(r.byURL[base], domain)
 		}
+		key := strings.Join(members, "|")
+		g, ok := sharedLat[key]
+		if !ok {
+			g = &groupLatency{key: key}
+			sharedLat[key] = g
+			r.latGroups = append(r.latGroups, g)
+		}
+		r.lat[domain] = g
 		if len(members) > 1 {
-			key := strings.Join(members, "|")
 			w, ok := shared[key]
 			if !ok {
 				w = failover.NewWatch(members, client)
@@ -127,6 +140,7 @@ func New(cfg Config) (*Router, error) {
 		}
 	}
 	sort.Strings(r.domains)
+	sort.Slice(r.latGroups, func(i, j int) bool { return r.latGroups[i].key < r.latGroups[j].key })
 	for base, ds := range r.byURL {
 		sort.Strings(ds)
 		r.urls = append(r.urls, base)
@@ -240,13 +254,14 @@ func (r *Router) Ask(ctx context.Context, domain, question string) (*Proxied, er
 	return r.askOwned(ctx, domain, question)
 }
 
-// askOwned forwards one question to the shard owning domain.
+// askOwned forwards one question to the shard owning domain, hedging
+// a slow or failing member against another member of its group.
 func (r *Router) askOwned(ctx context.Context, domain, question string) (*Proxied, error) {
 	if _, ok := r.groups[domain]; !ok {
 		return nil, &RouteError{Domain: domain, Err: ErrNoShard}
 	}
 	q := url.Values{"domain": {domain}, "q": {question}}
-	base, status, body, err := r.doRouted(ctx, http.MethodGet, domain, "/api/ask?"+q.Encode(), nil, "")
+	base, status, body, err := r.doRead(ctx, http.MethodGet, domain, "/api/ask?"+q.Encode(), nil, "")
 	if err != nil {
 		return nil, &RouteError{Domain: domain, Shard: base, Err: err}
 	}
@@ -398,7 +413,7 @@ func (r *Router) askGroup(ctx context.Context, domain string, questions []string
 		fail(&RouteError{Domain: domain, Err: err})
 		return
 	}
-	base, status, respBody, err := r.doRouted(ctx, http.MethodPost, domain, "/api/ask/batch", body, "application/json")
+	base, status, respBody, err := r.doRead(ctx, http.MethodPost, domain, "/api/ask/batch", body, "application/json")
 	if err != nil {
 		fail(&RouteError{Domain: domain, Shard: base, Err: err})
 		return

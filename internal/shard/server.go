@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"repro/internal/metrics/telemetry"
 )
 
 // Server is the front tier's HTTP surface: the same /api contract a
@@ -239,7 +241,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStatus scatter-gathers shard /api/status reports into one
-// cluster view, each shard's own report embedded verbatim.
+// cluster view, each shard's own report embedded verbatim, plus the
+// front tier's own "front" block: per-group read latency as observed
+// from this router (count, mean/p50/p99 in milliseconds, and the
+// hedge delay currently in force) and the process-wide hedge counters.
+// All counts are cumulative and monotonic — there is no reset —
+// matching the scrape contract of a shard's own latency block.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	views := s.rt.ClusterStatus(r.Context())
 	reachable := 0
@@ -253,6 +260,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"cluster": map[string]any{
 			"shards_total":     len(views),
 			"shards_reachable": reachable,
+		},
+		"front": map[string]any{
+			"hedges":     telemetry.Front.Hedges.Load(),
+			"hedge_wins": telemetry.Front.HedgeWins.Load(),
+			"groups":     s.rt.GroupLatencies(),
 		},
 		"shards": views,
 	})

@@ -16,7 +16,7 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/sql"
 	"repro/internal/sqldb"
 )
@@ -158,18 +158,18 @@ func (c *Cache) Get(db *sqldb.DB, domain string, sel *sql.Select) (*sql.Plan, er
 			c.hits++
 			p := e.plan
 			c.mu.Unlock()
-			metrics.Plan.Hits.Add(1)
+			telemetry.Plan.Hits.Add(1)
 			return p, nil
 		}
 		c.lru.Remove(el)
 		delete(c.byKey, key)
 		c.invalidations++
 		c.mu.Unlock()
-		metrics.Plan.Invalidations.Add(1)
+		telemetry.Plan.Invalidations.Add(1)
 	} else {
 		c.misses++
 		c.mu.Unlock()
-		metrics.Plan.Misses.Add(1)
+		telemetry.Plan.Misses.Add(1)
 	}
 	// The version is read before compiling: a mutation landing
 	// mid-compile moves the table past the recorded version, so the
@@ -202,7 +202,7 @@ func (c *Cache) Get(db *sqldb.DB, domain string, sel *sql.Select) (*sql.Plan, er
 	}
 	size := len(c.byKey)
 	c.mu.Unlock()
-	metrics.Plan.Size.Set(int64(size))
+	telemetry.Plan.Size.Set(int64(size))
 	return p, nil
 }
 
@@ -222,7 +222,7 @@ func (c *Cache) Contains(domain string, sel *sql.Select) bool {
 }
 
 // Stats returns this cache's lookup tallies and current size. The
-// process-wide aggregates live in metrics.Plan.
+// process-wide aggregates live in telemetry.Plan.
 func (c *Cache) Stats() (hits, misses, invalidations int64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

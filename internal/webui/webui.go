@@ -20,7 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failover"
-	"repro/internal/metrics"
+	"repro/internal/metrics/telemetry"
 	"repro/internal/persist"
 	"repro/internal/replica/router"
 	"repro/internal/schema"
@@ -110,15 +110,15 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/ask", s.handleAsk)
-	s.mux.HandleFunc("/api/ask", s.handleAPI)
-	s.mux.HandleFunc("POST /api/ask/batch", s.handleAskBatch)
+	s.mux.HandleFunc("/api/ask", timed(&telemetry.Latency.Ask, s.handleAPI))
+	s.mux.HandleFunc("POST /api/ask/batch", timed(&telemetry.Latency.AskBatch, s.handleAskBatch))
 	s.mux.HandleFunc("/api/suggest", s.handleSuggest)
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
-	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
+	s.mux.HandleFunc("POST /api/ads", timed(&telemetry.Latency.Ingest, s.handleInsertAd))
+	s.mux.HandleFunc("DELETE /api/ads/{id}", timed(&telemetry.Latency.Ingest, s.handleDeleteAd))
 	s.mux.HandleFunc("GET /api/repl/snapshot", s.handleReplSnapshot)
-	s.mux.HandleFunc("GET /api/repl/wal", s.handleReplWAL)
+	s.mux.HandleFunc("GET /api/repl/wal", timed(&telemetry.Latency.ReplPoll, s.handleReplWAL))
 	s.mux.HandleFunc("POST /api/repl/promote", s.handleReplPromote)
 	s.mux.HandleFunc("GET /api/repl/leader", s.handleReplLeader)
 	s.mux.HandleFunc("POST /api/repl/heartbeat", s.handleReplHeartbeat)
@@ -170,6 +170,14 @@ func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
 // the node's role, its applied/observed sequence cursors and lag, plus
 // the process-wide shipping counters (ops shipped and applied,
 // snapshot transfers, last observed lag).
+//
+// The latency block reports, per instrumented endpoint (ask,
+// ask_batch, ingest, repl_poll), the cumulative request count and the
+// mean/p50/p90/p99/p999 service times in milliseconds. Counts and
+// histogram mass are monotonic for the process lifetime — there is
+// deliberately no reset parameter, so scrapers derive rates and
+// interval percentiles by differencing successive samples and can
+// never corrupt each other's view.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Status()
 	type domainJSON struct {
@@ -225,12 +233,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Replication replicationJSON `json:"replication"`
 		Admission   admissionJSON   `json:"admission"`
 		PlanCache   planCacheJSON   `json:"plan_cache"`
-	}{Domains: []domainJSON{}}
+		Latency     latencyJSON     `json:"latency"`
+	}{Domains: []domainJSON{}, Latency: latencyStatus()}
 	out.PlanCache = planCacheJSON{
-		Hits:          metrics.Plan.Hits.Load(),
-		Misses:        metrics.Plan.Misses.Load(),
-		Invalidations: metrics.Plan.Invalidations.Load(),
-		Size:          metrics.Plan.Size.Load(),
+		Hits:          telemetry.Plan.Hits.Load(),
+		Misses:        telemetry.Plan.Misses.Load(),
+		Invalidations: telemetry.Plan.Invalidations.Load(),
+		Size:          telemetry.Plan.Size.Load(),
 	}
 	for _, d := range st.Domains {
 		out.Domains = append(out.Domains, domainJSON{
@@ -263,11 +272,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		LagOps:     st.Replication.LagOps,
 		ReadOnly:   st.Replication.ReadOnly,
 		Counters: replCountersJSON{
-			OpsShipped:       metrics.Repl.OpsShipped.Load(),
-			OpsApplied:       metrics.Repl.OpsApplied.Load(),
-			SnapshotsServed:  metrics.Repl.SnapshotsServed.Load(),
-			SnapshotsFetched: metrics.Repl.SnapshotsFetched.Load(),
-			LagOps:           metrics.Repl.LagOps.Load(),
+			OpsShipped:       telemetry.Repl.OpsShipped.Load(),
+			OpsApplied:       telemetry.Repl.OpsApplied.Load(),
+			SnapshotsServed:  telemetry.Repl.SnapshotsServed.Load(),
+			SnapshotsFetched: telemetry.Repl.SnapshotsFetched.Load(),
+			LagOps:           telemetry.Repl.LagOps.Load(),
 		},
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -460,7 +469,7 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	metrics.Repl.SnapshotsServed.Add(1)
+	telemetry.Repl.SnapshotsServed.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(blob)
 }
@@ -551,7 +560,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 			// the same divergence — a deposed primary's isolated suffix.
 			epochAt, ok := s.sys.ReplEpochAt(from)
 			if !ok || epochAt != fromEpoch {
-				metrics.Failover.FencedStreams.Add(1)
+				telemetry.Failover.FencedStreams.Add(1)
 				jsonError(w, http.StatusConflict,
 					"cursor %d@epoch %d diverges from this leader's history; re-bootstrap from /api/repl/snapshot", from, fromEpoch)
 				return
@@ -565,7 +574,7 @@ func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 			}
-			metrics.Repl.OpsShipped.Add(int64(len(ops)))
+			telemetry.Repl.OpsShipped.Add(int64(len(ops)))
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("X-Cqads-Seq", strconv.FormatUint(seq, 10))
 			w.Header().Set("X-Cqads-Epoch", strconv.FormatUint(s.sys.Epoch(), 10))
