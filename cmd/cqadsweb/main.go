@@ -4,11 +4,11 @@
 // Usage:
 //
 //	cqadsweb [-addr :8080] [-seed N] [-ads N] [-data DIR]
-//	         [-domains cars,csjobs,...]
+//	         [-domains cars,csjobs,...] [-partition h1/2]
 //	         [-ingest 2s] [-expire 30s]
 //	         [-replicate-from URL | -replicas URL1,URL2,...]
 //	         [-replica-set URL1,URL2,URL3 -advertise URL [-lease 2s]]
-//	         [-shards "cars=http://a1|http://a2,csjobs=http://b,..."]
+//	         [-shards "cars=h0:http://a,h1:http://b,csjobs=http://c,..."]
 //
 // With -ingest set, the server keeps the corpus live: a background
 // writer posts a freshly generated ad to a rotating domain every
@@ -66,6 +66,29 @@
 //     scatter-gathering /api/status and /healthz into a cluster view.
 //     Unreachable shards degrade to empty answers with the error in
 //     the response envelope; other domains are unaffected.
+//   - -partition h1/2 (with -domains naming exactly one domain)
+//     narrows a shard to a hash PARTITION: it hosts only the ads
+//     whose splitmix64 key hash lands in slice 1 of 2 (the count must
+//     be a power of two) and 421s ingest addressed elsewhere. In the
+//     front tier's map a hash-split domain lists one group per slice
+//     ("cars=h0:http://a,h1:http://b", each group optionally a
+//     "|"-separated replica set); the front tier scatters in-domain
+//     questions to every partition and merges the ranked fragments
+//     into answers byte-identical to a monolith's. Combined with
+//     -replicate-from, -partition may name a CHILD slice of the
+//     primary's (e.g. h3/4 under a h1/2 primary): the follower
+//     bootstraps from just that slice of the primary's snapshot —
+//     the rebalance transfer path.
+//
+// A front tier also serves POST /api/rebalance, the live split/move:
+// given a source slice, a caught-up follower of it and the child
+// slice to move ({"domain":"cars","source":"h1/2","target_url":
+// "http://t","target_slice":"h3/4"}), the coordinator fences just the
+// moving slice's writes (queued, not errored), waits the target to
+// the source's final sequence, promotes it, cuts the routing map
+// over, retires the moved rows from the source and lifts the fence —
+// no query is dropped and no acked write is lost. Progress appears
+// under "rebalance" in the front tier's /api/status.
 package main
 
 import (
@@ -84,10 +107,12 @@ import (
 	"repro/cqads"
 	"repro/internal/adsgen"
 	"repro/internal/failover"
+	"repro/internal/partition"
 	"repro/internal/replica"
 	"repro/internal/replica/router"
 	"repro/internal/schema"
 	"repro/internal/shard"
+	"repro/internal/shard/rebalance"
 	"repro/internal/sqldb"
 	"repro/internal/webui"
 )
@@ -116,7 +141,7 @@ func runFrontTier(addr, shardMap string, opts cqads.Options) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := shard.New(shard.Config{Groups: m, Classifier: qc})
+	rt, err := shard.New(shard.Config{Map: m, Classifier: qc})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,12 +149,15 @@ func runFrontTier(addr, shardMap string, opts cqads.Options) {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: addr, Handler: shard.NewServer(rt)}
+	reb := rebalance.New(rt, nil)
+	srv := &http.Server{Addr: addr, Handler: shard.NewServerWith(rt, shard.ServerOptions{Rebalancer: reb})}
 	errc := make(chan error, 1)
 	urls := make(map[string]bool, len(m))
-	for _, members := range m {
-		for _, u := range members {
-			urls[u] = true
+	for _, groups := range m {
+		for _, g := range groups {
+			for _, u := range g.Members {
+				urls[u] = true
+			}
 		}
 	}
 	go func() {
@@ -163,7 +191,8 @@ func main() {
 	replicateFrom := flag.String("replicate-from", "", "run as a read replica of the primary at this base URL (requires the primary's -seed/-ads)")
 	replicas := flag.String("replicas", "", "comma-separated follower base URLs to scatter /api/ask/batch across")
 	domains := flag.String("domains", "", "comma-separated subset of ads domains this server hosts (shard mode; default: all eight)")
-	shardMap := flag.String("shards", "", `front-tier mode: comma-separated domain=group shard map where a group is one URL or a "|"-separated replica set (e.g. "cars=http://a1|http://a2|http://a3,csjobs=http://b"); this process holds no corpus and routes to the shards, following each set's elected leader`)
+	partitionFlag := flag.String("partition", "", `hash slice of the hosted domain this server owns, e.g. "h2/4" (partition mode; requires -domains with exactly one domain)`)
+	shardMap := flag.String("shards", "", `front-tier mode: comma-separated domain=group shard map where a group is one URL or a "|"-separated replica set (e.g. "cars=http://a1|http://a2|http://a3,csjobs=http://b"); a hash-partitioned domain lists one hN:-prefixed group per slice ("cars=h0:http://a,h1:http://b"); this process holds no corpus and routes to the shards, following each set's elected leader`)
 	replicaSet := flag.String("replica-set", "", `self-healing peer mode: comma-separated advertised base URLs of every replica-set member including this node (e.g. "http://a:8081,http://b:8082,http://c:8083"); requires -data and -advertise`)
 	advertise := flag.String("advertise", "", "this node's advertised base URL, as it appears in -replica-set and in peers' flags")
 	lease := flag.Duration("lease", 0, "base leader-lease timeout before followers campaign (0 uses the failover default; must be several times the 250ms heartbeat)")
@@ -185,6 +214,17 @@ func main() {
 			}
 		}
 		fmt.Printf("shard mode: hosting %s\n", strings.Join(opts.Domains, ", "))
+	}
+	var slice partition.Slice
+	if *partitionFlag != "" {
+		sl, err := partition.Parse(*partitionFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slice = sl
+		opts.Partitions = sl.Count
+		opts.PartitionIndex = sl.Index
+		fmt.Printf("partition mode: owning hash slice %s\n", sl)
 	}
 	var sys *cqads.System
 	var follower *replica.Follower
@@ -232,8 +272,16 @@ func main() {
 			log.Fatal("-replicate-from is incompatible with -data and -ingest: followers replicate the primary's corpus")
 		}
 		opts.DataDir = ""
+		// A partitioned follower bootstraps from just its slice of the
+		// primary's snapshot — the rebalance transfer path. The WAL tail
+		// stays unfiltered; replay skips out-of-slice ops locally.
+		snapshotQuery := ""
+		if *partitionFlag != "" {
+			snapshotQuery = "partition=" + slice.String()
+		}
 		f, err := replica.StartFollower(context.Background(), replica.Config{
-			Primary: strings.TrimRight(*replicateFrom, "/"),
+			Primary:       strings.TrimRight(*replicateFrom, "/"),
+			SnapshotQuery: snapshotQuery,
 			Bootstrap: func(snapshot []byte) (*cqads.System, error) {
 				return cqads.OpenFollower(opts, snapshot)
 			},

@@ -10,6 +10,9 @@
 //	        [-warmup 2s] [-duration 10s]
 //	        [-workers 8 | -rate 200]
 //	        [-batch 5] [-ingest-rate 20] [-ack local|quorum]
+//	        [-scenario rebalance -rebalance-domain cars
+//	         -rebalance-source h1/2 -rebalance-target-url URL
+//	         -rebalance-slice h3/4 [-rebalance-at 3s]]
 //	        [-out BENCH_pr9.json] [-max-errors -1]
 //
 // The question set is rebuilt exactly as the evaluation harness builds
@@ -34,6 +37,13 @@
 // R generated ads per second (rotating domains, -ack durability).
 // The warmup phase runs the identical mix but its samples are
 // discarded.
+//
+// With -scenario rebalance, loadgen additionally starts a live
+// partition move through the front tier's POST /api/rebalance
+// -rebalance-at into the measured phase, polls it to completion, and
+// records ask latency in half-second windows so the report charts the
+// tail through the fence and cutover. The run fails (exit 1 under
+// -max-errors) if the move does not finish in step "done".
 //
 // Results append to -out as one entry in the file's "runs" array (the
 // file accumulates runs across topologies), including per-endpoint
@@ -137,6 +147,9 @@ type loadgen struct {
 	ack     string
 	cur     atomic.Pointer[sinks]
 	next    atomic.Int64 // work-item cursor, shared by all loops
+	// tl, when non-nil, also buckets single-ask latencies into fixed
+	// wall-time windows (the -scenario rebalance chart).
+	tl *timeline
 }
 
 func main() {
@@ -158,10 +171,31 @@ func main() {
 		out         = flag.String("out", "BENCH_pr9.json", "results file; this run appends to its runs array")
 		maxErrors   = flag.Int64("max-errors", -1, "exit 1 when transport/5xx errors exceed this (-1 = don't enforce)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+
+		scenario  = flag.String("scenario", "", "extra mid-run choreography: \"rebalance\" (default: none)")
+		rebDomain = flag.String("rebalance-domain", "cars", "rebalance scenario: domain to move a slice of")
+		rebSource = flag.String("rebalance-source", "", "rebalance scenario: source slice, e.g. h1/2")
+		rebTarget = flag.String("rebalance-target-url", "", "rebalance scenario: base URL of the caught-up target follower")
+		rebSlice  = flag.String("rebalance-slice", "", "rebalance scenario: child slice to move, e.g. h3/4")
+		rebAt     = flag.Duration("rebalance-at", 3*time.Second, "rebalance scenario: delay into the measured phase")
 	)
 	flag.Parse()
 	if *targetsFlag == "" {
 		log.Fatal("-targets is required")
+	}
+	var spec *rebalanceSpec
+	switch *scenario {
+	case "":
+	case "rebalance":
+		if *rebSource == "" || *rebTarget == "" || *rebSlice == "" {
+			log.Fatal("-scenario rebalance requires -rebalance-source, -rebalance-target-url, and -rebalance-slice")
+		}
+		spec = &rebalanceSpec{
+			domain: *rebDomain, source: *rebSource,
+			targetURL: *rebTarget, targetSlice: *rebSlice, after: *rebAt,
+		}
+	default:
+		log.Fatalf("unknown -scenario %q", *scenario)
 	}
 	targets := splitList(*targetsFlag)
 	domains := schema.DomainNames
@@ -186,6 +220,9 @@ func main() {
 		items:   items,
 		batch:   *batch,
 		ack:     *ack,
+	}
+	if spec != nil {
+		g.tl = newTimeline(*duration)
 	}
 	for _, t := range targets {
 		if err := waitServing(g.client, t); err != nil {
@@ -216,19 +253,43 @@ func main() {
 	time.Sleep(*warmup)
 	g.cur.Store(measured) // warmup over: measure from here
 	measureStart := time.Now()
+	if g.tl != nil {
+		g.tl.begin(measureStart)
+	}
+	var reb *rebalanceReport
+	rebDone := make(chan struct{})
+	if spec != nil {
+		go func() {
+			defer close(rebDone)
+			reb = driveRebalance(ctx, g.client, targets[0], *spec, measureStart)
+		}()
+	} else {
+		close(rebDone)
+	}
 	time.Sleep(*duration)
 	cancel()
 	wg.Wait()
+	<-rebDone
 	elapsed := time.Since(measureStart)
 	front := frontDelta(frontBefore, scrapeFront(g.client, targets[0]))
 
 	run := buildRun(*label, targets, *rate, *workers, *batch, *ingestRate, *ack,
 		*seed, *ads, len(items), *warmup, elapsed, measured, front)
+	if spec != nil {
+		run.Scenario = *scenario
+		run.Rebalance = reb
+		run.Timeline = g.tl.report()
+	}
 	if err := appendRun(*out, run); err != nil {
 		log.Fatal(err)
 	}
 	printSummary(run)
+	printTimeline(run.Timeline, run.Rebalance)
 	errs := measured.ask.errs.Load() + measured.askBatch.errs.Load() + measured.ingest.errs.Load()
+	if reb != nil && reb.Step != "done" {
+		log.Printf("rebalance move ended in step %q: %s", reb.Step, reb.Error)
+		errs++
+	}
 	if *maxErrors >= 0 && errs > *maxErrors {
 		log.Fatalf("%d errors exceed -max-errors %d", errs, *maxErrors)
 	}
@@ -378,6 +439,9 @@ func (g *loadgen) issue(ctx context.Context, i int64) {
 	q := url.Values{"domain": {it.domain}, "q": {it.text}}
 	d, status, err := g.send(ctx, http.MethodGet, target, "/api/ask?"+q.Encode(), nil)
 	s.ask.record(d, status, err)
+	if g.tl != nil && err == nil {
+		g.tl.record(d.Nanoseconds())
+	}
 }
 
 // ingestLoop posts generated ads at a fixed rate, rotating domains,
@@ -539,7 +603,10 @@ type runReport struct {
 		AskBatch *endpointReport `json:"ask_batch,omitempty"`
 		Ingest   *endpointReport `json:"ingest,omitempty"`
 	} `json:"endpoints"`
-	Front *frontCounters `json:"front,omitempty"`
+	Front     *frontCounters   `json:"front,omitempty"`
+	Scenario  string           `json:"scenario,omitempty"`
+	Rebalance *rebalanceReport `json:"rebalance,omitempty"`
+	Timeline  []windowReport   `json:"timeline,omitempty"`
 }
 
 func buildRun(label string, targets []string, rate float64, workers, batch int,

@@ -1,0 +1,193 @@
+package main
+
+// The -scenario rebalance run: mid-measurement, loadgen itself starts
+// a live partition move through the front tier's POST /api/rebalance
+// and charts single-ask tail latency in fixed windows across the
+// cutover — the client-side proof that the fence queues rather than
+// errors and that the p99 dent is bounded to the windows the fence
+// was actually up.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics/telemetry"
+)
+
+// timelineWindow is the chart resolution.
+const timelineWindow = 500 * time.Millisecond
+
+// timeline buckets ask latencies into fixed wall-time windows from the
+// measurement start, so per-window percentiles chart the run over
+// time. Disabled (all records dropped) until begin is called.
+type timeline struct {
+	startNanos atomic.Int64 // 0 = not yet measuring
+	hists      []telemetry.Histogram
+}
+
+func newTimeline(duration time.Duration) *timeline {
+	n := int(duration/timelineWindow) + 2 // slack for requests straddling the end
+	return &timeline{hists: make([]telemetry.Histogram, n)}
+}
+
+func (tl *timeline) begin(t time.Time) { tl.startNanos.Store(t.UnixNano()) }
+
+// record files one completed ask under the window its completion falls
+// in.
+func (tl *timeline) record(ns int64) {
+	start := tl.startNanos.Load()
+	if start == 0 {
+		return
+	}
+	idx := int(time.Since(time.Unix(0, start)) / timelineWindow)
+	if idx < 0 || idx >= len(tl.hists) {
+		return
+	}
+	tl.hists[idx].Record(ns)
+}
+
+// windowReport is one chart point.
+type windowReport struct {
+	TS     float64 `json:"t_s"`
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+func (tl *timeline) report() []windowReport {
+	var out []windowReport
+	for i := range tl.hists {
+		snap := tl.hists[i].Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		out = append(out, windowReport{
+			TS:     (time.Duration(i) * timelineWindow).Seconds(),
+			Count:  int64(snap.Count),
+			P50Ms:  ms(snap.Quantile(0.50)),
+			P99Ms:  ms(snap.Quantile(0.99)),
+			P999Ms: ms(snap.Quantile(0.999)),
+		})
+	}
+	return out
+}
+
+// rebalanceSpec is the move the scenario performs.
+type rebalanceSpec struct {
+	domain      string
+	source      string
+	targetURL   string
+	targetSlice string
+	after       time.Duration // delay into the measured phase
+}
+
+// rebalanceReport is the scenario's entry in the run report.
+type rebalanceReport struct {
+	Domain      string  `json:"domain"`
+	Source      string  `json:"source"`
+	TargetSlice string  `json:"target_slice"`
+	StartedS    float64 `json:"started_s"` // relative to the measured phase
+	DoneS       float64 `json:"done_s"`
+	Step        string  `json:"step"` // terminal coordinator step: done / failed
+	Error       string  `json:"error,omitempty"`
+}
+
+// driveRebalance starts the move through the front tier after
+// spec.after and polls /api/status until the coordinator reports a
+// terminal step (or ctx ends the run first).
+func driveRebalance(ctx context.Context, client *http.Client, front string, spec rebalanceSpec, measureStart time.Time) *rebalanceReport {
+	rep := &rebalanceReport{Domain: spec.domain, Source: spec.source, TargetSlice: spec.targetSlice, Step: "not-started"}
+	select {
+	case <-ctx.Done():
+		return rep
+	case <-time.After(spec.after):
+	}
+	body, _ := json.Marshal(map[string]string{
+		"domain": spec.domain, "source": spec.source,
+		"target_url": spec.targetURL, "target_slice": spec.targetSlice,
+	})
+	rep.StartedS = time.Since(measureStart).Seconds()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, front+"/api/rebalance", bytes.NewReader(body))
+	if err != nil {
+		rep.Step, rep.Error = "failed", err.Error()
+		return rep
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		rep.Step, rep.Error = "failed", err.Error()
+		return rep
+	}
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		rep.Step = "failed"
+		rep.Error = fmt.Sprintf("POST /api/rebalance answered %d: %s", resp.StatusCode, respBody)
+		return rep
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			rep.Error = "run ended before the move finished"
+			return rep
+		case <-tick.C:
+		}
+		resp, err := client.Get(front + "/api/status")
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Rebalance struct {
+				Active   bool `json:"active"`
+				Progress struct {
+					Step  string `json:"step"`
+					Error string `json:"error"`
+				} `json:"progress"`
+			} `json:"rebalance"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		rep.Step = st.Rebalance.Progress.Step
+		rep.Error = st.Rebalance.Progress.Error
+		if !st.Rebalance.Active && rep.Step != "" && rep.Step != "idle" {
+			rep.DoneS = time.Since(measureStart).Seconds()
+			return rep
+		}
+	}
+}
+
+// printTimeline renders the chart: one line per window, with the
+// rebalance start/finish marked on the windows they fell in.
+func printTimeline(windows []windowReport, reb *rebalanceReport) {
+	if len(windows) == 0 {
+		return
+	}
+	log.Printf("ask latency through the run (%.1fs windows):", timelineWindow.Seconds())
+	for _, w := range windows {
+		mark := ""
+		if reb != nil {
+			if reb.StartedS >= w.TS && reb.StartedS < w.TS+timelineWindow.Seconds() {
+				mark += "  <- rebalance started"
+			}
+			if reb.DoneS > 0 && reb.DoneS >= w.TS && reb.DoneS < w.TS+timelineWindow.Seconds() {
+				mark += "  <- cutover done"
+			}
+		}
+		log.Printf("  t=%5.1fs  %5d reqs  p50 %7.2fms  p99 %8.2fms  p999 %8.2fms%s",
+			w.TS, w.Count, w.P50Ms, w.P99Ms, w.P999Ms, mark)
+	}
+}

@@ -183,6 +183,7 @@ import (
 	"repro/internal/adsgen"
 	"repro/internal/classify"
 	"repro/internal/core"
+	"repro/internal/partition"
 	"repro/internal/persist"
 	"repro/internal/qlog"
 	"repro/internal/questions"
@@ -330,6 +331,20 @@ type Options struct {
 	// control sheds writes with ErrOverloaded; 0 uses
 	// core.DefaultMaxWALBytes, negative disables the check.
 	MaxWALBytes int64
+	// Partitions, when > 1, builds a hash PARTITION of a single domain:
+	// Options.Domains must name exactly one domain, and the System
+	// hosts only the ads whose key (RowID) hashes into slice
+	// (PartitionIndex, Partitions) of internal/partition's key space.
+	// The synthetic corpus is generated and the classifier trained
+	// exactly as the monolith's — both are derived before the partition
+	// filter drops the out-of-slice rows (their RowID slots stay
+	// allocated as tombstones), so every partition routes and ranks
+	// identically to a monolith and a scatter/merge over all partitions
+	// of a domain answers bit-identically to it. Partitions must be a
+	// power of two; 0 or 1 hosts whole domains.
+	Partitions uint32
+	// PartitionIndex selects this node's hash slice; < Partitions.
+	PartitionIndex uint32
 }
 
 // Open builds a ready-to-query System over the synthetic eight-domain
@@ -486,6 +501,30 @@ func buildEnvFor(opts Options, classifierOnly bool) (core.Config, error) {
 		}
 		cls.Train(d, docs)
 	}
+	if opts.Partitions > 1 && !classifierOnly {
+		// Partition filter, applied AFTER classifier training: the
+		// training questions are generated from the full table, so every
+		// partition (and the monolith) trains the identical classifier;
+		// only then does each partition drop the rows its slice does not
+		// own. Deletion keeps the RowID slots as tombstones — ad keys are
+		// global, a partition simply has holes where other partitions'
+		// ads live.
+		slice := partition.Slice{Index: opts.PartitionIndex, Count: opts.Partitions}
+		if err := slice.Validate(); err != nil {
+			return core.Config{}, fmt.Errorf("cqads: Options.Partitions/PartitionIndex: %w", err)
+		}
+		if len(opts.Domains) != 1 {
+			return core.Config{}, fmt.Errorf("cqads: Options.Partitions > 1 requires exactly one domain in Options.Domains, got %d", len(opts.Domains))
+		}
+		tbl, _ := db.TableForDomain(opts.Domains[0])
+		for _, id := range tbl.AllRowIDs() {
+			if !slice.ContainsKey(uint64(id)) {
+				if err := tbl.Delete(id); err != nil {
+					return core.Config{}, err
+				}
+			}
+		}
+	}
 	cfg := core.Config{
 		DB:               db,
 		Classifier:       cls,
@@ -503,6 +542,8 @@ func buildEnvFor(opts Options, classifierOnly bool) (core.Config, error) {
 		AckTimeout:       opts.AckTimeout,
 		MaxPendingQuorum: opts.MaxPendingQuorum,
 		MaxWALBytes:      opts.MaxWALBytes,
+		Partitions:       opts.Partitions,
+		PartitionIndex:   opts.PartitionIndex,
 	}
 	if len(opts.Domains) > 0 {
 		// Shard mode: the System hosts (and snapshots, replays,

@@ -270,9 +270,55 @@
 //     domains (its WAL contains nothing else), so a shard can carry
 //     its own follower fleet (`cqadsweb -replicate-from` with the
 //     shard's -domains) and the two scaling axes — domains across
-//     shards, reads across replicas — compose per shard. Shard
-//     rebalancing (moving a domain between shards) and per-shard
-//     admission control are open items (see ROADMAP).
+//     shards, reads across replicas — compose per shard.
+//
+// # Partitioning and live rebalancing
+//
+// Domain sharding caps out at eight processes and a hot vertical
+// dwarfs the rest, so a second axis splits ONE domain by ad-key hash
+// (internal/partition): keys are mixed through splitmix64 and a slice
+// h<i>/<P> (P a power of two) owns the keys whose low bits equal i.
+// Power-of-two counts give slices an exact algebra — h1/2 splits into
+// h1/4 and h3/4, a child is a strict subset of its parent — which is
+// what makes an incremental move well-defined.
+//
+//   - A PARTITION is a shard narrowed further
+//     (cqads.Options.Partitions/PartitionIndex; `cqadsweb -domains
+//     cars -partition h1/2`): it builds the full deterministic
+//     substrate — classifier, similarity matrices, even the domain's
+//     complete generated corpus, from which it drops out-of-slice rows
+//     as tombstones — so RowIDs, routing and ranking are globally
+//     identical, and it admits only ingest whose key hash it owns
+//     (typed core.WrongPartitionError / HTTP 421 otherwise). Snapshot
+//     serving accepts ?partition=h3/4 to ship just a slice.
+//
+//   - The shard map grows hash groups (`cars=h0:http://a,h1:http://b`,
+//     composing with "|" replica sets per group). The front tier
+//     scatters an in-domain ask to every partition of the domain, each
+//     partition answers over its slice, and the router merges the
+//     ranked fragments deterministically (score order, RowID
+//     tie-break) into bytes identical to a monolith's answer; ingest
+//     routes by the ad key's hash (unpinned inserts round-robin, since
+//     any partition can allocate an id it owns); /api/status rolls up
+//     "cluster_latency" by exactly Merging every partition's raw
+//     histogram buckets.
+//
+//   - Live rebalancing (internal/shard/rebalance; POST /api/rebalance
+//     on the front tier) moves a slice without dropping a query or a
+//     quorum-acked write: a follower bootstraps from the source's
+//     slice-filtered snapshot and tails its WAL to lag 0; the
+//     coordinator then fences JUST the moving slice's writes at the
+//     router (queued, never errored), drains in-flight writes, waits
+//     for the target to apply the source's final sequence, promotes
+//     the target, swaps the router map (source keeps the sibling
+//     slice, target takes the moved one), tells the source to retire
+//     the moved slice's rows, and lifts the fence. Reads never pause:
+//     scatter legs carry the slice they address, so answers are
+//     correct from either side of the cutover. The churn harness
+//     (internal/shard/rebalance) proves a move under live ingest and
+//     ask traffic stays byte-identical to a never-rebalanced
+//     reference, and `loadgen -scenario rebalance` charts the tail
+//     latency dent the fence actually costs.
 //
 // # Load & latency
 //

@@ -59,6 +59,7 @@ type gcRequest struct {
 	del    bool                   // delete (id) rather than insert (values)
 	values map[string]sqldb.Value // insert payload
 	id     sqldb.RowID            // delete target
+	pin    sqldb.RowID            // caller-chosen insert RowID, unpinned (-1) for self-assignment
 	ack    AckLevel
 	// done receives exactly one result; buffered so the committer
 	// never blocks on a delivering send.
@@ -190,12 +191,12 @@ func (s *System) shutdownGroupCommits(c *groupCommitter) {
 // insertAdGrouped is the single-insert durable path: through the
 // group committer when it is running, the direct per-call-fsync path
 // otherwise (Config.NoGroupCommit).
-func (s *System) insertAdGrouped(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, uint64, error) {
+func (s *System) insertAdGrouped(domain string, values map[string]sqldb.Value, pin sqldb.RowID, ack AckLevel) (sqldb.RowID, uint64, error) {
 	c := s.persist.gc
 	if c == nil {
-		return s.insertAdDurable(domain, values, ack)
+		return s.insertAdDurable(domain, values, pin, ack)
 	}
-	r := &gcRequest{domain: domain, values: values, ack: ack, done: make(chan gcResult, 1)}
+	r := &gcRequest{domain: domain, values: values, pin: pin, ack: ack, done: make(chan gcResult, 1)}
 	if err := s.submitGrouped(c, r); err != nil {
 		return 0, 0, err
 	}
@@ -210,7 +211,7 @@ func (s *System) deleteAdGrouped(domain string, id sqldb.RowID, ack AckLevel) (u
 	if c == nil {
 		return s.deleteAdDurable(domain, id, ack)
 	}
-	r := &gcRequest{domain: domain, del: true, id: id, ack: ack, done: make(chan gcResult, 1)}
+	r := &gcRequest{domain: domain, del: true, id: id, pin: unpinned, ack: ack, done: make(chan gcResult, 1)}
 	if err := s.submitGrouped(c, r); err != nil {
 		return 0, err
 	}
@@ -271,7 +272,7 @@ func (s *System) commitGroup(c *groupCommitter, batch []*gcRequest) {
 				opIdx[i] = len(ops)
 				ops = append(ops, persist.Op{Kind: persist.OpDelete, Domain: r.domain, ID: r.id})
 			} else {
-				id, err := s.insertAdLocked(r.domain, r.values)
+				id, err := s.insertAdLocked(r.domain, r.values, r.pin)
 				if err != nil {
 					results[i].err = err
 					continue

@@ -45,13 +45,30 @@ func (s *System) InsertAd(domain string, values map[string]sqldb.Value) (sqldb.R
 // the returned error wraps ErrQuorumUnavailable and the id is still
 // valid — the ad is durable locally, just not yet on a majority.
 func (s *System) InsertAdWithAck(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, error) {
+	return s.InsertAdPinnedWithAck(domain, values, unpinned, ack)
+}
+
+// unpinned is the pin sentinel for inserts whose RowID the System
+// assigns itself.
+const unpinned sqldb.RowID = -1
+
+// InsertAdPinnedWithAck inserts an ad at a caller-chosen RowID. A
+// partitioned front tier assigns cluster-wide ids itself (the id is
+// the partition key, so the router must know it before it can pick the
+// owning partition) and pins each insert to the id it routed by; the
+// owning partition verifies the id hashes into its slice
+// (*WrongPartitionError otherwise) and allocates exactly that slot.
+// Pinned ids must be >= the table's allocated slot count — ids never
+// regress. Pass unpinned (any negative pin) for the ordinary
+// self-assigned path.
+func (s *System) InsertAdPinnedWithAck(domain string, values map[string]sqldb.Value, pin sqldb.RowID, ack AckLevel) (sqldb.RowID, error) {
 	if err := s.writable(); err != nil {
 		return 0, err
 	}
 	if s.persist == nil {
-		return s.insertAdLocked(domain, values)
+		return s.insertAdLocked(domain, values, pin)
 	}
-	id, seq, err := s.insertAdGrouped(domain, values, ack)
+	id, seq, err := s.insertAdGrouped(domain, values, pin, ack)
 	if err != nil {
 		return id, err
 	}
@@ -70,7 +87,7 @@ func (s *System) InsertAdWithAck(domain string, values map[string]sqldb.Value, a
 // assigned log sequence for quorum tracking. It pays a full fsync per
 // call — the live path routes through insertAdGrouped (group commit)
 // and only falls back here under Config.NoGroupCommit.
-func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, ack AckLevel) (sqldb.RowID, uint64, error) {
+func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, pin sqldb.RowID, ack AckLevel) (sqldb.RowID, uint64, error) {
 	p := s.persist
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -80,7 +97,7 @@ func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, a
 	if err := s.admitLocked(ack); err != nil {
 		return 0, 0, err
 	}
-	id, err := s.insertAdLocked(domain, values)
+	id, err := s.insertAdLocked(domain, values, pin)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -98,15 +115,39 @@ func (s *System) insertAdDurable(domain string, values map[string]sqldb.Value, a
 }
 
 // insertAdLocked is the storage-plus-classifier half of InsertAd. On
-// persistent systems the caller holds persister.mu.
-func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value) (sqldb.RowID, error) {
+// persistent systems the caller holds persister.mu. A pin >= 0 places
+// the ad at exactly that RowID (after the partition-slice check); an
+// unpinned insert on a partitioned system self-assigns the smallest
+// unallocated id that hashes into the hosted slice, so locally
+// originated ads still land on the right partition.
+func (s *System) insertAdLocked(domain string, values map[string]sqldb.Value, pin sqldb.RowID) (sqldb.RowID, error) {
 	tbl, err := s.hostedTable(domain)
 	if err != nil {
 		return 0, err
 	}
-	id, err := tbl.Insert(values)
-	if err != nil {
-		return 0, err
+	var id sqldb.RowID
+	switch {
+	case pin >= 0:
+		if s.partitioned && !s.ownsKey(pin) {
+			return 0, &WrongPartitionError{Domain: domain, ID: pin, Slice: *s.slice.Load()}
+		}
+		if err := tbl.InsertAt(pin, values); err != nil {
+			return 0, err
+		}
+		id = pin
+	case s.partitioned:
+		id = sqldb.RowID(tbl.Slots())
+		for !s.ownsKey(id) {
+			id++
+		}
+		if err := tbl.InsertAt(id, values); err != nil {
+			return 0, err
+		}
+	default:
+		id, err = tbl.Insert(values)
+		if err != nil {
+			return 0, err
+		}
 	}
 	if s.trainOnIngest && s.classifier != nil {
 		if doc := adDocument(values); len(doc) > 0 {
@@ -167,11 +208,18 @@ func (s *System) deleteAdDurable(domain string, id sqldb.RowID, ack AckLevel) (u
 	return ops[0].Seq, nil
 }
 
-// deleteAdLocked is the storage half of DeleteAd.
+// deleteAdLocked is the storage half of DeleteAd. On a partitioned
+// system it refuses ids outside the hosted slice (they live on another
+// partition — the front tier re-routes on the resulting 421);
+// RetirePartition, which deliberately drops moved-out rows, calls
+// tbl.Delete directly instead.
 func (s *System) deleteAdLocked(domain string, id sqldb.RowID) error {
 	tbl, err := s.hostedTable(domain)
 	if err != nil {
 		return err
+	}
+	if s.partitioned && !s.ownsKey(id) {
+		return &WrongPartitionError{Domain: domain, ID: id, Slice: *s.slice.Load()}
 	}
 	return tbl.Delete(id)
 }
@@ -256,7 +304,7 @@ func (s *System) insertAdBatchDurable(domain string, ads []map[string]sqldb.Valu
 	}
 	ops := make([]persist.Op, 0, len(ads))
 	for i, ad := range ads {
-		id, err := s.insertAdLocked(domain, ad)
+		id, err := s.insertAdLocked(domain, ad, unpinned)
 		results[i] = IngestResult{Index: i, ID: id, Err: err}
 		if err == nil {
 			ops = append(ops, insertOpFor(domain, id, ad))

@@ -18,8 +18,10 @@ import (
 // the union of their results (minus exact answers) is ranked by
 // Rank_Sim (Eq. 5). Questions with a single condition fall back to
 // similarity matching over the whole table. RelaxationDepth > 1
-// additionally drops pairs (the N−2 sweep the paper discusses).
-func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, exact []sqldb.RowID, want int, dd *dedup.Result) []Answer {
+// additionally drops pairs (the N−2 sweep the paper discusses). A
+// non-nil keep restricts the candidate pool to rows it accepts — the
+// scatter path's hash-slice filter; the monolith path passes nil.
+func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, exact []sqldb.RowID, want int, dd *dedup.Result, keep func(sqldb.RowID) bool) []Answer {
 	if want <= 0 {
 		return nil
 	}
@@ -44,6 +46,15 @@ func (s *System) partialAnswers(tbl *sqldb.Table, in *boolean.Interpretation, ex
 				candidates = append(candidates, id)
 			}
 		}
+	}
+	if keep != nil {
+		kept := candidates[:0:0]
+		for _, id := range candidates {
+			if keep(id) {
+				kept = append(kept, id)
+			}
+		}
+		candidates = kept
 	}
 	if dd != nil {
 		candidates = dd.FilterAnswersExcluding(candidates, exact)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/persist"
+	"repro/internal/sqldb"
+)
+
+// This file is the hash-partitioning surface of the System: admission
+// filtering for a System that hosts one slice of a domain's key space
+// (Config.Partitions), and the source-side retirement step of a live
+// rebalance. The slice primitives themselves live in
+// internal/partition; everything here enforces "only ads whose key
+// hashes into my slice live on this node".
+
+// WrongPartitionError reports an ad addressed to a partition that does
+// not own its key: the hash of ID falls outside Slice. It matches
+// ErrNotHosted under errors.Is — the web layer already maps that to
+// HTTP 421 (misdirected request), and the front tier reacts the same
+// way to both: re-resolve the owner and retry there.
+type WrongPartitionError struct {
+	// Domain is the requested domain.
+	Domain string
+	// ID is the ad key whose hash is out of slice.
+	ID sqldb.RowID
+	// Slice is the hash slice this node hosts.
+	Slice partition.Slice
+}
+
+func (e *WrongPartitionError) Error() string {
+	return fmt.Sprintf("core: ad %d of domain %q does not hash into partition %s", e.ID, e.Domain, e.Slice)
+}
+
+// Is makes errors.Is(err, ErrNotHosted) succeed: a misdirected
+// partition write is routed, not failed, exactly like a misdirected
+// domain write.
+func (e *WrongPartitionError) Is(target error) bool { return target == ErrNotHosted }
+
+// Partitioned reports whether this System hosts a hash slice of its
+// domain (Config.Partitions > 1) rather than whole domains.
+func (s *System) Partitioned() bool { return s.partitioned }
+
+// PartitionSlice returns the hash slice this System currently hosts —
+// the whole key space for unpartitioned systems. The slice narrows
+// when RetirePartition hands part of it to another node.
+func (s *System) PartitionSlice() partition.Slice { return *s.slice.Load() }
+
+// ownsKey reports whether this System's current slice owns an ad key.
+func (s *System) ownsKey(id sqldb.RowID) bool {
+	return s.slice.Load().ContainsKey(uint64(id))
+}
+
+// ReplSnapshotSection returns the encoded current snapshot with every
+// table's rows filtered to the keys sl owns — the initial state
+// transfer for a rebalance target that will host only that slice. Slot
+// counts are preserved, so the target's tables keep cluster-wide RowIDs
+// (dropped slots restore as tombstones). A whole slice returns the full
+// blob unchanged. Serving the section is read-only extraction; the live
+// WAL feed stays unfiltered and the target's replay skips out-of-slice
+// operations, keeping the shipped stream gap-free.
+func (s *System) ReplSnapshotSection(sl partition.Slice) ([]byte, error) {
+	blob, err := s.ReplSnapshotBlob()
+	if err != nil {
+		return nil, err
+	}
+	if sl.IsWhole() {
+		return blob, nil
+	}
+	if err := sl.Validate(); err != nil {
+		return nil, err
+	}
+	snap, err := persist.DecodeSnapshot(blob)
+	if err != nil {
+		return nil, err
+	}
+	filtered := persist.FilterSnapshot(snap, func(_ string, id sqldb.RowID) bool {
+		return sl.ContainsKey(uint64(id))
+	})
+	return persist.EncodeSnapshot(filtered), nil
+}
+
+// RetirePartition narrows this System's hosted slice to newSlice and
+// deletes every row whose key hashes outside it — the source side of a
+// completed rebalance: after the router has cut the moved slice over
+// to its new owner, the old owner drops the moved rows. newSlice must
+// be a subset of the current slice. The slice is narrowed before any
+// row is touched, so concurrent ingest for the moved slice is refused
+// (WrongPartitionError → the front tier re-routes to the new owner)
+// from the first instant; the doomed rows are then deleted through the
+// internal bulk path and, on a durable system, a checkpoint makes the
+// narrowed corpus the durable baseline (the WAL is truncated with it,
+// so recovery never replays moved-out operations).
+func (s *System) RetirePartition(newSlice partition.Slice) error {
+	if !s.partitioned {
+		return fmt.Errorf("core: RetirePartition on an unpartitioned system")
+	}
+	if err := s.writable(); err != nil {
+		return err
+	}
+	if err := newSlice.Validate(); err != nil {
+		return err
+	}
+	cur := *s.slice.Load()
+	if !newSlice.SubsetOf(cur) {
+		return fmt.Errorf("core: cannot retire %s to %s: not a subset", cur, newSlice)
+	}
+	s.slice.Store(&newSlice)
+	domain := s.domains[0]
+	tbl, err := s.hostedTable(domain)
+	if err != nil {
+		return err
+	}
+	var doomed []sqldb.RowID
+	for _, id := range tbl.AllRowIDs() {
+		if !newSlice.ContainsKey(uint64(id)) {
+			doomed = append(doomed, id)
+		}
+	}
+	if len(doomed) == 0 {
+		return nil
+	}
+	if s.persist == nil {
+		for _, id := range doomed {
+			if err := tbl.Delete(id); err != nil {
+				return fmt.Errorf("core: retiring partition: %w", err)
+			}
+		}
+		return nil
+	}
+	// Durable: one logged bulk delete (tbl.Delete directly — the
+	// ordinary delete path's slice check would now refuse these very
+	// ids), then a checkpoint so the truncated WAL and snapshot agree
+	// on the narrowed corpus.
+	p := s.persist
+	p.mu.Lock()
+	if err := p.ingestable(); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	ops := make([]persist.Op, 0, len(doomed))
+	for _, id := range doomed {
+		if err := tbl.Delete(id); err != nil {
+			p.mu.Unlock()
+			return fmt.Errorf("core: retiring partition: %w", err)
+		}
+		ops = append(ops, persist.Op{Kind: persist.OpDelete, Domain: domain, ID: id})
+	}
+	if err := p.store.Append(ops); err != nil {
+		p.failed.Store(true) // unlogged deletes: memory and log diverged
+		p.mu.Unlock()
+		return fmt.Errorf("core: retirement deleted %d ads but not logged (%v): %w", len(ops), err, ErrDurabilityLost)
+	}
+	err = s.checkpointLocked()
+	p.mu.Unlock()
+	return err
+}

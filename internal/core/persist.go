@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/partition"
 	"repro/internal/persist"
 	"repro/internal/sqldb"
 )
@@ -253,6 +254,10 @@ func restoreSnapshot(cfg Config, snap *persist.Snapshot) error {
 	for _, d := range cfg.Domains {
 		hosted[d] = true
 	}
+	slice := partition.Whole()
+	if cfg.Partitions > 1 {
+		slice = partition.Slice{Index: cfg.PartitionIndex, Count: cfg.Partitions}
+	}
 	for _, td := range snap.Tables {
 		tbl, ok := cfg.DB.TableForDomain(td.Domain)
 		if !ok {
@@ -260,6 +265,19 @@ func restoreSnapshot(cfg Config, snap *persist.Snapshot) error {
 		}
 		if len(hosted) > 0 && !hosted[td.Domain] {
 			continue // known domain, hosted elsewhere: filtered
+		}
+		if !slice.IsWhole() {
+			// Partition filtering: keep only rows whose key hashes into
+			// the hosted slice. The slot count is preserved, so RowIDs
+			// stay stable — the dropped rows' slots become tombstones,
+			// exactly as a source-side filtered export renders them.
+			rows := make([]sqldb.Record, 0, len(td.Rows))
+			for _, r := range td.Rows {
+				if slice.ContainsKey(uint64(r.ID)) {
+					rows = append(rows, r)
+				}
+			}
+			td.Rows = rows
 		}
 		attrs := tbl.Schema().Attrs
 		if len(td.Columns) != len(attrs) {
@@ -300,13 +318,27 @@ func (s *System) replayOp(op persist.Op) error {
 			return nil
 		}
 	}
+	if s.partitioned && !s.ownsKey(op.ID) {
+		// Partition filtering on the key hash: a replica of a wider (or
+		// sibling) partition's log applies only the operations its own
+		// slice owns. Skipped operations still advance the replay
+		// cursor, so the stream stays gap-free.
+		return nil
+	}
 	switch op.Kind {
 	case persist.OpInsert:
 		values := make(map[string]sqldb.Value, len(op.Columns))
 		for i, col := range op.Columns {
 			values[col] = op.Values[i]
 		}
-		id, err := s.insertAdLocked(op.Domain, values)
+		pin := unpinned
+		if s.partitioned {
+			// A partitioned table is sparse (only in-slice slots are
+			// allocated), so replay must land each insert at exactly the
+			// logged id rather than relying on dense self-assignment.
+			pin = op.ID
+		}
+		id, err := s.insertAdLocked(op.Domain, values, pin)
 		if err != nil {
 			return fmt.Errorf("core: replaying WAL op %d: %w", op.Seq, err)
 		}

@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/boolean"
 	"repro/internal/classify"
 	"repro/internal/dedup"
+	"repro/internal/partition"
 	"repro/internal/qlog"
 	"repro/internal/rank"
 	"repro/internal/sql"
@@ -127,6 +129,17 @@ type Config struct {
 	// waits. Raise it only to trade single-writer latency for fewer
 	// fsyncs under bursty load.
 	GroupCommitWait time.Duration
+	// Partitions, when > 1, makes this System host one hash slice of a
+	// single domain's key space instead of the whole domain: only ads
+	// whose partition.KeyHash falls in slice (PartitionIndex,
+	// Partitions) are admitted, recovered, or replicated here. The
+	// count must be a power of two and the System must host exactly
+	// one domain (Config.Domains with one entry). 0 or 1 hosts whole
+	// domains, exactly as before.
+	Partitions uint32
+	// PartitionIndex selects which of the Partitions hash slices this
+	// System hosts; must be < Partitions.
+	PartitionIndex uint32
 }
 
 // DefaultCompactBytes is the default WAL size that triggers automatic
@@ -147,9 +160,16 @@ type System struct {
 	// whether Config.Domains restricted the System to a subset — only
 	// then do recovery and replication filter foreign-domain data
 	// instead of treating it as corruption.
-	domains       []string
-	hosted        map[string]bool
-	sharded       bool
+	domains []string
+	hosted  map[string]bool
+	sharded bool
+	// partitioned reports Config.Partitions > 1: the single hosted
+	// domain is one hash slice of a wider key space. slice holds the
+	// current slice; it only ever narrows (RetirePartition after a
+	// rebalance hands half the slice to another node), so it lives in
+	// an atomic pointer that readers load without a lock.
+	partitioned   bool
+	slice         atomic.Pointer[partition.Slice]
 	maxAnswers    int
 	depth         int
 	strict        bool
@@ -286,6 +306,24 @@ func New(cfg Config) (*System, error) {
 			WS:     cfg.WS,
 		}
 	}
+	sl := partition.Whole()
+	if cfg.Partitions > 1 {
+		sl = partition.Slice{Index: cfg.PartitionIndex, Count: cfg.Partitions}
+		if err := sl.Validate(); err != nil {
+			return nil, fmt.Errorf("core: Config.Partitions/PartitionIndex: %w", err)
+		}
+		if len(s.domains) != 1 {
+			return nil, fmt.Errorf("core: partitioned mode hosts exactly one domain, Config.Domains names %d", len(s.domains))
+		}
+		if cfg.Dedup {
+			// Near-duplicate representatives are chosen over the local
+			// rows; two partitions of one domain would elect different
+			// representatives and break cross-topology equivalence.
+			return nil, fmt.Errorf("core: Dedup cannot be combined with Partitions > 1")
+		}
+		s.partitioned = true
+	}
+	s.slice.Store(&sl)
 	if cfg.Dedup {
 		s.dedups = make(map[string]*dedupState)
 		for _, domain := range s.domains {
@@ -414,13 +452,7 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	sch := tbl.Schema()
 
 	tags := tagger.Tag(question)
-	var in *boolean.Interpretation
-	if s.strict {
-		in = boolean.InterpretStrict(sch, tags)
-	} else {
-		in = boolean.Interpret(sch, tags)
-	}
-	in = ResolveIncomplete(sch, in)
+	in := s.interpretFor(sch, tags)
 
 	res := &Result{
 		Question:       question,
@@ -457,7 +489,7 @@ func (s *System) AskInDomain(domain, question string) (*Result, error) {
 	res.ExactCount = len(res.Answers)
 
 	if res.ExactCount < s.maxAnswers {
-		partial := s.partialAnswers(tbl, in, exactIDs, s.maxAnswers-res.ExactCount, dd)
+		partial := s.partialAnswers(tbl, in, exactIDs, s.maxAnswers-res.ExactCount, dd, nil)
 		res.Answers = append(res.Answers, partial...)
 	}
 	res.Elapsed = time.Since(start) //lint:cqads-ignore wallclock Elapsed is reporting metadata; answer content never depends on it

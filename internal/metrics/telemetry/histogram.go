@@ -118,6 +118,40 @@ func (h *Histogram) Snapshot() Snapshot {
 	return out
 }
 
+// WireBuckets returns the bucket counts with trailing zero buckets
+// trimmed — the compact wire form a status endpoint serves. Almost all
+// of the 64 buckets are zero for real latencies (bucket 45 is already
+// ~9.8 hours), so trimming keeps status bodies small without losing a
+// single count.
+func (s Snapshot) WireBuckets() []uint64 {
+	last := -1
+	for b, n := range s.Counts {
+		if n != 0 {
+			last = b
+		}
+	}
+	out := make([]uint64, last+1)
+	copy(out, s.Counts[:last+1])
+	return out
+}
+
+// SnapshotFromWire rebuilds a Snapshot from its wire form (the
+// trimmed bucket counts plus the raw sum; the total count is the
+// bucket sum). Buckets beyond histBuckets are ignored — a newer node
+// cannot produce them, so their presence means a corrupt body.
+func SnapshotFromWire(buckets []uint64, sumNs uint64) Snapshot {
+	var out Snapshot
+	for b, n := range buckets {
+		if b >= histBuckets {
+			break
+		}
+		out.Counts[b] = n
+		out.Count += n
+	}
+	out.Sum = sumNs
+	return out
+}
+
 // Merge returns the exact combination of two snapshots. Because it is
 // pure integer addition bucket by bucket, Merge is associative and
 // commutative: a cluster rollup yields the same histogram regardless

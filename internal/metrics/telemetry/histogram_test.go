@@ -127,6 +127,46 @@ func TestMergeAssociativity(t *testing.T) {
 	}
 }
 
+// TestWireRoundTrip checks the cluster-rollup wire contract: a
+// snapshot survives WireBuckets/SnapshotFromWire unchanged, and
+// merging rebuilt snapshots — the front tier's cluster_latency path —
+// equals merging the originals.
+func TestWireRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	mk := func(n int) Snapshot {
+		var h Histogram
+		for i := 0; i < n; i++ {
+			h.Record(r.Int63n(5_000_000_000))
+		}
+		return h.Snapshot()
+	}
+	a, b := mk(3000), mk(41)
+	for _, s := range []Snapshot{a, b, {}} {
+		back := SnapshotFromWire(s.WireBuckets(), s.Sum)
+		if back != s {
+			t.Fatalf("wire round-trip altered the snapshot:\n got %+v\nwant %+v", back, s)
+		}
+	}
+	direct := a.Merge(b)
+	overWire := SnapshotFromWire(a.WireBuckets(), a.Sum).Merge(SnapshotFromWire(b.WireBuckets(), b.Sum))
+	if overWire != direct {
+		t.Fatal("merging wire-rebuilt snapshots diverges from merging the originals")
+	}
+	// The trim is real (no 64-element bodies for ordinary latencies)
+	// and lossless by construction.
+	if w := a.WireBuckets(); len(w) >= histBuckets {
+		t.Fatalf("wire form not trimmed: %d buckets", len(w))
+	}
+	// Corrupt over-long bodies are ignored past the bucket range.
+	long := make([]uint64, histBuckets+8)
+	for i := range long {
+		long[i] = 1
+	}
+	if got := SnapshotFromWire(long, 0).Count; got != histBuckets {
+		t.Fatalf("oversized wire body counted %d, want %d", got, histBuckets)
+	}
+}
+
 // TestHistogramConcurrentRecord exercises recorders racing snapshots;
 // run under -race it proves the striping is actually safe.
 func TestHistogramConcurrentRecord(t *testing.T) {

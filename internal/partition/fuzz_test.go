@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the slice parser with garbage: any accepted input
+// must round-trip through String into the identical slice, satisfy the
+// validation invariants, and accept/reject consistently with a
+// re-parse of its canonical form.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"h0/1", "h1/2", "h3/4", "h15/16", "h0/0", "h2/2", "h0/3",
+		"h/1", "0/1", "h-1/4", "hff/4", "h0/4294967296", "h1/1",
+		"h0x2/4", "h+1/2", "h1/+2", "h 1/2", "h1 /2", "h١/٢",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := Parse(in)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid slice %v: %v", in, s, verr)
+		}
+		if bits.OnesCount32(s.Count) != 1 {
+			t.Fatalf("Parse(%q) accepted non-power-of-two count %d", in, s.Count)
+		}
+		canonical := s.String()
+		again, err := Parse(canonical)
+		if err != nil || again != s {
+			t.Fatalf("Parse(%q) = %v but canonical %q re-parses as %v, %v", in, s, canonical, again, err)
+		}
+		// strconv.ParseUint is lenient about nothing we care to allow:
+		// any accepted input must be plain ASCII decimal.
+		if strings.ContainsAny(in, "+- \t") {
+			t.Fatalf("Parse(%q) accepted a sign/space form", in)
+		}
+	})
+}
+
+// FuzzDoublingStability pins the property live splits depend on: for
+// any key and any valid slice, doubling the partition count moves the
+// key into exactly one of the slice's two Split children, and never
+// out of the subtree. A hash (or mask) change that broke this would
+// strand rows during a 2→4 rebalance.
+func FuzzDoublingStability(f *testing.F) {
+	f.Add(uint64(0), uint32(0), uint8(0))
+	f.Add(uint64(17), uint32(1), uint8(1))
+	f.Add(uint64(1<<40), uint32(3), uint8(2))
+	f.Add(uint64(499), uint32(7), uint8(3))
+	f.Fuzz(func(t *testing.T, key uint64, idx uint32, countLog uint8) {
+		count := uint32(1) << (countLog % 16)
+		s := Slice{Index: idx % count, Count: count}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("constructed slice invalid: %v", err)
+		}
+		lo, hi := s.Split()
+		inS := s.ContainsKey(key)
+		inLo, inHi := lo.ContainsKey(key), hi.ContainsKey(key)
+		if inS && inLo == inHi {
+			t.Fatalf("key %d in %v but children disagree: lo=%v hi=%v", key, s, inLo, inHi)
+		}
+		if !inS && (inLo || inHi) {
+			t.Fatalf("key %d outside %v but inside a child", key, s)
+		}
+		// The owning index under 2P must be Index or Index+P of the
+		// owner under P — the doubling-stability shape the issue names.
+		h := KeyHash(key)
+		ownerP := uint32(h & uint64(count-1))
+		owner2P := uint32(h & uint64(2*count-1))
+		if owner2P != ownerP && owner2P != ownerP+count {
+			t.Fatalf("key %d: owner %d at count %d, %d at count %d", key, ownerP, count, owner2P, 2*count)
+		}
+	})
+}

@@ -63,6 +63,29 @@ func EncodeSnapshot(s *Snapshot) []byte { return encodeSnapshot(s) }
 // transfer response body).
 func DecodeSnapshot(data []byte) (*Snapshot, error) { return decodeSnapshot(data) }
 
+// FilterSnapshot returns a copy of s with each table's rows restricted
+// to those keep admits. Slots (and Seq/Epoch/Classifier) are preserved:
+// RowIDs stay stable across the filter, with dropped rows becoming
+// tombstoned slots on restore. This is the extraction primitive behind
+// partition-sliced state transfer — a rebalance target bootstraps from
+// just its hash slice of the source's snapshot. s is not modified; the
+// row records themselves are shared, not copied.
+func FilterSnapshot(s *Snapshot, keep func(domain string, id sqldb.RowID) bool) *Snapshot {
+	out := *s
+	out.Tables = make([]TableData, len(s.Tables))
+	for i, td := range s.Tables {
+		ft := td
+		ft.Rows = make([]sqldb.Record, 0, len(td.Rows))
+		for _, r := range td.Rows {
+			if keep(td.Domain, r.ID) {
+				ft.Rows = append(ft.Rows, r)
+			}
+		}
+		out.Tables[i] = ft
+	}
+	return &out
+}
+
 // encodeSnapshot renders s as one CRC-trailed blob.
 func encodeSnapshot(s *Snapshot) []byte {
 	b := []byte(snapshotMagic)

@@ -80,6 +80,13 @@ type Config struct {
 	// header (the replica still converges; it just cannot contribute
 	// to write quorums).
 	Node string
+	// SnapshotQuery, when non-empty, is appended as the query string of
+	// every snapshot transfer (initial and re-bootstrap), e.g.
+	// "partition=h3/4" to fetch only one hash slice of the primary's
+	// state — the filtered transfer a rebalance target starts from. The
+	// WAL tail stays unfiltered either way; a partitioned follower's
+	// replay skips out-of-slice operations.
+	SnapshotQuery string
 }
 
 // Follower is a live replica: a read-only System plus the background
@@ -437,7 +444,11 @@ func (f *Follower) rebootstrap(ctx context.Context) error {
 
 // fetchSnapshot performs one snapshot transfer.
 func (f *Follower) fetchSnapshot(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.Primary()+"/api/repl/snapshot", nil)
+	target := f.Primary() + "/api/repl/snapshot"
+	if f.cfg.SnapshotQuery != "" {
+		target += "?" + f.cfg.SnapshotQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
 		return nil, err
 	}

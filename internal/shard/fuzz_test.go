@@ -48,6 +48,22 @@ func FuzzParseMap(f *testing.F) {
 	f.Add("cars=http://a|")
 	f.Add("cars=|")
 	f.Add("cars=http://a|http://b,csjobs=http://a|http://b")
+	f.Add("cars=h0:http://a,h1:http://b")
+	f.Add("cars=h0:http://a,h1:http://b,h2:http://c,h3:http://d")
+	f.Add("cars=h0:http://a|http://b,h1:http://c|http://d,csjobs=http://e")
+	f.Add("cars=h0:http://a,h0:http://b")
+	f.Add("cars=h0:http://a,h2:http://b")
+	f.Add("cars=h1:http://a,h0:http://b")
+	f.Add("cars=h0:http://a,h1:http://b,h2:http://c")
+	f.Add("cars=h0:http://a")
+	f.Add("h0:http://a")
+	f.Add("cars=http://a,h1:http://b")
+	f.Add("cars=h:http://a")
+	f.Add("cars=hx:http://a")
+	f.Add("cars=h-1:http://a,h0:http://b")
+	f.Add("cars=h99999999999999999999:http://a")
+	f.Add("cars=h0:,h1:http://b")
+	f.Add("cars=h0:http://a,h1:http://b,cars=h0:http://c")
 	f.Fuzz(func(t *testing.T, s string) {
 		m, err := shard.ParseMap(s)
 		if err != nil {
@@ -59,26 +75,52 @@ func FuzzParseMap(f *testing.F) {
 		if len(m) == 0 {
 			t.Fatal("nil error with empty map")
 		}
-		for domain, group := range m {
+		for domain, groups := range m {
 			if strings.TrimSpace(domain) == "" {
 				t.Fatalf("empty domain key in %#v", m)
 			}
-			if len(group) == 0 {
-				t.Fatalf("domain %q accepted with an empty group", domain)
+			if len(groups) == 0 {
+				t.Fatalf("domain %q accepted with no groups", domain)
 			}
-			seen := map[string]bool{}
-			for _, base := range group {
-				u, err := url.Parse(base)
-				if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-					t.Fatalf("accepted URL %q does not round-trip as absolute http(s)", base)
+			// Either one whole-space group (plain form, zero Slice) or a
+			// set of hash groups whose slices tile the space exactly.
+			if len(groups) == 1 && groups[0].Slice.Count == 0 {
+				// plain form
+			} else {
+				count := groups[0].Slice.Count
+				if count&(count-1) != 0 || int(count) != len(groups) {
+					t.Fatalf("domain %q: %d groups under partition count %d", domain, len(groups), count)
 				}
-				if strings.HasSuffix(base, "/") {
-					t.Fatalf("accepted URL %q keeps its trailing slash", base)
+				for i, g := range groups {
+					if err := g.Slice.Validate(); err != nil {
+						t.Fatalf("domain %q group %d has invalid slice: %v", domain, i, err)
+					}
+					if g.Slice.Count != count {
+						t.Fatalf("domain %q mixes partition counts %d and %d", domain, count, g.Slice.Count)
+					}
+					if g.Slice.Index != uint32(i) {
+						t.Fatalf("domain %q groups not sorted/tiling: slot %d at position %d", domain, g.Slice.Index, i)
+					}
 				}
-				if seen[base] {
-					t.Fatalf("group for %q lists %q twice", domain, base)
+			}
+			for gi, g := range groups {
+				if len(g.Members) == 0 {
+					t.Fatalf("domain %q group %d accepted with no members", domain, gi)
 				}
-				seen[base] = true
+				seen := map[string]bool{}
+				for _, base := range g.Members {
+					u, err := url.Parse(base)
+					if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+						t.Fatalf("accepted URL %q does not round-trip as absolute http(s)", base)
+					}
+					if strings.HasSuffix(base, "/") {
+						t.Fatalf("accepted URL %q keeps its trailing slash", base)
+					}
+					if seen[base] {
+						t.Fatalf("group for %q lists %q twice", domain, base)
+					}
+					seen[base] = true
+				}
 			}
 		}
 	})

@@ -20,20 +20,49 @@ import (
 	"time"
 
 	"repro/internal/failover"
+	"repro/internal/partition"
 	"repro/internal/shard"
 )
 
 func TestParseMapGroups(t *testing.T) {
+	h := func(index, count uint32) partition.Slice { return partition.Slice{Index: index, Count: count} }
 	good := []struct {
 		in   string
-		want map[string][]string
+		want shard.Map
 	}{
 		{"cars=http://a:1|http://b:1|http://c:1",
-			map[string][]string{"cars": {"http://a:1", "http://b:1", "http://c:1"}}},
+			shard.Map{"cars": {{Members: []string{"http://a:1", "http://b:1", "http://c:1"}}}}},
 		{"cars=http://a:1/|http://b:1, csjobs=http://b:1",
-			map[string][]string{"cars": {"http://a:1", "http://b:1"}, "csjobs": {"http://b:1"}}},
+			shard.Map{"cars": {{Members: []string{"http://a:1", "http://b:1"}}},
+				"csjobs": {{Members: []string{"http://b:1"}}}}},
 		{"cars=http://a:1|http://b:1,motorcycles=http://a:1|http://b:1",
-			map[string][]string{"cars": {"http://a:1", "http://b:1"}, "motorcycles": {"http://a:1", "http://b:1"}}},
+			shard.Map{"cars": {{Members: []string{"http://a:1", "http://b:1"}}},
+				"motorcycles": {{Members: []string{"http://a:1", "http://b:1"}}}}},
+		{"cars=h0:http://a:1,h1:http://b:1",
+			shard.Map{"cars": {
+				{Slice: h(0, 2), Members: []string{"http://a:1"}},
+				{Slice: h(1, 2), Members: []string{"http://b:1"}}}}},
+		// Slots may arrive in any order; groups come back sorted by index.
+		{"cars=h1:http://b:1,h0:http://a:1",
+			shard.Map{"cars": {
+				{Slice: h(0, 2), Members: []string{"http://a:1"}},
+				{Slice: h(1, 2), Members: []string{"http://b:1"}}}}},
+		// Hash groups compose with replica sets, and a hash-partitioned
+		// domain coexists with plain ones.
+		{"cars=h0:http://a:1|http://b:1,h1:http://c:1|http://d:1,csjobs=http://e:1",
+			shard.Map{"cars": {
+				{Slice: h(0, 2), Members: []string{"http://a:1", "http://b:1"}},
+				{Slice: h(1, 2), Members: []string{"http://c:1", "http://d:1"}}},
+				"csjobs": {{Members: []string{"http://e:1"}}}}},
+		// A lone h0 slot is a 1-way partition: the whole hash space.
+		{"cars=h0:http://a:1",
+			shard.Map{"cars": {{Slice: h(0, 1), Members: []string{"http://a:1"}}}}},
+		{"cars=h0:http://a:1,h1:http://b:1,h2:http://c:1,h3:http://d:1",
+			shard.Map{"cars": {
+				{Slice: h(0, 4), Members: []string{"http://a:1"}},
+				{Slice: h(1, 4), Members: []string{"http://b:1"}},
+				{Slice: h(2, 4), Members: []string{"http://c:1"}},
+				{Slice: h(3, 4), Members: []string{"http://d:1"}}}}},
 	}
 	for _, tc := range good {
 		m, err := shard.ParseMap(tc.in)
@@ -46,10 +75,17 @@ func TestParseMapGroups(t *testing.T) {
 		}
 	}
 	bad := []string{
-		"cars=http://a:1|",           // empty member
-		"cars=|http://a:1",           // empty member, leading
-		"cars=http://a:1|http://a:1", // duplicate member in a group
-		"cars=http://a:1|ftp://b:1",  // non-http member
+		"cars=http://a:1|",                                 // empty member
+		"cars=|http://a:1",                                 // empty member, leading
+		"cars=http://a:1|http://a:1",                       // duplicate member in a group
+		"cars=http://a:1|ftp://b:1",                        // non-http member
+		"cars=h0:http://a:1,h2:http://b:1",                 // gap: {0,2} is not a permutation
+		"cars=h0:http://a:1,h0:http://b:1",                 // duplicate slot
+		"cars=h0:http://a:1,h1:http://b:1,h2:http://c:1",   // three slots: not a power of two
+		"cars=hx:http://a:1,h1:http://b:1",                 // malformed slot
+		"h0:http://a:1",                                    // continuation with no domain
+		"csjobs=http://e:1,h1:http://b:1",                  // continuation after a plain domain
+		"cars=h0:http://a:1,h1:http://b:1,cars=http://c:1", // domain re-mapped
 	}
 	for _, in := range bad {
 		if _, err := shard.ParseMap(in); err == nil {

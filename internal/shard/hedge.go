@@ -23,6 +23,7 @@ package shard
 import (
 	"context"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/metrics/telemetry"
@@ -65,21 +66,20 @@ func (g *groupLatency) hedgeDelay() time.Duration {
 	return d
 }
 
-// doRead issues one read to a domain's owning group. Single-member
-// groups route statically exactly as before; multi-member groups take
-// the hedged path. Either way the serving leg's latency feeds the
-// group's histogram — which is also where the hedge delay is learned.
-func (r *Router) doRead(ctx context.Context, method, domain, pathAndQuery string, body []byte, contentType string) (base string, status int, respBody []byte, err error) {
-	g := r.lat[domain]
-	if r.watch[domain] == nil {
+// doRead issues one read to a partition. Single-member sets route
+// statically exactly as before; multi-member sets take the hedged
+// path. Either way the serving leg's latency feeds the set's histogram
+// — which is also where the hedge delay is learned.
+func (r *Router) doRead(ctx context.Context, method string, p *partState, pathAndQuery string, body []byte, contentType string, hdr map[string]string) (base string, status int, respBody []byte, err error) {
+	if p.watch == nil {
 		start := time.Now()
-		base, status, respBody, err = r.doRouted(ctx, method, domain, pathAndQuery, body, contentType)
-		if err == nil && g != nil {
-			g.hist.Record(time.Since(start).Nanoseconds())
+		base, status, respBody, err = r.doRouted(ctx, method, p, pathAndQuery, body, contentType, hdr)
+		if err == nil && p.lat != nil {
+			p.lat.hist.Record(time.Since(start).Nanoseconds())
 		}
 		return base, status, respBody, err
 	}
-	return r.doHedged(ctx, g, method, domain, pathAndQuery, body, contentType)
+	return r.doHedged(ctx, p, method, pathAndQuery, body, contentType, hdr)
 }
 
 // hedgeLeg is one request's outcome inside a hedged read.
@@ -91,16 +91,17 @@ type hedgeLeg struct {
 	backup bool
 }
 
-// doHedged races a read against up to two members of the domain's
-// group: the resolved leader first, then — after the group's hedge
+// doHedged races a read against up to two members of the partition's
+// replica set: the resolved leader first, then — after the set's hedge
 // delay, or immediately if the primary leg fails outright — a backup
 // copy at another member. Reads are servable by any member, so the
 // first leg answering 200 wins and the other is cancelled. When no leg
 // answers 200 the primary's outcome is preferred for attribution, with
 // any real HTTP response beating a transport error.
-func (r *Router) doHedged(ctx context.Context, g *groupLatency, method, domain, pathAndQuery string, body []byte, contentType string) (string, int, []byte, error) {
-	members := r.groups[domain]
-	w := r.watch[domain]
+func (r *Router) doHedged(ctx context.Context, p *partState, method, pathAndQuery string, body []byte, contentType string, hdr map[string]string) (string, int, []byte, error) {
+	g := p.lat
+	members := p.members
+	w := p.watch
 	primary, err := w.Resolve(ctx)
 	if err != nil {
 		return "", 0, nil, err
@@ -118,7 +119,7 @@ func (r *Router) doHedged(ctx context.Context, g *groupLatency, method, domain, 
 	launch := func(target string, backup bool) {
 		go func() {
 			start := time.Now()
-			status, respBody, err := r.do(cctx, method, target, pathAndQuery, body, contentType)
+			status, respBody, err := r.do(cctx, method, target, pathAndQuery, body, contentType, hdr)
 			if err == nil {
 				g.hist.Record(time.Since(start).Nanoseconds())
 			}
@@ -196,10 +197,19 @@ type GroupLatencyView struct {
 }
 
 // GroupLatencies reports every group's learned read-latency profile,
-// sorted by group key so the status shape is deterministic.
+// sorted by group key so the status shape is deterministic. Member
+// sets retired by a rebalance stay listed — their counts are monotonic
+// like every other latency counter, and scrapers difference them.
 func (r *Router) GroupLatencies() []GroupLatencyView {
-	out := make([]GroupLatencyView, 0, len(r.latGroups))
-	for _, g := range r.latGroups {
+	r.regMu.Lock()
+	groups := make([]*groupLatency, 0, len(r.regLat))
+	for _, g := range r.regLat {
+		groups = append(groups, g)
+	}
+	r.regMu.Unlock()
+	sort.Slice(groups, func(i, j int) bool { return groups[i].key < groups[j].key })
+	out := make([]GroupLatencyView, 0, len(groups))
+	for _, g := range groups {
 		snap := g.hist.Snapshot()
 		out = append(out, GroupLatencyView{
 			Group:        g.key,

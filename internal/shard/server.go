@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics/telemetry"
+	"repro/internal/webui"
 )
 
 // Server is the front tier's HTTP surface: the same /api contract a
@@ -22,6 +23,7 @@ import (
 //	POST /api/ask/batch    group per shard, scatter, gather in order
 //	POST /api/ads          fan out by the ad's Domain field
 //	DELETE /api/ads/{id}   forward (?domain=... required)
+//	POST /api/rebalance    start a live partition split/move (202)
 //	GET  /api/status       scatter-gathered per-shard status view
 //	GET  /healthz          cluster health rollup with per-shard states
 //
@@ -30,17 +32,54 @@ import (
 // single-question endpoint; other domains are unaffected.
 type Server struct {
 	rt  *Router
+	reb Rebalancer
 	mux *http.ServeMux
 }
 
+// RebalanceRequest asks the front tier to move one hash slice of a
+// partitioned domain to a new owner: Source names the slice currently
+// in the routing table that the move splits, TargetSlice the child
+// slice the node at TargetURL takes over (the source keeps the other
+// child).
+type RebalanceRequest struct {
+	Domain      string `json:"domain"`
+	Source      string `json:"source"`
+	TargetURL   string `json:"target_url"`
+	TargetSlice string `json:"target_slice"`
+}
+
+// Rebalancer drives live partition moves. The concrete implementation
+// lives in the rebalance package (which imports this one — the
+// interface is defined here to keep the dependency one-way); Server
+// only needs start-and-report.
+type Rebalancer interface {
+	// Start begins a move; it returns once the move is admitted (the
+	// transfer itself runs in the background) and errors if a move is
+	// already running or the request is invalid.
+	Start(req RebalanceRequest) error
+	// Status reports the current (or last finished) move's progress as
+	// a JSON object, and whether a move is running right now.
+	Status() (progress json.RawMessage, active bool)
+}
+
+// ServerOptions carries the front tier's optional collaborators.
+type ServerOptions struct {
+	// Rebalancer enables POST /api/rebalance; nil answers 501.
+	Rebalancer Rebalancer
+}
+
 // NewServer wraps a Router in the front-tier handler.
-func NewServer(rt *Router) *Server {
-	s := &Server{rt: rt, mux: http.NewServeMux()}
+func NewServer(rt *Router) *Server { return NewServerWith(rt, ServerOptions{}) }
+
+// NewServerWith wraps a Router with optional collaborators wired in.
+func NewServerWith(rt *Router, opts ServerOptions) *Server {
+	s := &Server{rt: rt, reb: opts.Rebalancer, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux.HandleFunc("GET /api/ask", s.handleAsk)
 	s.mux.HandleFunc("POST /api/ask/batch", s.handleAskBatch)
 	s.mux.HandleFunc("POST /api/ads", s.handleInsertAd)
 	s.mux.HandleFunc("DELETE /api/ads/{id}", s.handleDeleteAd)
+	s.mux.HandleFunc("POST /api/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -102,7 +141,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"service": "cqads front tier",
 		"domains": owners,
-		"shards":  s.rt.urls,
+		"shards":  s.rt.URLs(),
 	})
 }
 
@@ -175,12 +214,37 @@ func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "missing domain field")
 		return
 	}
-	p, err := s.rt.ForwardAd(r.Context(), probe.Domain, body)
+	var p *Proxied
+	if pin := r.Header.Get(webui.AdIDHeader); pin != "" {
+		p, err = s.rt.ForwardAdPinned(r.Context(), probe.Domain, body, pin)
+	} else {
+		p, err = s.rt.ForwardAd(r.Context(), probe.Domain, body)
+	}
 	if err != nil {
 		jsonError(w, routeErrorStatus(err), "%v", err)
 		return
 	}
 	proxy(w, p)
+}
+
+// handleRebalance admits one live partition move.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if s.reb == nil {
+		jsonError(w, http.StatusNotImplemented, "no rebalance coordinator configured")
+		return
+	}
+	var req RebalanceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "invalid JSON body: %v", err)
+		return
+	}
+	if err := s.reb.Start(req); err != nil {
+		jsonError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(map[string]string{"state": "started"})
 }
 
 // handleDeleteAd forwards an expiry to the owning shard.
@@ -240,13 +304,89 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{"state": state, "shards": views})
 }
 
+// endpointRollup is one endpoint's cluster-wide merged latency: the
+// shards' raw histogram buckets are integer-added (telemetry.Merge),
+// so the rollup is exact to bucket resolution and associative —
+// folding the shards in any order yields the same percentiles, which
+// the merge-associativity test pins.
+type endpointRollup struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+}
+
+// clusterLatency is the /api/status "cluster_latency" block.
+type clusterLatency struct {
+	// Shards is how many reachable shards contributed histograms.
+	Shards   int            `json:"shards"`
+	Ask      endpointRollup `json:"ask"`
+	AskBatch endpointRollup `json:"ask_batch"`
+	Ingest   endpointRollup `json:"ingest"`
+	ReplPoll endpointRollup `json:"repl_poll"`
+}
+
+// shardLatencyWire is the slice of a shard's status body the rollup
+// reads: each endpoint's raw bucket counts and nanosecond sum.
+type shardLatencyWire struct {
+	Latency struct {
+		Ask      endpointWire `json:"ask"`
+		AskBatch endpointWire `json:"ask_batch"`
+		Ingest   endpointWire `json:"ingest"`
+		ReplPoll endpointWire `json:"repl_poll"`
+	} `json:"latency"`
+}
+
+type endpointWire struct {
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// rollupLatency merges every reachable shard's latency block.
+func rollupLatency(views []ShardView) clusterLatency {
+	var out clusterLatency
+	var ask, askBatch, ingest, replPoll telemetry.Snapshot
+	for _, v := range views {
+		if v.Body == nil {
+			continue
+		}
+		var wire shardLatencyWire
+		if json.Unmarshal(v.Body, &wire) != nil {
+			continue
+		}
+		out.Shards++
+		ask = ask.Merge(telemetry.SnapshotFromWire(wire.Latency.Ask.Buckets, wire.Latency.Ask.SumNs))
+		askBatch = askBatch.Merge(telemetry.SnapshotFromWire(wire.Latency.AskBatch.Buckets, wire.Latency.AskBatch.SumNs))
+		ingest = ingest.Merge(telemetry.SnapshotFromWire(wire.Latency.Ingest.Buckets, wire.Latency.Ingest.SumNs))
+		replPoll = replPoll.Merge(telemetry.SnapshotFromWire(wire.Latency.ReplPoll.Buckets, wire.Latency.ReplPoll.SumNs))
+	}
+	render := func(s telemetry.Snapshot) endpointRollup {
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		return endpointRollup{
+			Count:  int64(s.Count),
+			MeanMs: s.Mean() / 1e6,
+			P50Ms:  ms(s.Quantile(0.50)),
+			P99Ms:  ms(s.Quantile(0.99)),
+			P999Ms: ms(s.Quantile(0.999)),
+		}
+	}
+	out.Ask = render(ask)
+	out.AskBatch = render(askBatch)
+	out.Ingest = render(ingest)
+	out.ReplPoll = render(replPoll)
+	return out
+}
+
 // handleStatus scatter-gathers shard /api/status reports into one
-// cluster view, each shard's own report embedded verbatim, plus the
-// front tier's own "front" block: per-group read latency as observed
-// from this router (count, mean/p50/p99 in milliseconds, and the
-// hedge delay currently in force) and the process-wide hedge counters.
-// All counts are cumulative and monotonic — there is no reset —
-// matching the scrape contract of a shard's own latency block.
+// cluster view, each shard's own report embedded verbatim, plus:
+// "cluster_latency", the exact cluster-wide merge of every shard's raw
+// latency histograms; the front tier's own "front" block (per-group
+// read latency as observed from this router, the hedge delay in force,
+// and the process-wide hedge counters); and "rebalance", the
+// coordinator's progress when one is configured. All counts are
+// cumulative and monotonic — there is no reset — matching the scrape
+// contract of a shard's own latency block.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	views := s.rt.ClusterStatus(r.Context())
 	reachable := 0
@@ -255,17 +395,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			reachable++
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"cluster": map[string]any{
 			"shards_total":     len(views),
 			"shards_reachable": reachable,
 		},
+		"cluster_latency": rollupLatency(views),
 		"front": map[string]any{
 			"hedges":     telemetry.Front.Hedges.Load(),
 			"hedge_wins": telemetry.Front.HedgeWins.Load(),
 			"groups":     s.rt.GroupLatencies(),
 		},
 		"shards": views,
-	})
+	}
+	if s.reb != nil {
+		progress, active := s.reb.Status()
+		out["rebalance"] = map[string]any{"active": active, "progress": progress}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }

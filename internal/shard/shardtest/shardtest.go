@@ -10,10 +10,13 @@
 package shardtest
 
 import (
+	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 
 	"repro/cqads"
+	"repro/internal/partition"
 	"repro/internal/questions"
 	"repro/internal/schema"
 	"repro/internal/shard"
@@ -78,6 +81,32 @@ func OpenShardSystems(tb testing.TB, opts cqads.Options, groups [][]string) []*c
 		sys, err := cqads.Open(o)
 		if err != nil {
 			tb.Fatalf("opening shard %v: %v", group, err)
+		}
+		systems[i] = sys
+	}
+	return systems
+}
+
+// OpenPartitionSystems builds one System per hash slice of a single
+// domain: count power-of-two partitions that together hold exactly the
+// monolith's rows for that domain, each classifier-identical to the
+// monolith (the partition filter runs after training). When
+// opts.DataDir is set each partition stores under its own
+// subdirectory, so the set is durable and can serve replication.
+func OpenPartitionSystems(tb testing.TB, opts cqads.Options, domain string, count uint32) []*cqads.System {
+	tb.Helper()
+	systems := make([]*cqads.System, count)
+	for i := uint32(0); i < count; i++ {
+		o := opts
+		o.Domains = []string{domain}
+		o.Partitions = count
+		o.PartitionIndex = i
+		if o.DataDir != "" {
+			o.DataDir = filepath.Join(opts.DataDir, fmt.Sprintf("part%d", i))
+		}
+		sys, err := cqads.Open(o)
+		if err != nil {
+			tb.Fatalf("opening partition h%d/%d of %s: %v", i, count, domain, err)
 		}
 		systems[i] = sys
 	}
@@ -160,6 +189,109 @@ func StartCluster(tb testing.TB, opts cqads.Options, groups [][]string, cls shar
 	c.Front = httptest.NewServer(shard.NewServer(rt))
 	tb.Cleanup(c.Close)
 	return c
+}
+
+// PartitionCluster is one hash-partitioned HTTP topology: count webui
+// servers each hosting one hash slice of Domain, one server hosting
+// every other domain whole, and the front tier scattering over them.
+type PartitionCluster struct {
+	Domain string
+	Count  uint32
+	// Parts and PartServers are indexed by hash-slice index.
+	Parts       []*cqads.System
+	PartServers []*httptest.Server
+	Rest        *cqads.System
+	RestServer  *httptest.Server
+	Map         shard.Map
+	Router      *shard.Router
+	Front       *httptest.Server
+}
+
+// StartPartitionCluster builds a cluster with domain hash-split count
+// ways (count a power of two) and the remaining domains on one whole
+// shard. newReb, when non-nil, builds the front tier's rebalance
+// coordinator from the finished router (tests pass rebalance.New;
+// shardtest stays ignorant of the concrete type).
+func StartPartitionCluster(tb testing.TB, opts cqads.Options, domain string, count uint32, cls shard.Classifier, newReb func(*shard.Router) shard.Rebalancer) *PartitionCluster {
+	tb.Helper()
+	c := &PartitionCluster{
+		Domain: domain,
+		Count:  count,
+		Parts:  OpenPartitionSystems(tb, opts, domain, count),
+		Map:    shard.Map{},
+	}
+	tb.Cleanup(c.Close)
+	for i, sys := range c.Parts {
+		srv := httptest.NewServer(webui.NewServer(sys))
+		c.PartServers = append(c.PartServers, srv)
+		c.Map[domain] = append(c.Map[domain], shard.Group{
+			Slice:   partition.Slice{Index: uint32(i), Count: count},
+			Members: []string{srv.URL},
+		})
+	}
+	var rest []string
+	for _, d := range schema.DomainNames {
+		if d != domain {
+			rest = append(rest, d)
+		}
+	}
+	o := opts
+	o.Domains = rest
+	if o.DataDir != "" {
+		o.DataDir = filepath.Join(opts.DataDir, "rest")
+	}
+	restSys, err := cqads.Open(o)
+	if err != nil {
+		tb.Fatalf("opening rest shard: %v", err)
+	}
+	c.Rest = restSys
+	c.RestServer = httptest.NewServer(webui.NewServer(restSys))
+	for _, d := range rest {
+		c.Map[d] = []shard.Group{{Members: []string{c.RestServer.URL}}}
+	}
+	rt, err := shard.New(shard.Config{Map: c.Map, Classifier: cls})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.Router = rt
+	var sopts shard.ServerOptions
+	if newReb != nil {
+		sopts.Rebalancer = newReb(rt)
+	}
+	c.Front = httptest.NewServer(shard.NewServerWith(rt, sopts))
+	return c
+}
+
+// Close tears the partition cluster down; safe to call twice.
+func (c *PartitionCluster) Close() {
+	if c.Front != nil {
+		c.Front.Close()
+		c.Front = nil
+	}
+	if c.Router != nil {
+		c.Router.Close()
+		c.Router = nil
+	}
+	for i, srv := range c.PartServers {
+		if srv != nil {
+			srv.Close()
+			c.PartServers[i] = nil
+		}
+	}
+	if c.RestServer != nil {
+		c.RestServer.Close()
+		c.RestServer = nil
+	}
+	for _, sys := range c.Parts {
+		if sys != nil {
+			_ = sys.Close()
+		}
+	}
+	c.Parts = nil
+	if c.Rest != nil {
+		_ = c.Rest.Close()
+		c.Rest = nil
+	}
 }
 
 // KillShard makes shard i unreachable (its listener closes), leaving

@@ -176,6 +176,54 @@ func (t *Table) Insert(values map[string]Value) (RowID, error) {
 	return id, nil
 }
 
+// InsertAt inserts a record at a caller-chosen RowID at or beyond the
+// current slot count — the hash-partitioned ingest path, where a
+// front tier assigns globally unique ids and each partition stores
+// only the ids hashing into its slice. Slots between the current
+// count and id are allocated as never-live tombstones (they belong to
+// other partitions and stay permanently empty here), so ExportState/
+// RestoreState and WAL replay see them exactly like retired rows.
+// Inserting below the current slot count is an error: the slot is
+// already owned, live or retired, and reusing it would violate the
+// never-reuse contract.
+func (t *Table) InsertAt(id RowID, values map[string]Value) error {
+	row := make([]Value, len(t.schema.Attrs))
+	for col, v := range values {
+		i, ok := t.colIdx[col]
+		if !ok {
+			return fmt.Errorf("sqldb: table %s has no column %q", t.name, col)
+		}
+		row[i] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < len(t.rows) {
+		return fmt.Errorf("sqldb: table %s: slot %d is already allocated (%d slots); ids never regress", t.name, id, len(t.rows))
+	}
+	for RowID(len(t.rows)) < id {
+		hole := RowID(len(t.rows))
+		t.rows = append(t.rows, Record{ID: hole})
+		t.dead = append(t.dead, true)
+	}
+	t.rows = append(t.rows, Record{ID: id, Values: row})
+	t.dead = append(t.dead, false)
+	t.live++
+	for col, i := range t.colIdx {
+		v := row[i]
+		if ix, ok := t.hash[col]; ok {
+			ix.insert(v, id)
+		}
+		if ix, ok := t.ordered[col]; ok {
+			ix.insert(v, id)
+		}
+		if ix, ok := t.substr[col]; ok {
+			ix.insert(v, id)
+		}
+	}
+	t.version.Add(1)
+	return nil
+}
+
 // Delete tombstones the row and removes its postings from every
 // index, preserving each posting list's ascending-RowID order. The
 // RowID slot is retired and never reused. Deleting an unknown or

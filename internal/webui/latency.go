@@ -39,6 +39,15 @@ type endpointLatencyJSON struct {
 	P90Ms  float64 `json:"p90_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
+	// SumNs and Buckets are the raw histogram — the cumulative
+	// nanosecond sum and the power-of-two bucket counts with trailing
+	// zero buckets trimmed. They let a front tier rebuild the exact
+	// telemetry.Snapshot and Merge it across nodes: merged bucket
+	// counts are plain integer adds, so the cluster-wide percentile
+	// rollup is exact (to bucket resolution) and associative, unlike
+	// any combination of the pre-computed percentiles above.
+	SumNs   uint64   `json:"sum_ns"`
+	Buckets []uint64 `json:"buckets"`
 }
 
 // latencyJSON is the /api/status latency block: one fixed field per
@@ -61,12 +70,14 @@ func endpointLatency(h *telemetry.Histogram) endpointLatencyJSON {
 	snap := h.Snapshot()
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	return endpointLatencyJSON{
-		Count:  int64(snap.Count),
-		MeanMs: snap.Mean() / 1e6,
-		P50Ms:  ms(snap.Quantile(0.50)),
-		P90Ms:  ms(snap.Quantile(0.90)),
-		P99Ms:  ms(snap.Quantile(0.99)),
-		P999Ms: ms(snap.Quantile(0.999)),
+		Count:   int64(snap.Count),
+		MeanMs:  snap.Mean() / 1e6,
+		P50Ms:   ms(snap.Quantile(0.50)),
+		P90Ms:   ms(snap.Quantile(0.90)),
+		P99Ms:   ms(snap.Quantile(0.99)),
+		P999Ms:  ms(snap.Quantile(0.999)),
+		SumNs:   snap.Sum,
+		Buckets: snap.WireBuckets(),
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failover"
 	"repro/internal/metrics/telemetry"
+	"repro/internal/partition"
 	"repro/internal/persist"
 	"repro/internal/replica/router"
 	"repro/internal/schema"
@@ -81,9 +82,10 @@ type Server struct {
 //	GET /healthz              cheap liveness probe (serving/recovering/write-failed)
 //	POST /api/ads             ingest one ad: {"domain": ..., "record": {...}}
 //	DELETE /api/ads/{id}      expire an ad (?domain=... required)
-//	GET /api/repl/snapshot    replication: initial state transfer
+//	GET /api/repl/snapshot    replication: initial state transfer (?partition= filters to a hash slice)
 //	GET /api/repl/wal?from=N  replication: long-polled framed op stream
 //	POST /api/repl/promote    replication: flip this follower writable
+//	POST /api/partition/retire  rebalance: narrow this node's hosted hash slice
 //	GET /api/repl/leader      failover: who leads this replica set
 //	POST /api/repl/heartbeat  failover: leader lease renewal
 //	POST /api/repl/vote       failover: election ballot
@@ -120,6 +122,7 @@ func NewServerWith(sys *core.System, opts Options) *Server {
 	s.mux.HandleFunc("GET /api/repl/snapshot", s.handleReplSnapshot)
 	s.mux.HandleFunc("GET /api/repl/wal", timed(&telemetry.Latency.ReplPoll, s.handleReplWAL))
 	s.mux.HandleFunc("POST /api/repl/promote", s.handleReplPromote)
+	s.mux.HandleFunc("POST /api/partition/retire", s.handlePartitionRetire)
 	s.mux.HandleFunc("GET /api/repl/leader", s.handleReplLeader)
 	s.mux.HandleFunc("POST /api/repl/heartbeat", s.handleReplHeartbeat)
 	s.mux.HandleFunc("POST /api/repl/vote", s.handleReplVote)
@@ -227,14 +230,28 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Invalidations int64 `json:"invalidations"`
 		Size          int64 `json:"size"`
 	}
+	type partitionJSON struct {
+		// Partitioned reports whether this node hosts a hash slice of
+		// one domain rather than whole domains; Slice is the slice
+		// currently hosted ("h0/1" — the whole key space — when not
+		// partitioned). The slice narrows when a rebalance retires part
+		// of it to another node.
+		Partitioned bool   `json:"partitioned"`
+		Slice       string `json:"slice"`
+	}
 	out := struct {
 		Domains     []domainJSON    `json:"domains"`
+		Partition   partitionJSON   `json:"partition"`
 		Persistence persistenceJSON `json:"persistence"`
 		Replication replicationJSON `json:"replication"`
 		Admission   admissionJSON   `json:"admission"`
 		PlanCache   planCacheJSON   `json:"plan_cache"`
 		Latency     latencyJSON     `json:"latency"`
 	}{Domains: []domainJSON{}, Latency: latencyStatus()}
+	out.Partition = partitionJSON{
+		Partitioned: s.sys.Partitioned(),
+		Slice:       s.sys.PartitionSlice().String(),
+	}
 	out.PlanCache = planCacheJSON{
 		Hits:          telemetry.Plan.Hits.Load(),
 		Misses:        telemetry.Plan.Misses.Load(),
@@ -349,7 +366,20 @@ func (s *Server) handleInsertAd(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, err := s.sys.InsertAdWithAck(req.Domain, values, ack)
+	var id sqldb.RowID
+	if pinHdr := r.Header.Get(AdIDHeader); pinHdr != "" {
+		// A pinned ingest (shard front tier re-routing an ad to the
+		// partition owning its key): the ad must land on exactly this
+		// RowID, and a node not owning the key's hash answers 421.
+		pin, perr := strconv.Atoi(pinHdr)
+		if perr != nil || pin < 0 {
+			jsonError(w, http.StatusBadRequest, "invalid %s header %q", AdIDHeader, pinHdr)
+			return
+		}
+		id, err = s.sys.InsertAdPinnedWithAck(req.Domain, values, sqldb.RowID(pin), ack)
+	} else {
+		id, err = s.sys.InsertAdWithAck(req.Domain, values, ack)
+	}
 	if err != nil && !errors.Is(err, core.ErrQuorumUnavailable) {
 		writeIngestError(w, err)
 		return
@@ -453,14 +483,30 @@ const maxReplPollWait = 30 * time.Second
 
 // handleReplSnapshot serves the initial state transfer:
 //
-//	GET /api/repl/snapshot
+//	GET /api/repl/snapshot[?partition=h3/4]
 //
 // Body: the raw current snapshot blob (the on-disk checkpoint format;
 // persist.DecodeSnapshot parses it). A follower restores it wholesale
 // and starts polling the WAL from the snapshot's sequence. Only
 // durable primaries can serve it; others answer 409.
+//
+// The partition parameter filters the transfer to one hash slice of
+// the key space (rows whose key hashes outside it are dropped; slot
+// counts are kept so RowIDs stay cluster-wide) — the bootstrap a
+// rebalance target starts from. The WAL stream is never filtered.
 func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
-	blob, err := s.sys.ReplSnapshotBlob()
+	var blob []byte
+	var err error
+	if ps := r.URL.Query().Get("partition"); ps != "" {
+		sl, perr := partition.Parse(ps)
+		if perr != nil {
+			jsonError(w, http.StatusBadRequest, "invalid partition parameter %q: %v", ps, perr)
+			return
+		}
+		blob, err = s.sys.ReplSnapshotSection(sl)
+	} else {
+		blob, err = s.sys.ReplSnapshotBlob()
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrNotPrimary) {
 			jsonError(w, http.StatusConflict, "%v", err)
@@ -795,41 +841,46 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	s.render(w, p)
 }
 
-// apiAnswer and apiResult are the JSON shape of one answered question,
+// APIAnswer and APIResult are the JSON shape of one answered question,
 // shared by GET /api/ask and POST /api/ask/batch (the batch endpoint's
 // per-question objects are exactly the single endpoint's body, so
 // answers diff byte-identically across primaries and replicas).
-type apiAnswer struct {
+// Exported because the shard front tier re-encodes merged scatter
+// answers through these very structs — field-order-identical encoding
+// is what makes a partitioned domain's answers byte-equal to a
+// monolith's.
+type APIAnswer struct {
 	Exact          bool              `json:"exact"`
 	RankSim        float64           `json:"rank_sim"`
 	SimilarityUsed string            `json:"similarity_used,omitempty"`
 	Record         map[string]string `json:"record"`
 }
 
-type apiResult struct {
+type APIResult struct {
 	Domain         string      `json:"domain"`
 	Interpretation string      `json:"interpretation"`
 	SQL            string      `json:"sql"`
 	ExactCount     int         `json:"exact_count"`
-	Answers        []apiAnswer `json:"answers"`
+	Answers        []APIAnswer `json:"answers"`
 }
 
-func buildAPIResult(res *core.Result) apiResult {
-	out := apiResult{
+// BuildAPIResult shapes a core Result for the JSON API.
+func BuildAPIResult(res *core.Result) APIResult {
+	out := APIResult{
 		Domain:         res.Domain,
 		Interpretation: res.Interpretation.String(),
 		SQL:            res.SQL,
 		ExactCount:     res.ExactCount,
 		// Initialized so a no-match query encodes "answers": [] —
 		// clients iterating the field shouldn't have to null-check.
-		Answers: []apiAnswer{},
+		Answers: []APIAnswer{},
 	}
 	for _, a := range res.Answers {
 		rec := make(map[string]string, len(a.Record))
 		for k, v := range a.Record {
 			rec[k] = v.String()
 		}
-		out.Answers = append(out.Answers, apiAnswer{
+		out.Answers = append(out.Answers, APIAnswer{
 			Exact:          a.Exact,
 			RankSim:        a.RankSim,
 			SimilarityUsed: a.SimilarityUsed,
@@ -839,7 +890,37 @@ func buildAPIResult(res *core.Result) apiResult {
 	return out
 }
 
+// APIResultFromScatter shapes a merged scatter part (MergeScatter over
+// every partition's wire part) exactly as BuildAPIResult shapes a
+// monolith Result: same struct, same field order, same omissions — so
+// the front tier's encoding of a scattered answer is byte-identical to
+// the single-node encoding of the same answer.
+func APIResultFromScatter(m *core.ScatterPart[map[string]string]) APIResult {
+	out := APIResult{
+		Domain:         m.Domain,
+		Interpretation: m.Interpretation,
+		SQL:            m.SQL,
+		ExactCount:     m.ExactCount,
+		Answers:        []APIAnswer{},
+	}
+	for _, a := range m.Answers {
+		out.Answers = append(out.Answers, APIAnswer{
+			Exact:          a.Exact,
+			RankSim:        a.RankSim,
+			SimilarityUsed: a.SimilarityUsed,
+			Record:         a.Record,
+		})
+	}
+	return out
+}
+
 func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
+	if sl, isScatter, ok := scatterSlice(w, r); isScatter {
+		if ok {
+			s.handleScatterAsk(w, r, sl)
+		}
+		return
+	}
 	q := strings.TrimSpace(r.URL.Query().Get("q"))
 	if q == "" {
 		// jsonError, not http.Error: the latter would label the JSON
@@ -861,7 +942,7 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(buildAPIResult(res))
+	_ = json.NewEncoder(w).Encode(BuildAPIResult(res))
 }
 
 // handleAskBatch answers many questions in one call:
@@ -881,6 +962,12 @@ func (s *Server) handleAPI(w http.ResponseWriter, r *http.Request) {
 // that is itself fronted by a router answers locally instead of
 // re-scattering.
 func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
+	if sl, isScatter, ok := scatterSlice(w, r); isScatter {
+		if ok {
+			s.handleScatterBatch(w, r, sl)
+		}
+		return
+	}
 	var req struct {
 		Domain    string   `json:"domain"`
 		Questions []string `json:"questions"`
@@ -918,7 +1005,7 @@ func (s *Server) handleAskBatch(w http.ResponseWriter, r *http.Request) {
 				results[pendingIdx[i]] = map[string]string{"error": br.Err.Error()}
 				continue
 			}
-			results[pendingIdx[i]] = buildAPIResult(br.Result)
+			results[pendingIdx[i]] = BuildAPIResult(br.Result)
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")
